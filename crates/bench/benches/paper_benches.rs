@@ -1,0 +1,309 @@
+//! Criterion micro-benchmarks over the engine.
+//!
+//! These measure the *implementation's* real cost (wall time of the
+//! simulation) for the operations behind each paper experiment; the
+//! virtual-time/message-count results live in the `experiments` binary and
+//! EXPERIMENTS.md. One group per paper table/figure family:
+//!
+//! * `scan_interfaces`  — E2/E3 (record-at-a-time vs RSBB vs VSBB)
+//! * `update_pushdown`  — E4/E12 (expression + constraint shipping)
+//! * `debitcredit`      — E9 (SQL vs ENSCRIBE transaction)
+//! * `group_commit`     — E6/E7 (audit + commit grouping)
+//! * `btree`            — the record-management substrate
+//! * `blocked_insert`   — E10 (load interfaces)
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use nsql_core::{Cluster, ClusterBuilder};
+use nsql_dp::{ReadLock, SubsetMode};
+use nsql_records::{ArithOp, CmpOp, Expr, KeyRange, SetList, Value};
+use nsql_sim::SimRng;
+use nsql_workloads::{Bank, Wisconsin};
+
+fn wisconsin_db(rows: u32) -> Cluster {
+    let db = ClusterBuilder::new().volume("$DATA1", 0, 1).build();
+    Wisconsin::create(&db, "WISC", rows, &["$DATA1"], 1).unwrap();
+    db
+}
+
+fn bench_scan_interfaces(c: &mut Criterion) {
+    let db = wisconsin_db(2_000);
+    let info = db.catalog.table("WISC").unwrap();
+    let session = db.session();
+    let fs = session.fs();
+
+    let mut g = c.benchmark_group("scan_interfaces");
+    g.sample_size(10);
+    g.bench_function("record_at_a_time_2k", |b| {
+        b.iter(|| {
+            let mut cur = fs.ens_open(&info.open, None);
+            let mut n = 0;
+            while fs.ens_read_next(&mut cur).unwrap().is_some() {
+                n += 1;
+            }
+            assert_eq!(n, 2_000);
+        })
+    });
+    g.bench_function("rsbb_2k", |b| {
+        b.iter(|| {
+            let txn = db.txnmgr.begin();
+            let mut cur = fs.ens_open_sbb(&info.open, txn).unwrap();
+            let mut n = 0;
+            while fs.ens_read_next(&mut cur).unwrap().is_some() {
+                n += 1;
+            }
+            db.txnmgr.commit(txn, session.cpu()).unwrap();
+            assert_eq!(n, 2_000);
+        })
+    });
+    g.bench_function("vsbb_select_project_2k", |b| {
+        b.iter(|| {
+            let scan = fs
+                .scan(
+                    None,
+                    &info.open,
+                    &KeyRange::all(),
+                    Some(&Expr::field_cmp(1, CmpOp::Lt, Value::Int(200))),
+                    Some(&[0, 1]),
+                    SubsetMode::Vsbb,
+                    ReadLock::None,
+                )
+                .unwrap();
+            assert_eq!(scan.rows.len(), 200);
+        })
+    });
+    g.finish();
+}
+
+fn bench_update_pushdown(c: &mut Criterion) {
+    let mut g = c.benchmark_group("update_pushdown");
+    g.sample_size(10);
+    g.bench_function("update_subset_1k", |b| {
+        b.iter_batched(
+            || {
+                let db = ClusterBuilder::new().volume("$DATA1", 0, 1).build();
+                let mut s = db.session();
+                s.execute("CREATE TABLE A (K INT NOT NULL, BAL DOUBLE NOT NULL, PRIMARY KEY (K))")
+                    .unwrap();
+                let info = db.catalog.table("A").unwrap();
+                let txn = db.txnmgr.begin();
+                {
+                    let mut ins = nsql_fs::BlockedInserter::new(s.fs(), &info.open, txn);
+                    for k in 0..1_000 {
+                        ins.push(&[Value::Int(k), Value::Double(10.0)]).unwrap();
+                    }
+                    ins.flush().unwrap();
+                }
+                db.txnmgr.commit(txn, s.cpu()).unwrap();
+                db
+            },
+            |db| {
+                let mut s = db.session();
+                let n = s
+                    .execute("UPDATE A SET BAL = BAL * 1.07 WHERE BAL > 0")
+                    .unwrap()
+                    .count();
+                assert_eq!(n, 1_000);
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    g.bench_function("update_point_with_constraint", |b| {
+        let db = ClusterBuilder::new().volume("$DATA1", 0, 1).build();
+        let mut s = db.session();
+        s.execute("CREATE TABLE P (K INT NOT NULL, Q INT NOT NULL, PRIMARY KEY (K))")
+            .unwrap();
+        s.execute("INSERT INTO P VALUES (1, 1000000)").unwrap();
+        let info = db.catalog.table("P").unwrap();
+        let key =
+            nsql_records::key::encode_record_key(&info.open.desc, &[Value::Int(1), Value::Int(0)]);
+        let sets = SetList {
+            sets: vec![(
+                1,
+                Expr::Arith(
+                    Box::new(Expr::Field(1)),
+                    ArithOp::Sub,
+                    Box::new(Expr::lit(Value::Int(1))),
+                ),
+            )],
+        };
+        let constraint = Expr::field_cmp(1, CmpOp::Ge, Value::Int(0));
+        b.iter(|| {
+            let txn = db.txnmgr.begin();
+            s.fs()
+                .update_by_key(txn, &info.open, &key, &sets, Some(&constraint))
+                .unwrap();
+            db.txnmgr.commit(txn, s.cpu()).unwrap();
+        })
+    });
+    g.finish();
+}
+
+fn bench_debitcredit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("debitcredit");
+    g.sample_size(10);
+    for (name, sql_path) in [("sql_txn", true), ("enscribe_txn", false)] {
+        g.bench_function(name, |b| {
+            let db = ClusterBuilder::new().volume("$DATA1", 0, 1).build();
+            let bank = Bank::create(&db, 1, 200, "$DATA1").unwrap();
+            let session = db.session();
+            let mut rng = SimRng::seed_from(9);
+            b.iter(|| {
+                let (aid, tid, bid, delta) = bank.draw(&mut rng);
+                let txn = db.txnmgr.begin();
+                if sql_path {
+                    bank.debit_credit_sql(session.fs(), txn, aid, tid, bid, delta)
+                        .unwrap();
+                } else {
+                    bank.debit_credit_enscribe(session.fs(), txn, aid, tid, bid, delta)
+                        .unwrap();
+                }
+                db.txnmgr.commit(txn, session.cpu()).unwrap();
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_group_commit(c: &mut Criterion) {
+    use nsql_lock::TxnId;
+    use nsql_tmf::{CommitTimer, LsnSource, Trail, TrailRequest};
+
+    let mut g = c.benchmark_group("group_commit");
+    g.bench_function("commit_arrivals_adaptive", |b| {
+        let sim = nsql_sim::Sim::new();
+        let trail = Trail::new(
+            sim.clone(),
+            LsnSource::new(),
+            CommitTimer::Adaptive {
+                min: 500,
+                max: 20_000,
+                target_group: 8,
+            },
+        );
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            trail.apply(TrailRequest::Commit { txn: TxnId(i) });
+            sim.clock.advance(1_000);
+        })
+    });
+    g.finish();
+}
+
+fn bench_btree(c: &mut Criterion) {
+    use nsql_btree::{BTreeFile, MemStore};
+
+    let mut g = c.benchmark_group("btree");
+    g.bench_function("insert_4k_blocks", |b| {
+        b.iter_batched(
+            MemStore::new,
+            |store| {
+                let root = BTreeFile::create(&store);
+                let tree = BTreeFile::open(&store, root);
+                for i in 0..1_000u32 {
+                    tree.insert(&i.to_be_bytes(), &[0u8; 100]).unwrap();
+                }
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    g.bench_function("point_get", |b| {
+        let store = MemStore::new();
+        let root = BTreeFile::create(&store);
+        let tree = BTreeFile::open(&store, root);
+        for i in 0..10_000u32 {
+            tree.insert(&i.to_be_bytes(), &[0u8; 100]).unwrap();
+        }
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 7919) % 10_000;
+            assert!(tree.get(&i.to_be_bytes()).is_some());
+        })
+    });
+    g.finish();
+}
+
+fn bench_blocked_insert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("blocked_insert");
+    g.sample_size(10);
+    for (name, blocked) in [("per_record_1k", false), ("blocked_1k", true)] {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let db = ClusterBuilder::new().volume("$DATA1", 0, 1).build();
+                    let mut s = db.session();
+                    s.execute("CREATE TABLE L (K INT NOT NULL, PRIMARY KEY (K))")
+                        .unwrap();
+                    db
+                },
+                |db| {
+                    let s = db.session();
+                    let info = db.catalog.table("L").unwrap();
+                    let txn = db.txnmgr.begin();
+                    if blocked {
+                        let mut ins = nsql_fs::BlockedInserter::new(s.fs(), &info.open, txn);
+                        for k in 0..1_000 {
+                            ins.push(&[Value::Int(k)]).unwrap();
+                        }
+                        ins.flush().unwrap();
+                    } else {
+                        for k in 0..1_000 {
+                            s.fs()
+                                .insert_row(txn, &info.open, &[Value::Int(k)])
+                                .unwrap();
+                        }
+                    }
+                    db.txnmgr.commit(txn, s.cpu()).unwrap();
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut g = c.benchmark_group("recovery");
+    g.sample_size(10);
+    g.bench_function("crash_recover_1k_rows", |b| {
+        b.iter_batched(
+            || {
+                let db = ClusterBuilder::new().volume("$DATA1", 0, 1).build();
+                let mut s = db.session();
+                s.execute("CREATE TABLE T (K INT NOT NULL, V INT NOT NULL, PRIMARY KEY (K))")
+                    .unwrap();
+                let info = db.catalog.table("T").unwrap();
+                let txn = db.txnmgr.begin();
+                {
+                    let mut ins = nsql_fs::BlockedInserter::new(s.fs(), &info.open, txn);
+                    for k in 0..1_000 {
+                        ins.push(&[Value::Int(k), Value::Int(k)]).unwrap();
+                    }
+                    ins.flush().unwrap();
+                }
+                db.txnmgr.commit(txn, s.cpu()).unwrap();
+                db
+            },
+            |db| {
+                db.crash_and_recover_all();
+                let mut s = db.session();
+                let r = s.query("SELECT COUNT(*) FROM T").unwrap();
+                assert_eq!(r.rows[0].0[0], Value::LargeInt(1_000));
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scan_interfaces,
+    bench_update_pushdown,
+    bench_debitcredit,
+    bench_group_commit,
+    bench_btree,
+    bench_blocked_insert,
+    bench_recovery
+);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! CLI entry point: print experiment reports.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        print!("{}", nsql_bench::run("all"));
+        return;
+    }
+    for a in args {
+        print!("{}", nsql_bench::run(&a));
+    }
+}

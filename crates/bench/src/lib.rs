@@ -1,0 +1,10 @@
+//! Benchmark harness: regenerates every experiment of DESIGN.md §4.
+//!
+//! `cargo run -p nsql-bench --bin experiments [--release] [-- e2 e9 ...]`
+//! prints the report tables recorded in EXPERIMENTS.md. Criterion
+//! micro-benchmarks live under `benches/`.
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::run;

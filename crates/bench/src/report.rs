@@ -1,0 +1,120 @@
+//! Tabular report rendering for the experiment harness.
+
+use std::fmt::Write as _;
+
+/// A titled table of experiment results.
+pub struct Table {
+    /// Title line (experiment id + description).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of rendered cells.
+    pub rows: Vec<Vec<String>>,
+    /// Free-text notes printed under the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "ragged table row");
+        self.rows.push(cells);
+    }
+
+    /// Append a note.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    /// Render as a markdown-style table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "\n### {}\n", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::from("|");
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(line, " {:<w$} |", c, w = widths[i]);
+            }
+            line
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
+        let mut sep = String::from("|");
+        for w in &widths {
+            let _ = write!(sep, "{}|", "-".repeat(w + 2));
+        }
+        let _ = writeln!(out, "{sep}");
+        for r in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(r, &widths));
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "\n> {n}");
+        }
+        out
+    }
+}
+
+/// Format a ratio like `3.2x`.
+pub fn ratio(num: u64, den: u64) -> String {
+    if den == 0 {
+        return "-".into();
+    }
+    format!("{:.1}x", num as f64 / den as f64)
+}
+
+/// Format microseconds as milliseconds.
+pub fn ms(us: u64) -> String {
+    format!("{:.2} ms", us as f64 / 1000.0)
+}
+
+/// Format microseconds as seconds.
+pub fn secs(us: u64) -> String {
+    format!("{:.3} s", us as f64 / 1_000_000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new("E0 — demo", &["name", "value"]);
+        t.row(vec!["alpha".into(), "1".into()]);
+        t.row(vec!["b".into(), "123456".into()]);
+        t.note("a note");
+        let s = t.render();
+        assert!(s.contains("### E0 — demo"));
+        assert!(s.contains("| alpha |"));
+        assert!(s.contains("> a note"));
+    }
+
+    #[test]
+    fn formats() {
+        assert_eq!(ratio(6, 2), "3.0x");
+        assert_eq!(ratio(1, 0), "-");
+        assert_eq!(ms(1500), "1.50 ms");
+        assert_eq!(secs(2_500_000), "2.500 s");
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+}

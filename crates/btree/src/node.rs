@@ -1,0 +1,211 @@
+//! B-tree node serialization.
+//!
+//! Nodes serialize into a block as:
+//!
+//! ```text
+//! leaf:     [0x01][nkeys: u16][next_leaf: u32]([klen u16][vlen u16][key][value])*
+//! internal: [0x02][nkeys: u16][child0: u32]([klen u16][key][child u32])*
+//! ```
+//!
+//! `next_leaf == u32::MAX` means "no next leaf". An internal node with
+//! `nkeys` separators has `nkeys + 1` children; separator `i` is a copy of
+//! the smallest key reachable under child `i + 1`.
+
+use crate::BlockNo;
+
+/// Sentinel for "no next leaf".
+pub const NO_LEAF: BlockNo = u32::MAX;
+
+/// An in-memory B-tree node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// Leaf: sorted `(key, record)` entries plus the leaf chain pointer.
+    Leaf {
+        /// Next leaf in key order (`None` at the right edge).
+        next: Option<BlockNo>,
+        /// Sorted entries.
+        entries: Vec<(Vec<u8>, Vec<u8>)>,
+    },
+    /// Internal: `children.len() == seps.len() + 1`.
+    Internal {
+        /// Separator keys.
+        seps: Vec<Vec<u8>>,
+        /// Child block numbers.
+        children: Vec<BlockNo>,
+    },
+}
+
+impl Node {
+    /// An empty leaf.
+    pub fn empty_leaf() -> Node {
+        Node::Leaf {
+            next: None,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Serialized size in bytes.
+    pub fn size(&self) -> usize {
+        match self {
+            Node::Leaf { entries, .. } => {
+                7 + entries
+                    .iter()
+                    .map(|(k, v)| 4 + k.len() + v.len())
+                    .sum::<usize>()
+            }
+            Node::Internal { seps, .. } => 7 + seps.iter().map(|k| 6 + k.len()).sum::<usize>(),
+        }
+    }
+
+    /// Number of entries (leaf) or separators (internal).
+    pub fn len(&self) -> usize {
+        match self {
+            Node::Leaf { entries, .. } => entries.len(),
+            Node::Internal { seps, .. } => seps.len(),
+        }
+    }
+
+    /// True when the node holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Serialize into block bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.size());
+        match self {
+            Node::Leaf { next, entries } => {
+                out.push(0x01);
+                out.extend_from_slice(&(entries.len() as u16).to_be_bytes());
+                out.extend_from_slice(&next.unwrap_or(NO_LEAF).to_be_bytes());
+                for (k, v) in entries {
+                    out.extend_from_slice(&(k.len() as u16).to_be_bytes());
+                    out.extend_from_slice(&(v.len() as u16).to_be_bytes());
+                    out.extend_from_slice(k);
+                    out.extend_from_slice(v);
+                }
+            }
+            Node::Internal { seps, children } => {
+                assert_eq!(children.len(), seps.len() + 1, "malformed internal node");
+                out.push(0x02);
+                out.extend_from_slice(&(seps.len() as u16).to_be_bytes());
+                out.extend_from_slice(&children[0].to_be_bytes());
+                for (k, c) in seps.iter().zip(&children[1..]) {
+                    out.extend_from_slice(&(k.len() as u16).to_be_bytes());
+                    out.extend_from_slice(k);
+                    out.extend_from_slice(&c.to_be_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    /// Deserialize from block bytes.
+    ///
+    /// # Panics
+    /// Panics on malformed bytes — block corruption is a simulation bug,
+    /// not a runtime condition.
+    pub fn decode(bytes: &[u8]) -> Node {
+        let tag = bytes[0];
+        let nkeys = u16::from_be_bytes([bytes[1], bytes[2]]) as usize;
+        let mut pos;
+        let read_u16 = |pos: &mut usize| {
+            let v = u16::from_be_bytes([bytes[*pos], bytes[*pos + 1]]);
+            *pos += 2;
+            v
+        };
+        match tag {
+            0x01 => {
+                let next = u32::from_be_bytes(bytes[3..7].try_into().unwrap());
+                pos = 7;
+                let mut entries = Vec::with_capacity(nkeys);
+                for _ in 0..nkeys {
+                    let klen = read_u16(&mut pos) as usize;
+                    let vlen = read_u16(&mut pos) as usize;
+                    let k = bytes[pos..pos + klen].to_vec();
+                    pos += klen;
+                    let v = bytes[pos..pos + vlen].to_vec();
+                    pos += vlen;
+                    entries.push((k, v));
+                }
+                Node::Leaf {
+                    next: (next != NO_LEAF).then_some(next),
+                    entries,
+                }
+            }
+            0x02 => {
+                let child0 = u32::from_be_bytes(bytes[3..7].try_into().unwrap());
+                pos = 7;
+                let mut seps = Vec::with_capacity(nkeys);
+                let mut children = Vec::with_capacity(nkeys + 1);
+                children.push(child0);
+                for _ in 0..nkeys {
+                    let klen = read_u16(&mut pos) as usize;
+                    let k = bytes[pos..pos + klen].to_vec();
+                    pos += klen;
+                    let c = u32::from_be_bytes(bytes[pos..pos + 4].try_into().unwrap());
+                    pos += 4;
+                    seps.push(k);
+                    children.push(c);
+                }
+                Node::Internal { seps, children }
+            }
+            other => panic!("corrupt node tag {other}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_round_trip() {
+        let n = Node::Leaf {
+            next: Some(42),
+            entries: vec![
+                (b"alpha".to_vec(), b"1".to_vec()),
+                (b"beta".to_vec(), vec![0u8; 100]),
+            ],
+        };
+        let bytes = n.encode();
+        assert_eq!(bytes.len(), n.size());
+        assert_eq!(Node::decode(&bytes), n);
+    }
+
+    #[test]
+    fn leaf_without_next_round_trip() {
+        let n = Node::Leaf {
+            next: None,
+            entries: vec![],
+        };
+        assert_eq!(Node::decode(&n.encode()), n);
+    }
+
+    #[test]
+    fn internal_round_trip() {
+        let n = Node::Internal {
+            seps: vec![b"m".to_vec(), b"t".to_vec()],
+            children: vec![1, 2, 3],
+        };
+        let bytes = n.encode();
+        assert_eq!(bytes.len(), n.size());
+        assert_eq!(Node::decode(&bytes), n);
+    }
+
+    #[test]
+    fn empty_values_allowed() {
+        // Secondary index entries carry empty values.
+        let n = Node::Leaf {
+            next: None,
+            entries: vec![(b"idxkey".to_vec(), Vec::new())],
+        };
+        assert_eq!(Node::decode(&n.encode()), n);
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupt")]
+    fn bad_tag_panics() {
+        Node::decode(&[9, 0, 0, 0, 0, 0, 0]);
+    }
+}

@@ -1,0 +1,532 @@
+#![warn(missing_docs)]
+//! NonStop SQL reproduction — the public facade.
+//!
+//! A [`Cluster`] assembles the whole simulated Tandem system of the paper:
+//! a message bus, the TMF audit trail and transaction manager, and one
+//! [`nsql_dp::DiskProcess`] per disk volume, possibly spread over multiple
+//! CPUs and nodes. [`Session`]s execute SQL (and, for baseline
+//! comparisons, ENSCRIBE-style record-at-a-time access) against it.
+//!
+//! ```
+//! use nsql_core::ClusterBuilder;
+//!
+//! let db = ClusterBuilder::new()
+//!     .volume("$DATA1", 0, 1)
+//!     .volume("$DATA2", 0, 2)
+//!     .build();
+//! let mut session = db.session();
+//! session
+//!     .execute("CREATE TABLE EMP (EMPNO INT NOT NULL, NAME CHAR(12) NOT NULL, \
+//!               SALARY DOUBLE, PRIMARY KEY (EMPNO))")
+//!     .unwrap();
+//! session.execute("INSERT INTO EMP VALUES (1, 'BORR', 90000)").unwrap();
+//! let r = session.query("SELECT NAME FROM EMP WHERE EMPNO = 1").unwrap();
+//! assert_eq!(r.rows.len(), 1);
+//! ```
+
+use nsql_disk::Disk;
+use nsql_dp::{BackupSink, DiskProcess, DpConfig, DpContext};
+use nsql_fs::{FileSystem, OpenFile};
+use nsql_lock::TxnId;
+use nsql_msg::{Bus, CpuId};
+use nsql_sim::{CostModel, Metrics, MetricsSnapshot, Sim};
+use nsql_sql::ast::Statement;
+use nsql_sql::{parse, plan, Catalog, Executor, Plan, QueryResult};
+use nsql_tmf::{CommitTimer, LsnSource, Trail, TxnManager, AUDIT_PROCESS};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+pub use nsql_dp::DpConfig as DiskProcessConfig;
+pub use nsql_sim::CostModel as ClusterCostModel;
+pub use nsql_sql::QueryResult as Rows;
+pub use nsql_tmf::CommitTimer as GroupCommitTimer;
+
+/// Errors surfaced by [`Session::execute`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DbError(pub String);
+
+impl std::fmt::Display for DbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DbError {}
+
+fn db_err(e: impl std::fmt::Display) -> DbError {
+    DbError(e.to_string())
+}
+
+/// Result of one SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// Rows from a SELECT.
+    Rows(QueryResult),
+    /// Rows affected by DML.
+    Count(u64),
+    /// DDL / transaction control completed.
+    Done,
+}
+
+impl Outcome {
+    /// Unwrap a result set.
+    pub fn rows(self) -> QueryResult {
+        match self {
+            Outcome::Rows(r) => r,
+            other => panic!("expected rows, got {other:?}"),
+        }
+    }
+
+    /// Unwrap an affected-row count.
+    pub fn count(self) -> u64 {
+        match self {
+            Outcome::Count(n) => n,
+            other => panic!("expected a count, got {other:?}"),
+        }
+    }
+}
+
+struct VolumeSpec {
+    name: String,
+    cpu: CpuId,
+    backup_cpu: Option<CpuId>,
+    mirrored: bool,
+}
+
+/// Builds a simulated cluster.
+pub struct ClusterBuilder {
+    cost: CostModel,
+    timer: CommitTimer,
+    dp_config: DpConfig,
+    volumes: Vec<VolumeSpec>,
+    audit_cpu: CpuId,
+}
+
+impl ClusterBuilder {
+    /// Start a cluster description.
+    pub fn new() -> Self {
+        ClusterBuilder {
+            cost: CostModel::default(),
+            timer: CommitTimer::default(),
+            dp_config: DpConfig::default(),
+            volumes: Vec::new(),
+            audit_cpu: CpuId::new(0, 0),
+        }
+    }
+
+    /// Override the cost model.
+    pub fn cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Override the group-commit timer policy.
+    pub fn commit_timer(mut self, timer: CommitTimer) -> Self {
+        self.timer = timer;
+        self
+    }
+
+    /// Override the Disk Process tunables for every volume.
+    pub fn dp_config(mut self, config: DpConfig) -> Self {
+        self.dp_config = config;
+        self
+    }
+
+    /// Home the audit-trail Disk Process on a specific CPU.
+    pub fn audit_on(mut self, node: u8, cpu: u8) -> Self {
+        self.audit_cpu = CpuId::new(node, cpu);
+        self
+    }
+
+    /// Add a mirrored disk volume managed by a Disk Process on
+    /// `(node, cpu)`.
+    pub fn volume(mut self, name: &str, node: u8, cpu: u8) -> Self {
+        self.volumes.push(VolumeSpec {
+            name: name.to_string(),
+            cpu: CpuId::new(node, cpu),
+            backup_cpu: None,
+            mirrored: true,
+        });
+        self
+    }
+
+    /// Add a volume whose Disk Process runs as a process pair with a
+    /// backup on another CPU (checkpointing enabled).
+    pub fn volume_with_backup(
+        mut self,
+        name: &str,
+        node: u8,
+        cpu: u8,
+        backup_node: u8,
+        backup_cpu: u8,
+    ) -> Self {
+        self.volumes.push(VolumeSpec {
+            name: name.to_string(),
+            cpu: CpuId::new(node, cpu),
+            backup_cpu: Some(CpuId::new(backup_node, backup_cpu)),
+            mirrored: true,
+        });
+        self
+    }
+
+    /// Assemble the cluster.
+    pub fn build(self) -> Cluster {
+        let sim = Sim::with_cost(self.cost);
+        let bus = Bus::new(sim.clone());
+        let lsns = LsnSource::new();
+        let trail = Trail::new(sim.clone(), Arc::clone(&lsns), self.timer);
+        bus.register(AUDIT_PROCESS, self.audit_cpu, trail.clone());
+        let txnmgr = TxnManager::new(sim.clone(), Arc::clone(&bus));
+        let ctx = DpContext {
+            sim: sim.clone(),
+            bus: Arc::clone(&bus),
+            trail: Arc::clone(&trail),
+            txnmgr: Arc::clone(&txnmgr),
+            lsns,
+        };
+        let mut dps = HashMap::new();
+        let mut disks = HashMap::new();
+        let mut default_volume = None;
+        for spec in &self.volumes {
+            let disk = Disk::new(sim.clone(), spec.name.clone(), spec.mirrored);
+            let mut config = self.dp_config.clone();
+            if let Some(bcpu) = spec.backup_cpu {
+                config.checkpointing = true;
+                bus.register(format!("{}-B", spec.name), bcpu, Arc::new(BackupSink));
+            }
+            let dp = DiskProcess::format(&ctx, &spec.name, spec.cpu, Arc::clone(&disk), config);
+            dps.insert(spec.name.clone(), dp);
+            disks.insert(spec.name.clone(), disk);
+            default_volume.get_or_insert_with(|| spec.name.clone());
+        }
+        let catalog = Catalog::new(default_volume.unwrap_or_else(|| "$DATA1".into()));
+        Cluster {
+            sim,
+            bus,
+            trail,
+            txnmgr,
+            catalog,
+            ctx,
+            dps: RwLock::new(dps),
+            disks,
+            sort_parallelism: std::sync::atomic::AtomicU32::new(1),
+        }
+    }
+}
+
+impl Default for ClusterBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A running simulated cluster: the "database".
+pub struct Cluster {
+    /// Simulation context (clock, cost model, metrics).
+    pub sim: Sim,
+    /// The message system.
+    pub bus: Arc<Bus>,
+    /// The audit-trail Disk Process.
+    pub trail: Arc<Trail>,
+    /// The transaction manager.
+    pub txnmgr: Arc<TxnManager>,
+    /// The SQL catalog.
+    pub catalog: Arc<Catalog>,
+    ctx: DpContext,
+    dps: RwLock<HashMap<String, Arc<DiskProcess>>>,
+    disks: HashMap<String, Arc<Disk>>,
+    sort_parallelism: std::sync::atomic::AtomicU32,
+}
+
+impl Cluster {
+    /// A single-node, single-volume cluster (quick starts and tests).
+    pub fn single_volume() -> Cluster {
+        ClusterBuilder::new().volume("$DATA1", 0, 1).build()
+    }
+
+    /// Open a session homed on node 0, CPU 0.
+    pub fn session(&self) -> Session<'_> {
+        self.session_on(0, 0)
+    }
+
+    /// Open a session homed on a specific CPU (message locality follows).
+    pub fn session_on(&self, node: u8, cpu: u8) -> Session<'_> {
+        let cpu = CpuId::new(node, cpu);
+        Session {
+            cluster: self,
+            fs: FileSystem::new(self.sim.clone(), Arc::clone(&self.bus), cpu),
+            cpu,
+            txn: None,
+        }
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.sim.metrics
+    }
+
+    /// Snapshot all counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.sim.metrics.snapshot()
+    }
+
+    /// The Disk Process currently serving `volume`.
+    pub fn dp(&self, volume: &str) -> Arc<DiskProcess> {
+        Arc::clone(
+            self.dps
+                .read()
+                .get(volume)
+                .unwrap_or_else(|| panic!("no volume {volume}")),
+        )
+    }
+
+    /// The disk behind `volume`.
+    pub fn disk(&self, volume: &str) -> Arc<Disk> {
+        Arc::clone(&self.disks[volume])
+    }
+
+    /// Volume names, sorted.
+    pub fn volumes(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.dps.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Fault injection: crash `volume`'s Disk Process (losing its cache and
+    /// in-flight state) and fail its CPU; a new Disk Process takes over on
+    /// `(node, cpu)` after recovering from the audit trail.
+    pub fn takeover(&self, volume: &str, node: u8, cpu: u8) {
+        let old = self.dp(volume);
+        self.bus.fail_cpu(old.cpu());
+        old.crash();
+        let new_dp = DiskProcess::open(
+            &self.ctx,
+            volume,
+            CpuId::new(node, cpu),
+            Arc::clone(&self.disks[volume]),
+            old.config.lock().clone(),
+        );
+        new_dp.recover();
+        self.dps.write().insert(volume.to_string(), new_dp);
+    }
+
+    /// Current FastSort parallelism for ORDER BY.
+    pub fn sort_parallelism(&self) -> u32 {
+        self.sort_parallelism
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// The paper's "user option which directs the SQL compiler to cause the
+    /// invocation at execution time of the parallel sorter, FastSort, which
+    /// uses multiple processors": set ORDER BY parallelism for all sessions.
+    pub fn set_sort_parallelism(&self, ways: u32) {
+        self.sort_parallelism
+            .store(ways.max(1), std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// The processor-global memory manager's handshake with a volume's
+    /// Disk Process: clean dirty buffers (write-behind, WAL-respecting) and
+    /// steal up to `frames` clean ones for higher-priority use. Returns the
+    /// number of frames stolen.
+    pub fn memory_pressure(&self, volume: &str, frames: usize) -> usize {
+        let dp = self.dp(volume);
+        dp.pool().clean_dirty();
+        dp.pool().steal_clean(frames)
+    }
+
+    /// Fault injection: crash every Disk Process and the trail's unflushed
+    /// buffer (a total power failure), then restart and recover each
+    /// volume in place.
+    pub fn crash_and_recover_all(&self) {
+        self.trail.crash();
+        let names = self.volumes();
+        for name in &names {
+            let old = self.dp(name);
+            old.crash();
+            let new_dp = DiskProcess::open(
+                &self.ctx,
+                name,
+                old.cpu(),
+                Arc::clone(&self.disks[name]),
+                old.config.lock().clone(),
+            );
+            new_dp.recover();
+            self.dps.write().insert(name.clone(), new_dp);
+        }
+    }
+}
+
+/// One application session: SQL entry point plus the underlying File
+/// System for ENSCRIBE-style access.
+pub struct Session<'a> {
+    cluster: &'a Cluster,
+    fs: FileSystem,
+    cpu: CpuId,
+    txn: Option<TxnId>,
+}
+
+impl Session<'_> {
+    /// The session's File System (for ENSCRIBE access and experiments).
+    pub fn fs(&self) -> &FileSystem {
+        &self.fs
+    }
+
+    /// The CPU this session runs on.
+    pub fn cpu(&self) -> CpuId {
+        self.cpu
+    }
+
+    /// The enclosing cluster.
+    pub fn cluster(&self) -> &Cluster {
+        self.cluster
+    }
+
+    /// Is an explicit transaction open?
+    pub fn in_txn(&self) -> bool {
+        self.txn.is_some()
+    }
+
+    /// The open transaction, if any.
+    pub fn current_txn(&self) -> Option<TxnId> {
+        self.txn
+    }
+
+    /// Open-file metadata for a table (ENSCRIBE-style access).
+    pub fn open_table(&self, name: &str) -> Result<OpenFile, DbError> {
+        Ok(self.cluster.catalog.table(name).map_err(db_err)?.open)
+    }
+
+    /// Begin an explicit transaction (like `BEGIN WORK`).
+    pub fn begin(&mut self) -> Result<TxnId, DbError> {
+        if self.txn.is_some() {
+            return Err(DbError("transaction already open".into()));
+        }
+        let t = self.cluster.txnmgr.begin();
+        self.txn = Some(t);
+        Ok(t)
+    }
+
+    /// Commit the open transaction.
+    pub fn commit(&mut self) -> Result<(), DbError> {
+        let t = self
+            .txn
+            .take()
+            .ok_or(DbError("no open transaction".into()))?;
+        self.cluster.txnmgr.commit(t, self.cpu).map_err(db_err)
+    }
+
+    /// Roll back the open transaction.
+    pub fn rollback(&mut self) -> Result<(), DbError> {
+        let t = self
+            .txn
+            .take()
+            .ok_or(DbError("no open transaction".into()))?;
+        self.cluster.txnmgr.abort(t, self.cpu).map_err(db_err)
+    }
+
+    /// Execute one SQL statement. DML outside an explicit transaction
+    /// autocommits; inside one, effects become permanent at `COMMIT WORK`.
+    pub fn execute(&mut self, sql: &str) -> Result<Outcome, DbError> {
+        let stmt = parse(sql).map_err(db_err)?;
+        let planned = plan(&self.cluster.catalog, stmt).map_err(db_err)?;
+        let exec = Executor {
+            fs: &self.fs,
+            catalog: &self.cluster.catalog,
+            sort_parallelism: self.cluster.sort_parallelism(),
+        };
+        match planned {
+            Plan::Explain(inner) => {
+                let lines = nsql_sql::plan::describe(&inner);
+                Ok(Outcome::Rows(QueryResult {
+                    columns: vec!["PLAN".into()],
+                    rows: lines
+                        .into_iter()
+                        .map(|l| nsql_records::Row(vec![nsql_records::Value::Str(l)]))
+                        .collect(),
+                }))
+            }
+            Plan::Select(p) => {
+                let r = exec.select(&p, self.txn).map_err(db_err)?;
+                Ok(Outcome::Rows(r))
+            }
+            Plan::Insert(p) => self.dml(|txn| exec.insert(&p, txn).map_err(db_err)),
+            Plan::Update(p) => self.dml(|txn| exec.update(&p, txn).map_err(db_err)),
+            Plan::Delete(p) => self.dml(|txn| exec.delete(&p, txn).map_err(db_err)),
+            Plan::Passthrough(stmt) => match stmt {
+                Statement::Begin => {
+                    self.begin()?;
+                    Ok(Outcome::Done)
+                }
+                Statement::Commit => {
+                    self.commit()?;
+                    Ok(Outcome::Done)
+                }
+                Statement::Rollback => {
+                    self.rollback()?;
+                    Ok(Outcome::Done)
+                }
+                Statement::CreateTable(t) => {
+                    self.cluster
+                        .catalog
+                        .create_table(&self.fs, &t)
+                        .map_err(db_err)?;
+                    Ok(Outcome::Done)
+                }
+                Statement::CreateIndex(ci) => {
+                    // Index creation runs in its own transaction.
+                    let txn = self.cluster.txnmgr.begin();
+                    match self.cluster.catalog.create_index(&self.fs, txn, &ci) {
+                        Ok(()) => {
+                            self.cluster.txnmgr.commit(txn, self.cpu).map_err(db_err)?;
+                            Ok(Outcome::Done)
+                        }
+                        Err(e) => {
+                            let _ = self.cluster.txnmgr.abort(txn, self.cpu);
+                            Err(db_err(e))
+                        }
+                    }
+                }
+                Statement::DropTable(t) => {
+                    self.cluster.catalog.drop_table(&t).map_err(db_err)?;
+                    Ok(Outcome::Done)
+                }
+                other => Err(DbError(format!("cannot execute {other:?}"))),
+            },
+        }
+    }
+
+    /// Execute and unwrap a SELECT.
+    pub fn query(&mut self, sql: &str) -> Result<QueryResult, DbError> {
+        match self.execute(sql)? {
+            Outcome::Rows(r) => Ok(r),
+            other => Err(DbError(format!("expected rows, got {other:?}"))),
+        }
+    }
+
+    fn dml<F: FnOnce(TxnId) -> Result<u64, DbError>>(&self, f: F) -> Result<Outcome, DbError> {
+        match self.txn {
+            Some(txn) => {
+                // Inside an explicit transaction a failed statement leaves
+                // the transaction open; the caller decides to roll back.
+                f(txn).map(Outcome::Count)
+            }
+            None => {
+                let txn = self.cluster.txnmgr.begin();
+                match f(txn) {
+                    Ok(n) => {
+                        self.cluster.txnmgr.commit(txn, self.cpu).map_err(db_err)?;
+                        Ok(Outcome::Count(n))
+                    }
+                    Err(e) => {
+                        let _ = self.cluster.txnmgr.abort(txn, self.cpu);
+                        Err(e)
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,75 @@
+//! Property tests for the simulated disk.
+
+use nsql_disk::Disk;
+use nsql_sim::Sim;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Reads always return the latest write, across arbitrary write orders
+    /// and bulk sizes; the device timeline never runs backwards.
+    #[test]
+    fn read_your_writes(ops in proptest::collection::vec((0u32..64, 1usize..4, any::<u8>()), 1..60)) {
+        let sim = Sim::new();
+        let disk = Disk::new(sim.clone(), "$P", false);
+        let mut model: HashMap<u32, u8> = HashMap::new();
+        let mut last_busy = 0;
+        for (start, nblocks, fill) in ops {
+            let blocks: Vec<Vec<u8>> = (0..nblocks)
+                .map(|i| vec![fill.wrapping_add(i as u8); 64])
+                .collect();
+            disk.write(start, &blocks).unwrap();
+            for i in 0..nblocks {
+                model.insert(start + i as u32, fill.wrapping_add(i as u8));
+            }
+            prop_assert!(disk.busy_until() >= last_busy, "device timeline went backwards");
+            last_busy = disk.busy_until();
+        }
+        for (&block, &fill) in &model {
+            let got = disk.read(block, 1).unwrap();
+            prop_assert_eq!(got[0][0], fill, "block {}", block);
+        }
+    }
+
+    /// Async reads return the same data as sync reads and complete no
+    /// earlier than they start.
+    #[test]
+    fn async_read_consistency(blocks in 1usize..7, fill in any::<u8>()) {
+        let sim = Sim::new();
+        let disk = Disk::new(sim.clone(), "$P", false);
+        let data: Vec<Vec<u8>> = (0..blocks).map(|i| vec![fill ^ i as u8; 32]).collect();
+        disk.write(0, &data).unwrap();
+        let now = sim.now();
+        let (async_data, done) = disk.read_async(0, blocks).unwrap();
+        prop_assert!(done > now);
+        sim.clock.advance_to(done);
+        let sync_data = disk.read(0, blocks).unwrap();
+        prop_assert_eq!(async_data, sync_data);
+    }
+}
+
+#[test]
+fn message_cost_estimation_matches_actual() {
+    use nsql_msg::{Bus, CpuId, MsgKind, Response, Server};
+    use std::any::Any;
+    use std::sync::Arc;
+
+    struct Fixed;
+    impl Server for Fixed {
+        fn handle(&self, _r: Box<dyn Any + Send>) -> Response {
+            Response::new((), 0)
+        }
+    }
+    let sim = Sim::new();
+    let bus = Bus::new(sim.clone());
+    bus.register("$X", CpuId::new(1, 0), Arc::new(Fixed));
+    let from = CpuId::new(0, 0);
+    let est = bus.estimate_cost(from, "$X", 100).unwrap();
+    let t0 = sim.now();
+    bus.request(from, "$X", MsgKind::Other, 100, Box::new(()))
+        .unwrap();
+    assert_eq!(sim.now() - t0, est, "planner estimates must match reality");
+    assert!(bus.estimate_cost(from, "$NOPE", 0).is_none());
+}

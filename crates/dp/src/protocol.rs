@@ -1,0 +1,615 @@
+//! The FS-DP interface: the messages the File System sends a Disk Process.
+//!
+//! Two generations coexist, exactly as in the paper:
+//!
+//! * the **old ENSCRIBE interface** — record-at-a-time reads, writes,
+//!   deletes and explicit locking, plus real sequential block buffering
+//!   (one physical block copy per message);
+//! * the **new NonStop SQL interface** — field- and set-oriented messages
+//!   (`GET^FIRST^VSBB`, `GET^NEXT^VSBB`, `UPDATE^SUBSET^FIRST`, ...) that
+//!   carry key ranges, selection predicates, projections, update
+//!   expressions and integrity constraints down to the Disk Process, with
+//!   the continuation re-drive protocol on top.
+//!
+//! Every request/reply reports its wire size so the message system can
+//! account bytes — the paper's central metric.
+
+use nsql_lock::{LockMode, TxnId};
+use nsql_records::{Expr, KeyRange, RecordDescriptor, SetList};
+
+/// File identifier within a volume.
+pub type FileId = u32;
+
+/// Identifier of a Subset Control Block within a Disk Process.
+pub type SubsetId = u64;
+
+/// File structure kinds (the three ENSCRIBE/SQL access methods).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FileKind {
+    /// Key-sequenced (B-tree). Carries the record descriptor so the Disk
+    /// Process can evaluate field-level operations at the data source.
+    KeySequenced(RecordDescriptor),
+    /// Relative (direct access by record number) with fixed slot size.
+    Relative {
+        /// Slot size in bytes.
+        slot_size: u32,
+    },
+    /// Entry-sequenced (append at EOF only).
+    EntrySequenced,
+}
+
+/// How records touched by a read are locked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadLock {
+    /// Browse access: no locks (dirty read).
+    None,
+    /// Shared locks — for VSBB, one *group* lock covering the virtual
+    /// block's key span.
+    Shared,
+}
+
+/// Whether audit records carry full images (ENSCRIBE) or field-compressed
+/// images (SQL).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditMode {
+    /// Full record before/after images.
+    FullImage,
+    /// Field-level before/after images.
+    FieldCompressed,
+}
+
+/// Read-subset transfer mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubsetMode {
+    /// Real sequential block buffering: full records, one physical block's
+    /// worth per reply, no selection or projection.
+    Rsbb,
+    /// Virtual sequential block buffering: the Disk Process builds virtual
+    /// blocks of selected, projected data.
+    Vsbb,
+}
+
+/// A request message on the FS-DP interface.
+#[derive(Debug, Clone)]
+pub enum DpRequest {
+    // ----- administration -----
+    /// Create a file on the volume.
+    CreateFile {
+        /// Structure and (for key-sequenced) record layout.
+        kind: FileKind,
+    },
+    /// Synchronously flush dirty cache (orderly shutdown / checkpoint).
+    FlushCache,
+
+    // ----- old ENSCRIBE record-at-a-time interface -----
+    /// Read one record by key.
+    Read {
+        /// Enclosing transaction, if any.
+        txn: Option<TxnId>,
+        /// Target file.
+        file: FileId,
+        /// Encoded primary key.
+        key: Vec<u8>,
+        /// Lock behaviour.
+        lock: ReadLock,
+    },
+    /// Read the single next record after a key (ENSCRIBE record-at-a-time
+    /// sequential read: one message per record).
+    ReadNext {
+        /// Enclosing transaction, if any.
+        txn: Option<TxnId>,
+        /// Target file.
+        file: FileId,
+        /// Resume point (None = first record).
+        after: Option<Vec<u8>>,
+        /// Lock behaviour.
+        lock: ReadLock,
+    },
+    /// Read one physical block's worth of records starting at a key
+    /// (ENSCRIBE sequential block buffering; requires a file lock, which
+    /// the File System must hold).
+    ReadSeqBlock {
+        /// Enclosing transaction, if any.
+        txn: Option<TxnId>,
+        /// Target file.
+        file: FileId,
+        /// Resume point: records strictly after this key (None = start).
+        after: Option<Vec<u8>>,
+    },
+    /// Insert a record.
+    Insert {
+        /// Enclosing transaction.
+        txn: TxnId,
+        /// Target file.
+        file: FileId,
+        /// Encoded primary key.
+        key: Vec<u8>,
+        /// Encoded record.
+        record: Vec<u8>,
+    },
+    /// Replace a record with a full new image (ENSCRIBE WRITE).
+    UpdateRecord {
+        /// Enclosing transaction.
+        txn: TxnId,
+        /// Target file.
+        file: FileId,
+        /// Encoded primary key.
+        key: Vec<u8>,
+        /// Full new record image.
+        record: Vec<u8>,
+        /// Audit image mode.
+        audit: AuditMode,
+    },
+    /// Delete a record by key.
+    DeleteRecord {
+        /// Enclosing transaction.
+        txn: TxnId,
+        /// Target file.
+        file: FileId,
+        /// Encoded primary key.
+        key: Vec<u8>,
+    },
+    /// Acquire an explicit lock (ENSCRIBE LOCKFILE / LOCKREC; also used by
+    /// the File System for SBB's mandatory file lock).
+    Lock {
+        /// Locking transaction.
+        txn: TxnId,
+        /// Target file.
+        file: FileId,
+        /// Key for a record lock, or None for a file lock.
+        key: Option<Vec<u8>>,
+        /// Mode.
+        mode: LockMode,
+    },
+
+    // ----- new NonStop SQL field/set-oriented interface -----
+    /// `GET^FIRST^VSBB` / `GET^FIRST^RSBB`: open a read subset.
+    GetSubsetFirst {
+        /// Enclosing transaction, if any.
+        txn: Option<TxnId>,
+        /// Target file.
+        file: FileId,
+        /// Primary key range.
+        range: KeyRange,
+        /// Selection predicate (single-variable query), evaluated per
+        /// record at the Disk Process.
+        predicate: Option<Expr>,
+        /// Projected field numbers (VSBB only; None = whole records).
+        projection: Option<Vec<u16>>,
+        /// RSBB or VSBB.
+        mode: SubsetMode,
+        /// Lock behaviour for returned records.
+        lock: ReadLock,
+    },
+    /// `GET^NEXT^*`: continuation re-drive. The predicate and projection
+    /// are *not* re-sent — they live in the Subset Control Block.
+    GetSubsetNext {
+        /// Subset Control Block id from the FIRST reply.
+        subset: SubsetId,
+        /// Last key processed (the new exclusive begin-key).
+        after: Vec<u8>,
+    },
+    /// `UPDATE^SUBSET^FIRST`: set-oriented update with an update expression
+    /// evaluated at the data source.
+    UpdateSubsetFirst {
+        /// Enclosing transaction.
+        txn: TxnId,
+        /// Target file.
+        file: FileId,
+        /// Primary key range.
+        range: KeyRange,
+        /// Selection predicate.
+        predicate: Option<Expr>,
+        /// Update expressions (`SET BALANCE = BALANCE * 1.07`).
+        sets: SetList,
+        /// Integrity constraint checked on each new record at the Disk
+        /// Process (`CHECK QUANTITY >= 0`).
+        constraint: Option<Expr>,
+    },
+    /// `UPDATE^SUBSET^NEXT`: continuation re-drive for an update subset.
+    UpdateSubsetNext {
+        /// Subset Control Block id.
+        subset: SubsetId,
+        /// New exclusive begin-key.
+        after: Vec<u8>,
+    },
+    /// `DELETE^SUBSET^FIRST`: set-oriented delete.
+    DeleteSubsetFirst {
+        /// Enclosing transaction.
+        txn: TxnId,
+        /// Target file.
+        file: FileId,
+        /// Primary key range.
+        range: KeyRange,
+        /// Selection predicate.
+        predicate: Option<Expr>,
+    },
+    /// `DELETE^SUBSET^NEXT`: continuation re-drive for a delete subset.
+    DeleteSubsetNext {
+        /// Subset Control Block id.
+        subset: SubsetId,
+        /// New exclusive begin-key.
+        after: Vec<u8>,
+    },
+    /// Single-record update with expressions and constraint (the
+    /// read-before-write eliminator for point updates).
+    UpdatePoint {
+        /// Enclosing transaction.
+        txn: TxnId,
+        /// Target file.
+        file: FileId,
+        /// Encoded primary key.
+        key: Vec<u8>,
+        /// Update expressions over the record at hand.
+        sets: SetList,
+        /// Integrity constraint on the new record.
+        constraint: Option<Expr>,
+    },
+    /// Blocked sequential insert (the paper's *Opportunities for Future
+    /// Performance Enhancements*): many records in one message. The File
+    /// System must hold a lock on the target key range by prior agreement.
+    BlockedInsert {
+        /// Enclosing transaction.
+        txn: TxnId,
+        /// Target file.
+        file: FileId,
+        /// `(key, record)` pairs in key order.
+        records: Vec<(Vec<u8>, Vec<u8>)>,
+    },
+    /// Release a Subset Control Block early (statement closed).
+    CloseSubset {
+        /// Subset Control Block id.
+        subset: SubsetId,
+    },
+    /// Buffered `UPDATE WHERE CURRENT` (future-work extension): full new
+    /// images for records the requester's cursor updated, in one message.
+    BlockedUpdate {
+        /// Enclosing transaction.
+        txn: TxnId,
+        /// Target file.
+        file: FileId,
+        /// `(key, full new record image)` pairs.
+        records: Vec<(Vec<u8>, Vec<u8>)>,
+    },
+    /// Buffered `DELETE WHERE CURRENT` (future-work extension).
+    BlockedDelete {
+        /// Enclosing transaction.
+        txn: TxnId,
+        /// Target file.
+        file: FileId,
+        /// Keys of records the cursor deleted.
+        keys: Vec<Vec<u8>>,
+    },
+
+    // ----- relative files (direct access by record number) -----
+    /// Write (insert or replace) the slot at `recnum`.
+    RelativeWrite {
+        /// Enclosing transaction.
+        txn: TxnId,
+        /// Target relative file.
+        file: FileId,
+        /// Record number.
+        recnum: u64,
+        /// Record bytes (at most the file's slot size).
+        record: Vec<u8>,
+    },
+    /// Read the slot at `recnum`.
+    RelativeRead {
+        /// Target relative file.
+        file: FileId,
+        /// Record number.
+        recnum: u64,
+    },
+    /// Delete the slot at `recnum`.
+    RelativeDelete {
+        /// Enclosing transaction.
+        txn: TxnId,
+        /// Target relative file.
+        file: FileId,
+        /// Record number.
+        recnum: u64,
+    },
+
+    // ----- entry-sequenced files (insert at EOF only) -----
+    /// Append an entry at EOF; replies with its stable address.
+    /// Entry-sequenced files are non-audited in this reproduction (ENSCRIBE
+    /// supported non-audited files; appends are not transactional).
+    EntryAppend {
+        /// Target entry-sequenced file.
+        file: FileId,
+        /// Entry bytes.
+        record: Vec<u8>,
+    },
+    /// Read the entry at `address`.
+    EntryRead {
+        /// Target entry-sequenced file.
+        file: FileId,
+        /// Address returned by `EntryAppend`.
+        address: u64,
+    },
+}
+
+fn opt_len(v: &Option<Vec<u8>>) -> usize {
+    1 + v.as_ref().map_or(0, Vec::len)
+}
+
+impl DpRequest {
+    /// Wire size in bytes for message accounting. Header of 16 bytes plus
+    /// variant payload.
+    pub fn wire_size(&self) -> usize {
+        16 + match self {
+            DpRequest::CreateFile { kind } => match kind {
+                FileKind::KeySequenced(desc) => desc.encode_bytes().len(),
+                _ => 8,
+            },
+            DpRequest::FlushCache => 0,
+            DpRequest::Read { key, .. } => 8 + key.len(),
+            DpRequest::ReadNext { after, .. } => 9 + opt_len(after),
+            DpRequest::ReadSeqBlock { after, .. } => 8 + opt_len(after),
+            DpRequest::Insert { key, record, .. } => 8 + key.len() + record.len(),
+            DpRequest::UpdateRecord { key, record, .. } => 9 + key.len() + record.len(),
+            DpRequest::DeleteRecord { key, .. } => 8 + key.len(),
+            DpRequest::Lock { key, .. } => 9 + opt_len(key),
+            DpRequest::GetSubsetFirst {
+                range,
+                predicate,
+                projection,
+                ..
+            } => {
+                10 + range.wire_size()
+                    + predicate.as_ref().map_or(1, Expr::wire_size)
+                    + projection.as_ref().map_or(1, |p| 1 + 2 * p.len())
+            }
+            DpRequest::GetSubsetNext { after, .. }
+            | DpRequest::UpdateSubsetNext { after, .. }
+            | DpRequest::DeleteSubsetNext { after, .. } => 8 + after.len(),
+            DpRequest::UpdateSubsetFirst {
+                range,
+                predicate,
+                sets,
+                constraint,
+                ..
+            } => {
+                8 + range.wire_size()
+                    + predicate.as_ref().map_or(1, Expr::wire_size)
+                    + sets.wire_size()
+                    + constraint.as_ref().map_or(1, Expr::wire_size)
+            }
+            DpRequest::DeleteSubsetFirst {
+                range, predicate, ..
+            } => 8 + range.wire_size() + predicate.as_ref().map_or(1, Expr::wire_size),
+            DpRequest::UpdatePoint {
+                key,
+                sets,
+                constraint,
+                ..
+            } => 8 + key.len() + sets.wire_size() + constraint.as_ref().map_or(1, Expr::wire_size),
+            DpRequest::BlockedInsert { records, .. } => {
+                8 + records
+                    .iter()
+                    .map(|(k, r)| 4 + k.len() + r.len())
+                    .sum::<usize>()
+            }
+            DpRequest::CloseSubset { .. } => 8,
+            DpRequest::BlockedUpdate { records, .. } => {
+                8 + records
+                    .iter()
+                    .map(|(k, r)| 4 + k.len() + r.len())
+                    .sum::<usize>()
+            }
+            DpRequest::BlockedDelete { keys, .. } => {
+                8 + keys.iter().map(|k| 2 + k.len()).sum::<usize>()
+            }
+            DpRequest::RelativeWrite { record, .. } => 16 + record.len(),
+            DpRequest::RelativeRead { .. } | DpRequest::RelativeDelete { .. } => 16,
+            DpRequest::EntryAppend { record, .. } => 8 + record.len(),
+            DpRequest::EntryRead { .. } => 16,
+        }
+    }
+
+    /// Is this a continuation re-drive (for message-kind attribution)?
+    pub fn is_redrive(&self) -> bool {
+        matches!(
+            self,
+            DpRequest::GetSubsetNext { .. }
+                | DpRequest::UpdateSubsetNext { .. }
+                | DpRequest::DeleteSubsetNext { .. }
+        )
+    }
+}
+
+/// Errors a Disk Process reports to the File System.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DpError {
+    /// No such file on this volume.
+    BadFile(FileId),
+    /// Record not found.
+    NotFound,
+    /// Insert of an existing key.
+    DuplicateKey,
+    /// Lock conflict with another transaction.
+    Locked {
+        /// Holder of the conflicting lock.
+        holder: TxnId,
+    },
+    /// Waiting for the conflicting holder would deadlock; the requester
+    /// has been chosen as the victim and should abort.
+    Deadlock {
+        /// The victim (the requesting transaction).
+        victim: TxnId,
+    },
+    /// Integrity constraint rejected the new record.
+    ConstraintViolation,
+    /// Expression evaluation failed (type error, division by zero, ...).
+    EvalFailed(String),
+    /// Record/row malformed for the file's descriptor.
+    BadRecord(String),
+    /// Unknown Subset Control Block (closed or never opened).
+    BadSubset(SubsetId),
+    /// Attempt to update a primary-key field.
+    KeyUpdateNotAllowed,
+    /// Operation illegal for the file kind.
+    WrongFileKind,
+}
+
+impl std::fmt::Display for DpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DpError::BadFile(id) => write!(f, "no file {id} on this volume"),
+            DpError::NotFound => write!(f, "record not found"),
+            DpError::DuplicateKey => write!(f, "duplicate key"),
+            DpError::Locked { holder } => write!(f, "record locked by {holder}"),
+            DpError::Deadlock { victim } => {
+                write!(
+                    f,
+                    "deadlock detected; transaction {victim} chosen as victim"
+                )
+            }
+            DpError::ConstraintViolation => write!(f, "integrity constraint violated"),
+            DpError::EvalFailed(e) => write!(f, "expression evaluation failed: {e}"),
+            DpError::BadRecord(e) => write!(f, "malformed record: {e}"),
+            DpError::BadSubset(id) => write!(f, "unknown subset control block {id}"),
+            DpError::KeyUpdateNotAllowed => write!(f, "primary key fields cannot be updated"),
+            DpError::WrongFileKind => write!(f, "operation illegal for this file structure"),
+        }
+    }
+}
+
+impl std::error::Error for DpError {}
+
+/// A reply message on the FS-DP interface.
+#[derive(Debug, Clone)]
+pub enum DpReply {
+    /// Generic success.
+    Ok,
+    /// File created.
+    FileCreated(FileId),
+    /// Point-read result.
+    Record(Option<Vec<u8>>),
+    /// Stable address of an appended entry.
+    Appended(u64),
+    /// A (real or virtual) sequential block plus re-drive state.
+    Subset {
+        /// Encoded rows: full records (RSBB) or projected rows (VSBB).
+        rows: Vec<Vec<u8>>,
+        /// Key of the last record *processed* (not necessarily returned) —
+        /// the re-drive continuation point.
+        last_key: Option<Vec<u8>>,
+        /// True when the key range is exhausted (no re-drive needed).
+        done: bool,
+        /// Subset Control Block id (present on FIRST replies that need
+        /// re-driving).
+        subset: Option<SubsetId>,
+        /// Records examined by this request execution.
+        examined: u32,
+        /// Records selected/updated/deleted by this request execution.
+        affected: u32,
+    },
+    /// Request failed.
+    Error(DpError),
+}
+
+impl DpReply {
+    /// Wire size in bytes for message accounting.
+    pub fn wire_size(&self) -> usize {
+        16 + match self {
+            DpReply::Ok | DpReply::FileCreated(_) | DpReply::Appended(_) => 8,
+            DpReply::Record(r) => 1 + r.as_ref().map_or(0, Vec::len),
+            DpReply::Subset { rows, last_key, .. } => {
+                rows.iter().map(|r| 2 + r.len()).sum::<usize>()
+                    + 1
+                    + last_key.as_ref().map_or(0, Vec::len)
+                    + 10
+            }
+            DpReply::Error(_) => 8,
+        }
+    }
+
+    /// Unwrap into a result, mapping `Error` replies to `Err`.
+    pub fn into_result(self) -> Result<DpReply, DpError> {
+        match self {
+            DpReply::Error(e) => Err(e),
+            other => Ok(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsql_records::{CmpOp, Value};
+
+    #[test]
+    fn wire_sizes_scale_with_content() {
+        let small = DpRequest::Read {
+            txn: None,
+            file: 0,
+            key: vec![0; 4],
+            lock: ReadLock::None,
+        };
+        let big = DpRequest::Read {
+            txn: None,
+            file: 0,
+            key: vec![0; 64],
+            lock: ReadLock::None,
+        };
+        assert!(big.wire_size() > small.wire_size());
+
+        let with_pred = DpRequest::GetSubsetFirst {
+            txn: None,
+            file: 0,
+            range: KeyRange::all(),
+            predicate: Some(Expr::field_cmp(3, CmpOp::Gt, Value::Double(32000.0))),
+            projection: Some(vec![1, 2]),
+            mode: SubsetMode::Vsbb,
+            lock: ReadLock::None,
+        };
+        let without = DpRequest::GetSubsetFirst {
+            txn: None,
+            file: 0,
+            range: KeyRange::all(),
+            predicate: None,
+            projection: None,
+            mode: SubsetMode::Rsbb,
+            lock: ReadLock::None,
+        };
+        assert!(with_pred.wire_size() > without.wire_size());
+    }
+
+    #[test]
+    fn redrive_classification() {
+        assert!(DpRequest::GetSubsetNext {
+            subset: 1,
+            after: vec![]
+        }
+        .is_redrive());
+        assert!(!DpRequest::FlushCache.is_redrive());
+    }
+
+    #[test]
+    fn reply_size_counts_rows() {
+        let empty = DpReply::Subset {
+            rows: vec![],
+            last_key: None,
+            done: true,
+            subset: None,
+            examined: 0,
+            affected: 0,
+        };
+        let full = DpReply::Subset {
+            rows: vec![vec![0; 100]; 10],
+            last_key: Some(vec![0; 8]),
+            done: false,
+            subset: Some(1),
+            examined: 10,
+            affected: 10,
+        };
+        assert!(full.wire_size() > empty.wire_size() + 1000);
+    }
+
+    #[test]
+    fn error_replies_convert_to_err() {
+        assert!(DpReply::Error(DpError::NotFound).into_result().is_err());
+        assert!(DpReply::Ok.into_result().is_ok());
+    }
+}

@@ -1,0 +1,1103 @@
+//! Disk Process integration tests: the FS-DP interface exercised end to
+//! end over a single volume, including the paper's worked examples.
+
+use super::*;
+use nsql_records::key::encode_record_key;
+use nsql_records::{CmpOp, FieldDef, FieldType, KeyRange};
+use nsql_tmf::{CommitTimer, LsnSource};
+
+struct TestCluster {
+    sim: Sim,
+    bus: Arc<Bus>,
+    trail: Arc<Trail>,
+    txnmgr: Arc<TxnManager>,
+    ctx: DpContext,
+    dp: Arc<DiskProcess>,
+    disk: Arc<Disk>,
+    client: CpuId,
+}
+
+fn cluster() -> TestCluster {
+    cluster_with(DpConfig::default())
+}
+
+fn cluster_with(config: DpConfig) -> TestCluster {
+    let sim = Sim::new();
+    let bus = Bus::new(sim.clone());
+    let lsns = LsnSource::new();
+    let trail = Trail::new(sim.clone(), Arc::clone(&lsns), CommitTimer::Fixed(1_000));
+    bus.register(nsql_tmf::AUDIT_PROCESS, CpuId::new(0, 3), trail.clone());
+    let txnmgr = TxnManager::new(sim.clone(), Arc::clone(&bus));
+    let ctx = DpContext {
+        sim: sim.clone(),
+        bus: Arc::clone(&bus),
+        trail: Arc::clone(&trail),
+        txnmgr: Arc::clone(&txnmgr),
+        lsns,
+    };
+    let disk = Disk::new(sim.clone(), "$DATA1", true);
+    let dp = DiskProcess::format(&ctx, "$DATA1", CpuId::new(0, 1), Arc::clone(&disk), config);
+    TestCluster {
+        sim,
+        bus,
+        trail,
+        txnmgr,
+        ctx,
+        dp,
+        disk,
+        client: CpuId::new(0, 0),
+    }
+}
+
+/// EMP table from the paper's examples.
+fn emp_desc() -> RecordDescriptor {
+    RecordDescriptor::new(
+        vec![
+            FieldDef::new("EMPNO", FieldType::Int),
+            FieldDef::new("NAME", FieldType::Char(12)),
+            FieldDef::new("HIRE_DATE", FieldType::Int),
+            FieldDef::new("SALARY", FieldType::Double),
+        ],
+        vec![0],
+    )
+}
+
+fn emp_row(empno: i32, name: &str, hire: i32, salary: f64) -> Vec<Value> {
+    vec![
+        Value::Int(empno),
+        Value::Str(name.into()),
+        Value::Int(hire),
+        Value::Double(salary),
+    ]
+}
+
+impl TestCluster {
+    fn send(&self, req: DpRequest) -> DpReply {
+        let size = req.wire_size();
+        let kind = if req.is_redrive() {
+            MsgKind::Redrive
+        } else {
+            MsgKind::FsDp
+        };
+        self.bus
+            .request(self.client, "$DATA1", kind, size, Box::new(req))
+            .expect("dp unreachable")
+            .expect::<DpReply>()
+    }
+
+    fn create_emp(&self) -> FileId {
+        match self.send(DpRequest::CreateFile {
+            kind: FileKind::KeySequenced(emp_desc()),
+        }) {
+            DpReply::FileCreated(id) => id,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    /// Insert `n` employees inside one committed transaction.
+    fn load_emps(&self, file: FileId, n: i32) {
+        let desc = emp_desc();
+        let txn = self.txnmgr.begin();
+        for i in 0..n {
+            let row = emp_row(
+                i,
+                &format!("EMP{i:05}"),
+                1980 + (i % 9),
+                (1000 + i * 10) as f64,
+            );
+            let key = encode_record_key(&desc, &row);
+            let record = encode_row(&desc, &row).unwrap();
+            match self.send(DpRequest::Insert {
+                txn,
+                file,
+                key,
+                record,
+            }) {
+                DpReply::Ok => {}
+                other => panic!("insert failed: {other:?}"),
+            }
+        }
+        self.txnmgr.commit(txn, self.client).unwrap();
+    }
+}
+
+fn emp_key(empno: i32) -> Vec<u8> {
+    let desc = emp_desc();
+    encode_record_key(&desc, &emp_row(empno, "", 0, 0.0))
+}
+
+fn range_to(hi: i32) -> KeyRange {
+    KeyRange {
+        begin: OwnedBound::Unbounded,
+        end: OwnedBound::Included(emp_key(hi)),
+    }
+}
+
+#[test]
+fn insert_read_roundtrip() {
+    let c = cluster();
+    let file = c.create_emp();
+    c.load_emps(file, 10);
+    let reply = c.send(DpRequest::Read {
+        txn: None,
+        file,
+        key: emp_key(7),
+        lock: ReadLock::None,
+    });
+    let DpReply::Record(Some(bytes)) = reply else {
+        panic!("expected record");
+    };
+    let row = decode_row(&emp_desc(), &bytes).unwrap();
+    assert_eq!(row.0[0], Value::Int(7));
+    assert_eq!(row.0[1], Value::Str("EMP00007".into()));
+    // Missing key.
+    let reply = c.send(DpRequest::Read {
+        txn: None,
+        file,
+        key: emp_key(99),
+        lock: ReadLock::None,
+    });
+    assert!(matches!(reply, DpReply::Record(None)));
+}
+
+#[test]
+fn paper_example_1_vsbb_selection_projection() {
+    // SELECT NAME, HIRE_DATE FROM EMP WHERE EMPNO <= 1000 AND SALARY > 32000
+    let c = cluster();
+    let file = c.create_emp();
+    let desc = emp_desc();
+    let txn = c.txnmgr.begin();
+    for i in 0..2000 {
+        let salary = if i % 4 == 0 { 40_000.0 } else { 20_000.0 };
+        let row = emp_row(i, &format!("E{i}"), 1980, salary);
+        c.send(DpRequest::Insert {
+            txn,
+            file,
+            key: encode_record_key(&desc, &row),
+            record: encode_row(&desc, &row).unwrap(),
+        });
+    }
+    c.txnmgr.commit(txn, c.client).unwrap();
+
+    let before = c.sim.metrics.snapshot();
+    let mut rows_total = 0usize;
+    let mut reply = c.send(DpRequest::GetSubsetFirst {
+        txn: None,
+        file,
+        range: range_to(1000),
+        predicate: Some(Expr::field_cmp(3, CmpOp::Gt, Value::Double(32_000.0))),
+        projection: Some(vec![1, 2]),
+        mode: SubsetMode::Vsbb,
+        lock: ReadLock::None,
+    });
+    loop {
+        let DpReply::Subset {
+            rows,
+            last_key,
+            done,
+            subset,
+            ..
+        } = reply
+        else {
+            panic!("unexpected {reply:?}");
+        };
+        // Projected rows decode with the projected descriptor.
+        let pdesc = desc.project(&[1, 2]);
+        for r in &rows {
+            let row = decode_row(&pdesc, r).unwrap();
+            assert_eq!(row.0.len(), 2);
+            assert!(matches!(row.0[0], Value::Str(_)));
+        }
+        rows_total += rows.len();
+        if done {
+            break;
+        }
+        reply = c.send(DpRequest::GetSubsetNext {
+            subset: subset.expect("re-drive needs an SCB"),
+            after: last_key.expect("re-drive needs a last key"),
+        });
+    }
+    // EMPNO 0..=1000 with salary > 32000 (every 4th): 0,4,...,1000 = 251.
+    assert_eq!(rows_total, 251);
+    let d = c.sim.metrics.since(&before);
+    assert!(d.msgs_redrive >= 1, "large subset must re-drive");
+    assert!(d.subset_control_blocks >= 1);
+    assert_eq!(d.dp_records_selected, 251);
+    assert!(d.dp_records_examined >= 1001);
+    // Filtering at the source: far fewer messages than selected rows.
+    assert!(d.msgs_fs_dp as usize * 10 < 1001);
+}
+
+#[test]
+fn paper_example_2_rsbb_full_scan() {
+    // SELECT * FROM EMP;
+    let c = cluster();
+    let file = c.create_emp();
+    c.load_emps(file, 500);
+    let before = c.sim.metrics.snapshot();
+    let mut got = 0usize;
+    let mut reply = c.send(DpRequest::GetSubsetFirst {
+        txn: None,
+        file,
+        range: KeyRange::all(),
+        predicate: None,
+        projection: None,
+        mode: SubsetMode::Rsbb,
+        lock: ReadLock::None,
+    });
+    loop {
+        let DpReply::Subset {
+            rows,
+            last_key,
+            done,
+            subset,
+            ..
+        } = reply
+        else {
+            panic!("unexpected {reply:?}")
+        };
+        got += rows.len();
+        if done {
+            break;
+        }
+        reply = c.send(DpRequest::GetSubsetNext {
+            subset: subset.unwrap(),
+            after: last_key.unwrap(),
+        });
+    }
+    assert_eq!(got, 500);
+    let d = c.sim.metrics.since(&before);
+    // Blocked transfer: many records per message.
+    assert!(
+        (d.msgs_fs_dp as usize) < 500 / 10,
+        "RSBB must batch records ({} messages for 500 records)",
+        d.msgs_fs_dp
+    );
+}
+
+#[test]
+fn paper_example_3_update_subset_with_expression() {
+    // UPDATE ACCOUNT SET BALANCE = BALANCE * 1.07 WHERE BALANCE > 0
+    let c = cluster();
+    let file = c.create_emp();
+    let desc = emp_desc();
+    let txn = c.txnmgr.begin();
+    for i in 0..300 {
+        let bal = if i % 2 == 0 { 100.0 } else { -50.0 };
+        let row = emp_row(i, "ACCT", 0, bal);
+        c.send(DpRequest::Insert {
+            txn,
+            file,
+            key: encode_record_key(&desc, &row),
+            record: encode_row(&desc, &row).unwrap(),
+        });
+    }
+    c.txnmgr.commit(txn, c.client).unwrap();
+
+    let txn = c.txnmgr.begin();
+    let sets = SetList {
+        sets: vec![(
+            3,
+            Expr::Arith(
+                Box::new(Expr::Field(3)),
+                nsql_records::ArithOp::Mul,
+                Box::new(Expr::lit(Value::Double(1.07))),
+            ),
+        )],
+    };
+    let mut affected_total = 0u32;
+    let mut reply = c.send(DpRequest::UpdateSubsetFirst {
+        txn,
+        file,
+        range: KeyRange::all(),
+        predicate: Some(Expr::field_cmp(3, CmpOp::Gt, Value::Double(0.0))),
+        sets,
+        constraint: None,
+    });
+    loop {
+        let DpReply::Subset {
+            affected,
+            last_key,
+            done,
+            subset,
+            ..
+        } = reply
+        else {
+            panic!("unexpected {reply:?}")
+        };
+        affected_total += affected;
+        if done {
+            break;
+        }
+        reply = c.send(DpRequest::UpdateSubsetNext {
+            subset: subset.unwrap(),
+            after: last_key.unwrap(),
+        });
+    }
+    c.txnmgr.commit(txn, c.client).unwrap();
+    assert_eq!(affected_total, 150);
+    // Check an updated and an untouched record.
+    let DpReply::Record(Some(bytes)) = c.send(DpRequest::Read {
+        txn: None,
+        file,
+        key: emp_key(0),
+        lock: ReadLock::None,
+    }) else {
+        panic!()
+    };
+    let row = decode_row(&desc, &bytes).unwrap();
+    assert_eq!(row.0[3], Value::Double(107.0));
+    let DpReply::Record(Some(bytes)) = c.send(DpRequest::Read {
+        txn: None,
+        file,
+        key: emp_key(1),
+        lock: ReadLock::None,
+    }) else {
+        panic!()
+    };
+    let row = decode_row(&desc, &bytes).unwrap();
+    assert_eq!(row.0[3], Value::Double(-50.0));
+}
+
+#[test]
+fn delete_subset_removes_matching() {
+    let c = cluster();
+    let file = c.create_emp();
+    c.load_emps(file, 100);
+    let txn = c.txnmgr.begin();
+    let reply = c.send(DpRequest::DeleteSubsetFirst {
+        txn,
+        file,
+        range: range_to(49),
+        predicate: None,
+    });
+    let DpReply::Subset { affected, done, .. } = reply else {
+        panic!()
+    };
+    assert!(done);
+    assert_eq!(affected, 50);
+    c.txnmgr.commit(txn, c.client).unwrap();
+    assert!(matches!(
+        c.send(DpRequest::Read {
+            txn: None,
+            file,
+            key: emp_key(10),
+            lock: ReadLock::None
+        }),
+        DpReply::Record(None)
+    ));
+    assert!(matches!(
+        c.send(DpRequest::Read {
+            txn: None,
+            file,
+            key: emp_key(60),
+            lock: ReadLock::None
+        }),
+        DpReply::Record(Some(_))
+    ));
+}
+
+#[test]
+fn update_point_pushdown_is_one_message() {
+    let c = cluster();
+    let file = c.create_emp();
+    c.load_emps(file, 10);
+    let before = c.sim.metrics.snapshot();
+    let txn = c.txnmgr.begin();
+    let sets = SetList {
+        sets: vec![(
+            3,
+            Expr::Arith(
+                Box::new(Expr::Field(3)),
+                nsql_records::ArithOp::Sub,
+                Box::new(Expr::lit(Value::Double(25.0))),
+            ),
+        )],
+    };
+    let reply = c.send(DpRequest::UpdatePoint {
+        txn,
+        file,
+        key: emp_key(3),
+        sets,
+        constraint: None,
+    });
+    assert!(matches!(reply, DpReply::Ok));
+    let d = c.sim.metrics.since(&before);
+    assert_eq!(d.msgs_fs_dp, 1, "no read-before-write message");
+    c.txnmgr.commit(txn, c.client).unwrap();
+    let DpReply::Record(Some(bytes)) = c.send(DpRequest::Read {
+        txn: None,
+        file,
+        key: emp_key(3),
+        lock: ReadLock::None,
+    }) else {
+        panic!()
+    };
+    let row = decode_row(&emp_desc(), &bytes).unwrap();
+    assert_eq!(row.0[3], Value::Double(1030.0 - 25.0));
+}
+
+#[test]
+fn constraint_enforced_at_dp() {
+    // CHECK SALARY >= 0
+    let c = cluster();
+    let file = c.create_emp();
+    c.load_emps(file, 5);
+    let txn = c.txnmgr.begin();
+    let sets = SetList {
+        sets: vec![(
+            3,
+            Expr::Arith(
+                Box::new(Expr::Field(3)),
+                nsql_records::ArithOp::Sub,
+                Box::new(Expr::lit(Value::Double(1_000_000.0))),
+            ),
+        )],
+    };
+    let reply = c.send(DpRequest::UpdatePoint {
+        txn,
+        file,
+        key: emp_key(2),
+        sets,
+        constraint: Some(Expr::field_cmp(3, CmpOp::Ge, Value::Double(0.0))),
+    });
+    assert!(matches!(
+        reply,
+        DpReply::Error(DpError::ConstraintViolation)
+    ));
+    c.txnmgr.abort(txn, c.client).unwrap();
+    // Record unchanged.
+    let DpReply::Record(Some(bytes)) = c.send(DpRequest::Read {
+        txn: None,
+        file,
+        key: emp_key(2),
+        lock: ReadLock::None,
+    }) else {
+        panic!()
+    };
+    let row = decode_row(&emp_desc(), &bytes).unwrap();
+    assert_eq!(row.0[3], Value::Double(1020.0));
+}
+
+#[test]
+fn key_field_update_rejected() {
+    let c = cluster();
+    let file = c.create_emp();
+    c.load_emps(file, 3);
+    let txn = c.txnmgr.begin();
+    let sets = SetList {
+        sets: vec![(0, Expr::lit(Value::Int(99)))],
+    };
+    let reply = c.send(DpRequest::UpdatePoint {
+        txn,
+        file,
+        key: emp_key(1),
+        sets,
+        constraint: None,
+    });
+    assert!(matches!(
+        reply,
+        DpReply::Error(DpError::KeyUpdateNotAllowed)
+    ));
+    c.txnmgr.abort(txn, c.client).unwrap();
+}
+
+#[test]
+fn abort_undoes_everything() {
+    let c = cluster();
+    let file = c.create_emp();
+    c.load_emps(file, 20);
+    let desc = emp_desc();
+    let txn = c.txnmgr.begin();
+    // Insert a new record, update an existing one, delete another.
+    let row = emp_row(100, "NEW", 1999, 5555.0);
+    c.send(DpRequest::Insert {
+        txn,
+        file,
+        key: encode_record_key(&desc, &row),
+        record: encode_row(&desc, &row).unwrap(),
+    });
+    c.send(DpRequest::UpdatePoint {
+        txn,
+        file,
+        key: emp_key(5),
+        sets: SetList {
+            sets: vec![(3, Expr::lit(Value::Double(0.0)))],
+        },
+        constraint: None,
+    });
+    c.send(DpRequest::DeleteRecord {
+        txn,
+        file,
+        key: emp_key(6),
+    });
+    c.txnmgr.abort(txn, c.client).unwrap();
+
+    assert!(matches!(
+        c.send(DpRequest::Read {
+            txn: None,
+            file,
+            key: emp_key(100),
+            lock: ReadLock::None
+        }),
+        DpReply::Record(None)
+    ));
+    let DpReply::Record(Some(bytes)) = c.send(DpRequest::Read {
+        txn: None,
+        file,
+        key: emp_key(5),
+        lock: ReadLock::None,
+    }) else {
+        panic!()
+    };
+    assert_eq!(
+        decode_row(&desc, &bytes).unwrap().0[3],
+        Value::Double(1050.0),
+        "update undone"
+    );
+    assert!(matches!(
+        c.send(DpRequest::Read {
+            txn: None,
+            file,
+            key: emp_key(6),
+            lock: ReadLock::None
+        }),
+        DpReply::Record(Some(_))
+    ));
+}
+
+#[test]
+fn locks_conflict_and_release() {
+    let c = cluster();
+    let file = c.create_emp();
+    c.load_emps(file, 10);
+    let t1 = c.txnmgr.begin();
+    let t2 = c.txnmgr.begin();
+    // t1 exclusively updates record 3.
+    c.send(DpRequest::UpdatePoint {
+        txn: t1,
+        file,
+        key: emp_key(3),
+        sets: SetList {
+            sets: vec![(3, Expr::lit(Value::Double(1.0)))],
+        },
+        constraint: None,
+    });
+    // t2 cannot update or share-lock it.
+    let reply = c.send(DpRequest::UpdatePoint {
+        txn: t2,
+        file,
+        key: emp_key(3),
+        sets: SetList {
+            sets: vec![(3, Expr::lit(Value::Double(2.0)))],
+        },
+        constraint: None,
+    });
+    assert!(matches!(reply, DpReply::Error(DpError::Locked { holder }) if holder == t1));
+    // After t1 commits, t2 proceeds.
+    c.txnmgr.commit(t1, c.client).unwrap();
+    let reply = c.send(DpRequest::UpdatePoint {
+        txn: t2,
+        file,
+        key: emp_key(3),
+        sets: SetList {
+            sets: vec![(3, Expr::lit(Value::Double(2.0)))],
+        },
+        constraint: None,
+    });
+    assert!(matches!(reply, DpReply::Ok));
+    c.txnmgr.commit(t2, c.client).unwrap();
+    assert!(c.sim.metrics.lock_waits.get() >= 1);
+}
+
+#[test]
+fn vsbb_group_lock_vs_enscribe_file_lock() {
+    // E13's mechanism: an ENSCRIBE SBB reader must file-lock (blocking all
+    // writers); a VSBB reader group-locks only the scanned span.
+    let c = cluster();
+    let file = c.create_emp();
+    c.load_emps(file, 100);
+
+    // VSBB read of EMPNO <= 20 with shared group locking.
+    let reader = c.txnmgr.begin();
+    let reply = c.send(DpRequest::GetSubsetFirst {
+        txn: Some(reader),
+        file,
+        range: range_to(20),
+        predicate: None,
+        projection: Some(vec![0, 1]),
+        mode: SubsetMode::Vsbb,
+        lock: ReadLock::Shared,
+    });
+    assert!(matches!(reply, DpReply::Subset { .. }));
+
+    // A writer outside the span proceeds...
+    let writer = c.txnmgr.begin();
+    let ok = c.send(DpRequest::UpdatePoint {
+        txn: writer,
+        file,
+        key: emp_key(50),
+        sets: SetList {
+            sets: vec![(3, Expr::lit(Value::Double(9.0)))],
+        },
+        constraint: None,
+    });
+    assert!(
+        matches!(ok, DpReply::Ok),
+        "writer outside virtual block must proceed"
+    );
+    // ... a writer inside the span blocks.
+    let blocked = c.send(DpRequest::UpdatePoint {
+        txn: writer,
+        file,
+        key: emp_key(10),
+        sets: SetList {
+            sets: vec![(3, Expr::lit(Value::Double(9.0)))],
+        },
+        constraint: None,
+    });
+    assert!(matches!(blocked, DpReply::Error(DpError::Locked { .. })));
+
+    // The writer saw an error on the blocked statement; roll it back.
+    c.txnmgr.abort(writer, c.client).unwrap();
+    c.txnmgr.commit(reader, c.client).unwrap();
+}
+
+#[test]
+fn blocked_insert_is_one_message() {
+    let c = cluster();
+    let file = c.create_emp();
+    let desc = emp_desc();
+    let txn = c.txnmgr.begin();
+    let records: Vec<(Vec<u8>, Vec<u8>)> = (0..100)
+        .map(|i| {
+            let row = emp_row(i, "BULK", 1990, 1.0);
+            (
+                encode_record_key(&desc, &row),
+                encode_row(&desc, &row).unwrap(),
+            )
+        })
+        .collect();
+    let before = c.sim.metrics.snapshot();
+    let reply = c.send(DpRequest::BlockedInsert { txn, file, records });
+    let DpReply::Subset { affected, .. } = reply else {
+        panic!()
+    };
+    assert_eq!(affected, 100);
+    let d = c.sim.metrics.since(&before);
+    assert_eq!(d.msgs_fs_dp, 1, "100 inserts in one message");
+    c.txnmgr.commit(txn, c.client).unwrap();
+    assert!(matches!(
+        c.send(DpRequest::Read {
+            txn: None,
+            file,
+            key: emp_key(99),
+            lock: ReadLock::None
+        }),
+        DpReply::Record(Some(_))
+    ));
+}
+
+#[test]
+fn duplicate_insert_rejected() {
+    let c = cluster();
+    let file = c.create_emp();
+    c.load_emps(file, 5);
+    let desc = emp_desc();
+    let txn = c.txnmgr.begin();
+    let row = emp_row(3, "DUP", 0, 0.0);
+    let reply = c.send(DpRequest::Insert {
+        txn,
+        file,
+        key: encode_record_key(&desc, &row),
+        record: encode_row(&desc, &row).unwrap(),
+    });
+    assert!(matches!(reply, DpReply::Error(DpError::DuplicateKey)));
+    c.txnmgr.abort(txn, c.client).unwrap();
+}
+
+#[test]
+fn time_slice_limits_monopolization() {
+    let config = DpConfig {
+        max_records_per_request: 50,
+        ..DpConfig::default()
+    };
+    let c = cluster_with(config);
+    let file = c.create_emp();
+    c.load_emps(file, 200);
+    // A very selective predicate returns nothing, but the DP still must
+    // yield every 50 records examined.
+    let before = c.sim.metrics.snapshot();
+    let mut reply = c.send(DpRequest::GetSubsetFirst {
+        txn: None,
+        file,
+        range: KeyRange::all(),
+        predicate: Some(Expr::field_cmp(0, CmpOp::Eq, Value::Int(-1))),
+        projection: Some(vec![0]),
+        mode: SubsetMode::Vsbb,
+        lock: ReadLock::None,
+    });
+    let mut redrives = 0;
+    loop {
+        let DpReply::Subset {
+            done,
+            last_key,
+            subset,
+            examined,
+            ..
+        } = reply
+        else {
+            panic!()
+        };
+        assert!(examined <= 50, "time slice exceeded: {examined}");
+        if done {
+            break;
+        }
+        redrives += 1;
+        reply = c.send(DpRequest::GetSubsetNext {
+            subset: subset.unwrap(),
+            after: last_key.unwrap(),
+        });
+    }
+    assert!(redrives >= 3);
+    let d = c.sim.metrics.since(&before);
+    assert_eq!(d.dp_records_selected, 0);
+    assert_eq!(d.dp_records_examined, 200);
+}
+
+#[test]
+fn crash_recovery_redo_and_undo() {
+    let c = cluster();
+    let file = c.create_emp();
+    c.load_emps(file, 50); // committed: must survive
+
+    // An uncommitted transaction mutates, then the DP crashes.
+    let loser = c.txnmgr.begin();
+    c.send(DpRequest::UpdatePoint {
+        txn: loser,
+        file,
+        key: emp_key(7),
+        sets: SetList {
+            sets: vec![(3, Expr::lit(Value::Double(-777.0)))],
+        },
+        constraint: None,
+    });
+    let desc = emp_desc();
+    let row = emp_row(200, "GHOST", 0, 0.0);
+    c.send(DpRequest::Insert {
+        txn: loser,
+        file,
+        key: encode_record_key(&desc, &row),
+        record: encode_row(&desc, &row).unwrap(),
+    });
+    // Force the loser's audit to the trail (as a steal might) so recovery
+    // sees it, then crash before commit.
+    c.dp.auditor.send();
+    c.trail.force_up_to(u64::MAX - 1, c.sim.now());
+    c.dp.crash();
+
+    // Reopen and recover.
+    let dp2 = DiskProcess::open(
+        &c.ctx,
+        "$DATA1",
+        CpuId::new(0, 2),
+        Arc::clone(&c.disk),
+        DpConfig::default(),
+    );
+    dp2.recover();
+
+    // Committed data survived...
+    let DpReply::Record(Some(bytes)) = c.send(DpRequest::Read {
+        txn: None,
+        file,
+        key: emp_key(7),
+        lock: ReadLock::None,
+    }) else {
+        panic!("committed record lost")
+    };
+    let row = decode_row(&desc, &bytes).unwrap();
+    assert_eq!(row.0[3], Value::Double(1070.0), "loser update undone");
+    // ... and the loser's insert is gone.
+    assert!(matches!(
+        c.send(DpRequest::Read {
+            txn: None,
+            file,
+            key: emp_key(200),
+            lock: ReadLock::None
+        }),
+        DpReply::Record(None)
+    ));
+}
+
+#[test]
+fn takeover_after_cpu_failure() {
+    let c = cluster();
+    let file = c.create_emp();
+    c.load_emps(file, 30);
+    // Flush committed work to the trail is already done by commit.
+    // Fail the primary's CPU.
+    let primary_cpu = c.dp.cpu();
+    c.bus.fail_cpu(primary_cpu);
+    assert!(c
+        .bus
+        .request(
+            c.client,
+            "$DATA1",
+            MsgKind::FsDp,
+            8,
+            Box::new(DpRequest::FlushCache)
+        )
+        .is_err());
+    // Backup takes over on another CPU: opens the same (mirrored) volume
+    // and recovers from the trail.
+    c.dp.crash();
+    let backup = DiskProcess::open(
+        &c.ctx,
+        "$DATA1",
+        CpuId::new(0, 2),
+        Arc::clone(&c.disk),
+        DpConfig::default(),
+    );
+    backup.recover();
+    // Service resumes with committed data intact.
+    let DpReply::Record(Some(_)) = c.send(DpRequest::Read {
+        txn: None,
+        file,
+        key: emp_key(29),
+        lock: ReadLock::None,
+    }) else {
+        panic!("data lost in takeover")
+    };
+}
+
+#[test]
+fn checkpointing_sends_messages() {
+    let config = DpConfig {
+        checkpointing: true,
+        ..DpConfig::default()
+    };
+    let c = cluster_with(config);
+    c.bus
+        .register("$DATA1-B", CpuId::new(0, 2), Arc::new(BackupSink));
+    let file = c.create_emp();
+    c.load_emps(file, 10);
+    assert!(c.sim.metrics.msgs_checkpoint.get() >= 10);
+}
+
+#[test]
+fn audit_mode_full_vs_field_sizes() {
+    // The same one-field update of a wide record audited both ways:
+    // field-compressed audit must be much smaller (E6's mechanism).
+    let wide_desc = || {
+        RecordDescriptor::new(
+            vec![
+                FieldDef::new("ID", FieldType::Int),
+                FieldDef::new("FILLER", FieldType::Char(180)),
+                FieldDef::new("BALANCE", FieldType::Double),
+            ],
+            vec![0],
+        )
+    };
+    let run = |audit: AuditMode| {
+        let c = cluster();
+        let desc = wide_desc();
+        let DpReply::FileCreated(file) = c.send(DpRequest::CreateFile {
+            kind: FileKind::KeySequenced(desc.clone()),
+        }) else {
+            panic!()
+        };
+        let old = vec![
+            Value::Int(0),
+            Value::Str("X".repeat(180)),
+            Value::Double(100.0),
+        ];
+        let key = encode_record_key(&desc, &old);
+        let txn = c.txnmgr.begin();
+        c.send(DpRequest::Insert {
+            txn,
+            file,
+            key: key.clone(),
+            record: encode_row(&desc, &old).unwrap(),
+        });
+        c.txnmgr.commit(txn, c.client).unwrap();
+
+        let before = c.sim.metrics.snapshot();
+        let txn = c.txnmgr.begin();
+        let mut new = old.clone();
+        new[2] = Value::Double(107.0); // one 8-byte field of a ~190-byte record
+        c.send(DpRequest::UpdateRecord {
+            txn,
+            file,
+            key,
+            record: encode_row(&desc, &new).unwrap(),
+            audit,
+        });
+        c.txnmgr.commit(txn, c.client).unwrap();
+        c.sim.metrics.since(&before).audit_bytes
+    };
+    let full = run(AuditMode::FullImage);
+    let field = run(AuditMode::FieldCompressed);
+    assert!(
+        field * 3 < full,
+        "field-compressed audit ({field}) must be much smaller than full image ({full})"
+    );
+}
+
+#[test]
+fn bulk_io_and_prefetch_on_sequential_scan() {
+    let cfg = DpConfig {
+        cache_frames: 64,
+        ..DpConfig::default()
+    };
+    let c = cluster_with(cfg);
+    let file = c.create_emp();
+    c.load_emps(file, 2000);
+    // Flush and drop the cache so the scan reads from disk.
+    c.send(DpRequest::FlushCache);
+    c.dp.pool().crash();
+    let before = c.sim.metrics.snapshot();
+    let mut reply = c.send(DpRequest::GetSubsetFirst {
+        txn: None,
+        file,
+        range: KeyRange::all(),
+        predicate: None,
+        projection: Some(vec![0]),
+        mode: SubsetMode::Vsbb,
+        lock: ReadLock::None,
+    });
+    loop {
+        let DpReply::Subset {
+            done,
+            last_key,
+            subset,
+            ..
+        } = reply
+        else {
+            panic!()
+        };
+        if done {
+            break;
+        }
+        reply = c.send(DpRequest::GetSubsetNext {
+            subset: subset.unwrap(),
+            after: last_key.unwrap(),
+        });
+    }
+    let d = c.sim.metrics.since(&before);
+    assert!(d.disk_bulk_ios > 0, "sequential scan should use bulk I/O");
+    assert!(
+        d.disk_blocks_read > d.disk_reads,
+        "multi-block strings expected"
+    );
+}
+
+#[test]
+fn subset_after_close_is_rejected() {
+    let config = DpConfig {
+        max_records_per_request: 10,
+        ..DpConfig::default()
+    };
+    let c = cluster_with(config);
+    let file = c.create_emp();
+    c.load_emps(file, 50);
+    let DpReply::Subset {
+        subset: Some(id),
+        last_key: Some(k),
+        ..
+    } = c.send(DpRequest::GetSubsetFirst {
+        txn: None,
+        file,
+        range: KeyRange::all(),
+        predicate: None,
+        projection: Some(vec![0]),
+        mode: SubsetMode::Vsbb,
+        lock: ReadLock::None,
+    })
+    else {
+        panic!("expected a re-drivable subset")
+    };
+    c.send(DpRequest::CloseSubset { subset: id });
+    let reply = c.send(DpRequest::GetSubsetNext {
+        subset: id,
+        after: k,
+    });
+    assert!(matches!(reply, DpReply::Error(DpError::BadSubset(_))));
+}
+
+#[test]
+fn wrong_file_kind_rejected() {
+    let c = cluster();
+    let DpReply::FileCreated(rel) = c.send(DpRequest::CreateFile {
+        kind: FileKind::Relative { slot_size: 64 },
+    }) else {
+        panic!()
+    };
+    let reply = c.send(DpRequest::GetSubsetFirst {
+        txn: None,
+        file: rel,
+        range: KeyRange::all(),
+        predicate: None,
+        projection: None,
+        mode: SubsetMode::Rsbb,
+        lock: ReadLock::None,
+    });
+    assert!(matches!(reply, DpReply::Error(DpError::WrongFileKind)));
+    let reply = c.send(DpRequest::Read {
+        txn: None,
+        file: 99,
+        key: vec![],
+        lock: ReadLock::None,
+    });
+    assert!(matches!(reply, DpReply::Error(DpError::BadFile(99))));
+}
+
+#[test]
+fn dirty_steal_under_memory_pressure_forces_audit() {
+    // A tiny cache plus many uncommitted updates: evicting dirty pages
+    // must first ship the volume's audit and force the trail (write-ahead
+    // log), never write an unlogged page.
+    let config = DpConfig {
+        cache_frames: 8,
+        write_behind: false,
+        ..DpConfig::default()
+    };
+    let c = cluster_with(config);
+    let file = c.create_emp();
+    c.load_emps(file, 5000); // ~50 blocks, far beyond the 8-frame cache
+
+    let before = c.sim.metrics.snapshot();
+    let txn = c.txnmgr.begin();
+    // Touch records spread over many blocks so dirty pages get stolen
+    // while the transaction is still open.
+    for i in (0..5000).step_by(100) {
+        let reply = c.send(DpRequest::UpdatePoint {
+            txn,
+            file,
+            key: emp_key(i),
+            sets: SetList {
+                sets: vec![(3, Expr::lit(Value::Double(i as f64)))],
+            },
+            constraint: None,
+        });
+        assert!(matches!(reply, DpReply::Ok), "{reply:?}");
+    }
+    let d = c.sim.metrics.since(&before);
+    assert!(d.cache_steals > 0, "the 8-frame cache must steal");
+    assert!(
+        d.audit_flushes > 0,
+        "stealing dirty pages must force the audit trail first"
+    );
+    // The uncommitted data never becomes visible after an abort, even
+    // though some of it reached disk via steals.
+    c.txnmgr.abort(txn, c.client).unwrap();
+    let DpReply::Record(Some(bytes)) = c.send(DpRequest::Read {
+        txn: None,
+        file,
+        key: emp_key(10),
+        lock: ReadLock::None,
+    }) else {
+        panic!()
+    };
+    let row = decode_row(&emp_desc(), &bytes).unwrap();
+    assert_eq!(row.0[3], Value::Double(1100.0), "undo restored the balance");
+}

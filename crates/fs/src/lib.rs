@@ -1,0 +1,269 @@
+#![warn(missing_docs)]
+//! The File System — the client-side library of the FS-DP interface.
+//!
+//! "The File System is a set of system library routines which ... run in
+//! the process environment of the application (client) program." It is the
+//! natural locale for the logic that, transparently to the caller:
+//!
+//! * routes a request to the right **partition** based on the record key;
+//! * accesses a base record **via a secondary index** (Figure 2: one
+//!   message to the index's Disk Process, one to the base file's);
+//! * **maintains secondary indices** consistently with inserts, updates
+//!   and deletes of base records.
+//!
+//! Two APIs are exposed, mirroring the paper:
+//!
+//! * [`enscribe`] — the old record-at-a-time interface (`READ`, `WRITE`,
+//!   `LOCKRECORD`, sequential reads, and real sequential block buffering
+//!   with its mandatory file lock);
+//! * [`sqlapi`] — the new field/set-oriented interface: VSBB/RSBB subset
+//!   scans with the continuation re-drive loop, set-oriented update/delete
+//!   fan-out across partitions, update-expression and constraint pushdown,
+//!   and the blocked-insert extension.
+
+pub mod enscribe;
+pub mod sqlapi;
+
+pub use sqlapi::{BlockedInserter, CursorUpdater, ScanResult};
+
+use nsql_dp::{DpError, DpReply, DpRequest, FileId};
+use nsql_msg::{Bus, BusError, CpuId, MsgKind};
+use nsql_records::key::encode_key_value;
+use nsql_records::{KeyRange, RecordDescriptor, Row, Value};
+use nsql_sim::{CpuLayer, Sim};
+use std::sync::Arc;
+
+/// Errors surfaced to File System callers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FsError {
+    /// The Disk Process rejected the request.
+    Dp(DpError),
+    /// The message system failed (process down / unknown).
+    Bus(String),
+    /// The row does not match the table's descriptor.
+    BadRow(String),
+}
+
+impl From<DpError> for FsError {
+    fn from(e: DpError) -> Self {
+        FsError::Dp(e)
+    }
+}
+
+impl From<BusError> for FsError {
+    fn from(e: BusError) -> Self {
+        FsError::Bus(e.to_string())
+    }
+}
+
+impl std::fmt::Display for FsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsError::Dp(e) => write!(f, "disk process error: {e}"),
+            FsError::Bus(e) => write!(f, "message system error: {e}"),
+            FsError::BadRow(e) => write!(f, "bad row: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+/// One horizontal partition of a file: a Disk Process and the primary-key
+/// range it owns.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// Disk Process name (`$DATA1`).
+    pub process: String,
+    /// File id on that volume.
+    pub file: FileId,
+    /// Primary-key range this partition owns.
+    pub range: KeyRange,
+}
+
+/// A secondary index: a separate key-sequenced file, possibly on another
+/// volume, whose rows are `(indexed fields ..., base primary-key fields)`.
+#[derive(Debug, Clone)]
+pub struct IndexInfo {
+    /// Index name.
+    pub name: String,
+    /// Disk Process holding the index file.
+    pub process: String,
+    /// File id of the index file.
+    pub file: FileId,
+    /// Base-table field numbers the index covers, in index-key order.
+    pub base_fields: Vec<u16>,
+    /// Unique index?
+    pub unique: bool,
+    /// Layout of index rows: indexed fields followed by the base table's
+    /// primary-key fields.
+    pub desc: RecordDescriptor,
+}
+
+impl IndexInfo {
+    /// Construct the index metadata for `base_fields` of `base`.
+    pub fn build(
+        name: impl Into<String>,
+        process: impl Into<String>,
+        file: FileId,
+        base: &RecordDescriptor,
+        base_fields: Vec<u16>,
+        unique: bool,
+    ) -> IndexInfo {
+        let mut fields = Vec::new();
+        for &f in &base_fields {
+            fields.push(base.fields[f as usize].clone());
+        }
+        for &k in &base.key_fields {
+            fields.push(base.fields[k as usize].clone());
+        }
+        // Unique index: key = indexed fields only. Non-unique: the base
+        // primary key is appended to the index key to make entries unique.
+        let nkeys = if unique {
+            base_fields.len()
+        } else {
+            fields.len()
+        };
+        let desc = RecordDescriptor::new(fields, (0..nkeys as u16).collect());
+        IndexInfo {
+            name: name.into(),
+            process: process.into(),
+            file,
+            base_fields,
+            unique,
+            desc,
+        }
+    }
+
+    /// Build the index row for a base row.
+    pub fn index_row(&self, base: &RecordDescriptor, row: &[Value]) -> Vec<Value> {
+        let mut out = Vec::with_capacity(self.desc.num_fields());
+        for &f in &self.base_fields {
+            out.push(row[f as usize].clone());
+        }
+        for &k in &base.key_fields {
+            out.push(row[k as usize].clone());
+        }
+        out
+    }
+
+    /// Extract the base primary key (encoded) from a decoded index row.
+    pub fn base_key_from_index_row(&self, base: &RecordDescriptor, irow: &[Value]) -> Vec<u8> {
+        let mut key = Vec::new();
+        for (i, &k) in base.key_fields.iter().enumerate() {
+            let ty = base.fields[k as usize].ty;
+            encode_key_value(ty, &irow[self.base_fields.len() + i], &mut key);
+        }
+        key
+    }
+
+    /// Does an update of `fields` touch this index?
+    pub fn touched_by(&self, fields: &[u16]) -> bool {
+        fields.iter().any(|f| self.base_fields.contains(f))
+    }
+}
+
+/// An open file (table): the union of its partitions plus its indices.
+/// "The file or table is viewed as the sum of all its partitions and
+/// secondary indices only from the perspective of the SQL Executor or
+/// ENSCRIBE File System invoker."
+#[derive(Debug, Clone)]
+pub struct OpenFile {
+    /// Table name (diagnostics).
+    pub name: String,
+    /// Record layout.
+    pub desc: RecordDescriptor,
+    /// Partitions in ascending key order.
+    pub partitions: Vec<Partition>,
+    /// Secondary indices.
+    pub indexes: Vec<IndexInfo>,
+}
+
+impl OpenFile {
+    /// A single-partition table with no indices.
+    pub fn single(
+        name: impl Into<String>,
+        desc: RecordDescriptor,
+        process: impl Into<String>,
+        file: FileId,
+    ) -> OpenFile {
+        OpenFile {
+            name: name.into(),
+            desc,
+            partitions: vec![Partition {
+                process: process.into(),
+                file,
+                range: KeyRange::all(),
+            }],
+            indexes: Vec::new(),
+        }
+    }
+
+    /// The partition owning `key`.
+    pub fn partition_for(&self, key: &[u8]) -> &Partition {
+        self.partitions
+            .iter()
+            .find(|p| p.range.contains(key))
+            .expect("partition ranges must cover the key space")
+    }
+
+    /// Partitions overlapping `range`, each with the clipped sub-range.
+    pub fn partitions_for_range(&self, range: &KeyRange) -> Vec<(&Partition, KeyRange)> {
+        self.partitions
+            .iter()
+            .filter_map(|p| {
+                let clipped = range.intersect(&p.range);
+                (!clipped.is_empty()).then_some((p, clipped))
+            })
+            .collect()
+    }
+}
+
+/// The File System library instance of one requester (application process).
+pub struct FileSystem {
+    pub(crate) sim: Sim,
+    pub(crate) bus: Arc<Bus>,
+    /// The CPU the requester runs on (message locality depends on it).
+    pub cpu: CpuId,
+}
+
+impl FileSystem {
+    /// A File System bound to a requester CPU.
+    pub fn new(sim: Sim, bus: Arc<Bus>, cpu: CpuId) -> FileSystem {
+        FileSystem { sim, bus, cpu }
+    }
+
+    /// The simulation context (experiments).
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    /// Send one FS-DP request and unwrap the reply. Public for the SQL
+    /// catalog (DDL) and the experiment harness; regular data access goes
+    /// through the typed methods.
+    pub fn send(&self, to: &str, req: DpRequest) -> Result<DpReply, FsError> {
+        self.sim.cpu_work(CpuLayer::FileSystem, 2);
+        let kind = if req.is_redrive() {
+            MsgKind::Redrive
+        } else {
+            MsgKind::FsDp
+        };
+        let size = req.wire_size();
+        let reply = self
+            .bus
+            .request(self.cpu, to, kind, size, Box::new(req))?
+            .expect::<DpReply>();
+        match reply {
+            DpReply::Error(e) => Err(FsError::Dp(e)),
+            ok => Ok(ok),
+        }
+    }
+
+    /// Decode a full record into a row.
+    pub(crate) fn decode(&self, desc: &RecordDescriptor, bytes: &[u8]) -> Result<Row, FsError> {
+        self.sim.cpu_work(CpuLayer::FileSystem, 1);
+        nsql_records::row::decode_row(desc, bytes).map_err(|e| FsError::BadRow(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,825 @@
+//! The SQL (field/set-oriented) File System API.
+//!
+//! "The File System dynamically decomposes this single-table request into
+//! messages to individual Disk Processes managing partitions (if any)
+//! and/or secondary indices." Every method here implements one such
+//! decomposition, including the re-drive loop of the continuation
+//! protocol: the Disk Process bounds each request execution; the File
+//! System re-drives with the last processed key until the range is
+//! exhausted.
+
+use crate::{FileSystem, FsError, IndexInfo, OpenFile};
+use nsql_dp::{DpReply, DpRequest, ReadLock, SubsetMode};
+use nsql_lock::{LockMode, TxnId};
+use nsql_records::key::encode_record_key;
+use nsql_records::row::encode_row;
+use nsql_records::{Expr, KeyRange, Row, SetList, Value};
+use nsql_sim::CpuLayer;
+use std::collections::HashMap;
+
+/// Result of a set-oriented read.
+#[derive(Debug, Clone, Default)]
+pub struct ScanResult {
+    /// Decoded rows (projected when a projection was pushed down).
+    pub rows: Vec<Row>,
+    /// Records the Disk Processes examined on our behalf.
+    pub examined: u64,
+}
+
+impl FileSystem {
+    // ------------------------------------------------------------------
+    // Writes
+    // ------------------------------------------------------------------
+
+    /// Insert a row, maintaining all secondary indices.
+    pub fn insert_row(&self, txn: TxnId, of: &OpenFile, values: &[Value]) -> Result<(), FsError> {
+        let record = encode_row(&of.desc, values).map_err(|e| FsError::BadRow(e.to_string()))?;
+        let key = encode_record_key(&of.desc, values);
+        let p = of.partition_for(&key);
+        self.send(
+            &p.process,
+            DpRequest::Insert {
+                txn,
+                file: p.file,
+                key,
+                record,
+            },
+        )?;
+        for idx in &of.indexes {
+            self.index_insert(txn, of, idx, values)?;
+        }
+        Ok(())
+    }
+
+    fn index_insert(
+        &self,
+        txn: TxnId,
+        of: &OpenFile,
+        idx: &IndexInfo,
+        values: &[Value],
+    ) -> Result<(), FsError> {
+        let irow = idx.index_row(&of.desc, values);
+        let ikey = encode_record_key(&idx.desc, &irow);
+        let irec = encode_row(&idx.desc, &irow).map_err(|e| FsError::BadRow(e.to_string()))?;
+        self.send(
+            &idx.process,
+            DpRequest::Insert {
+                txn,
+                file: idx.file,
+                key: ikey,
+                record: irec,
+            },
+        )?;
+        Ok(())
+    }
+
+    fn index_delete(
+        &self,
+        txn: TxnId,
+        of: &OpenFile,
+        idx: &IndexInfo,
+        values: &[Value],
+    ) -> Result<(), FsError> {
+        let irow = idx.index_row(&of.desc, values);
+        let ikey = encode_record_key(&idx.desc, &irow);
+        self.send(
+            &idx.process,
+            DpRequest::DeleteRecord {
+                txn,
+                file: idx.file,
+                key: ikey,
+            },
+        )?;
+        Ok(())
+    }
+
+    /// Point read by primary key values.
+    pub fn read_by_pk(
+        &self,
+        txn: Option<TxnId>,
+        of: &OpenFile,
+        pk_values: &[Value],
+        lock: ReadLock,
+    ) -> Result<Option<Row>, FsError> {
+        // Build a full-width value array for key encoding: only key fields
+        // are examined by `encode_record_key`.
+        let mut full = vec![Value::Null; of.desc.num_fields()];
+        for (i, &k) in of.desc.key_fields.iter().enumerate() {
+            full[k as usize] = pk_values[i].clone();
+        }
+        let key = encode_record_key(&of.desc, &full);
+        self.read_by_key(txn, of, &key, lock)
+    }
+
+    /// Point read by encoded key.
+    pub fn read_by_key(
+        &self,
+        txn: Option<TxnId>,
+        of: &OpenFile,
+        key: &[u8],
+        lock: ReadLock,
+    ) -> Result<Option<Row>, FsError> {
+        let p = of.partition_for(key);
+        let reply = self.send(
+            &p.process,
+            DpRequest::Read {
+                txn,
+                file: p.file,
+                key: key.to_vec(),
+                lock,
+            },
+        )?;
+        match reply {
+            DpReply::Record(Some(bytes)) => Ok(Some(self.decode(&of.desc, &bytes)?)),
+            DpReply::Record(None) => Ok(None),
+            other => panic!("protocol violation: {other:?}"),
+        }
+    }
+
+    /// Single-record update with pushed-down expressions and constraint,
+    /// maintaining indices (which requires reading the old row only when an
+    /// indexed field is assigned).
+    pub fn update_by_key(
+        &self,
+        txn: TxnId,
+        of: &OpenFile,
+        key: &[u8],
+        sets: &SetList,
+        constraint: Option<&Expr>,
+    ) -> Result<(), FsError> {
+        let touched = sets.target_fields();
+        let affected: Vec<&IndexInfo> = of
+            .indexes
+            .iter()
+            .filter(|i| i.touched_by(&touched))
+            .collect();
+        if affected.is_empty() {
+            // Pure pushdown: one message, no read-before-write.
+            let p = of.partition_for(key);
+            self.send(
+                &p.process,
+                DpRequest::UpdatePoint {
+                    txn,
+                    file: p.file,
+                    key: key.to_vec(),
+                    sets: sets.clone(),
+                    constraint: constraint.cloned(),
+                },
+            )?;
+            return Ok(());
+        }
+        // Index maintenance path: the File System must see old and new
+        // values to fix the affected indices.
+        let old = self
+            .read_by_key(Some(txn), of, key, ReadLock::Shared)?
+            .ok_or(FsError::Dp(nsql_dp::DpError::NotFound))?;
+        let p = of.partition_for(key);
+        self.send(
+            &p.process,
+            DpRequest::UpdatePoint {
+                txn,
+                file: p.file,
+                key: key.to_vec(),
+                sets: sets.clone(),
+                constraint: constraint.cloned(),
+            },
+        )?;
+        let new = self.apply_sets_locally(of, &old.0, sets)?;
+        for idx in affected {
+            self.index_delete(txn, of, idx, &old.0)?;
+            self.index_insert(txn, of, idx, &new)?;
+        }
+        Ok(())
+    }
+
+    /// Evaluate update expressions at the File System (only used for index
+    /// maintenance bookkeeping; the authoritative evaluation happened at
+    /// the Disk Process).
+    fn apply_sets_locally(
+        &self,
+        of: &OpenFile,
+        old: &[Value],
+        sets: &SetList,
+    ) -> Result<Vec<Value>, FsError> {
+        self.sim.cpu_work(CpuLayer::FileSystem, 2);
+        let row = Row(old.to_vec());
+        let assigned = sets
+            .apply(&row)
+            .map_err(|e| FsError::BadRow(e.to_string()))?;
+        let mut new = old.to_vec();
+        for (f, v) in assigned {
+            let ty = of.desc.fields[f as usize].ty;
+            new[f as usize] = ty
+                .coerce(v)
+                .ok_or_else(|| FsError::BadRow(format!("value does not fit field {f}")))?;
+        }
+        Ok(new)
+    }
+
+    /// Delete one record by key, maintaining indices.
+    pub fn delete_by_key(&self, txn: TxnId, of: &OpenFile, key: &[u8]) -> Result<(), FsError> {
+        let old = if of.indexes.is_empty() {
+            None
+        } else {
+            Some(
+                self.read_by_key(Some(txn), of, key, ReadLock::Shared)?
+                    .ok_or(FsError::Dp(nsql_dp::DpError::NotFound))?,
+            )
+        };
+        let p = of.partition_for(key);
+        self.send(
+            &p.process,
+            DpRequest::DeleteRecord {
+                txn,
+                file: p.file,
+                key: key.to_vec(),
+            },
+        )?;
+        if let Some(old) = old {
+            for idx in &of.indexes {
+                self.index_delete(txn, of, idx, &old.0)?;
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Set-oriented reads (VSBB / RSBB with re-drive)
+    // ------------------------------------------------------------------
+
+    /// Set-oriented read over a primary-key range: fans out across
+    /// partitions, re-driving each until exhausted, and de-blocks the
+    /// (virtual) blocks into rows.
+    #[allow(clippy::too_many_arguments)] // mirrors the GET^FIRST message's fields
+    pub fn scan(
+        &self,
+        txn: Option<TxnId>,
+        of: &OpenFile,
+        range: &KeyRange,
+        predicate: Option<&Expr>,
+        projection: Option<&[u16]>,
+        mode: SubsetMode,
+        lock: ReadLock,
+    ) -> Result<ScanResult, FsError> {
+        let row_desc = match projection {
+            Some(fields) => of.desc.project(fields),
+            None => of.desc.clone(),
+        };
+        let mut out = ScanResult::default();
+        for (p, clipped) in of.partitions_for_range(range) {
+            let mut reply = self.send(
+                &p.process,
+                DpRequest::GetSubsetFirst {
+                    txn,
+                    file: p.file,
+                    range: clipped,
+                    predicate: predicate.cloned(),
+                    projection: projection.map(|f| f.to_vec()),
+                    mode,
+                    lock,
+                },
+            )?;
+            loop {
+                let DpReply::Subset {
+                    rows,
+                    last_key,
+                    done,
+                    subset,
+                    examined,
+                    ..
+                } = reply
+                else {
+                    panic!("protocol violation")
+                };
+                out.examined += examined as u64;
+                for bytes in rows {
+                    out.rows.push(self.decode(&row_desc, &bytes)?);
+                }
+                if done {
+                    break;
+                }
+                reply = self.send(
+                    &p.process,
+                    DpRequest::GetSubsetNext {
+                        subset: subset.expect("re-drive without an SCB"),
+                        after: last_key.expect("re-drive without a last key"),
+                    },
+                )?;
+            }
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Set-oriented update / delete
+    // ------------------------------------------------------------------
+
+    /// Set-oriented UPDATE over a key range. When no index covers an
+    /// assigned field the whole operation is pushed to the Disk Processes
+    /// (`UPDATE^SUBSET`); otherwise the File System falls back to reading
+    /// the qualifying rows and updating record-at-a-time with index
+    /// maintenance.
+    pub fn update_set(
+        &self,
+        txn: TxnId,
+        of: &OpenFile,
+        range: &KeyRange,
+        predicate: Option<&Expr>,
+        sets: &SetList,
+        constraint: Option<&Expr>,
+    ) -> Result<u64, FsError> {
+        let touched = sets.target_fields();
+        if of.indexes.iter().any(|i| i.touched_by(&touched)) {
+            return self.update_set_with_indices(txn, of, range, predicate, sets, constraint);
+        }
+        let mut affected = 0u64;
+        for (p, clipped) in of.partitions_for_range(range) {
+            let mut reply = self.send(
+                &p.process,
+                DpRequest::UpdateSubsetFirst {
+                    txn,
+                    file: p.file,
+                    range: clipped,
+                    predicate: predicate.cloned(),
+                    sets: sets.clone(),
+                    constraint: constraint.cloned(),
+                },
+            )?;
+            loop {
+                let DpReply::Subset {
+                    affected: a,
+                    last_key,
+                    done,
+                    subset,
+                    ..
+                } = reply
+                else {
+                    panic!("protocol violation")
+                };
+                affected += a as u64;
+                if done {
+                    break;
+                }
+                reply = self.send(
+                    &p.process,
+                    DpRequest::UpdateSubsetNext {
+                        subset: subset.expect("re-drive without an SCB"),
+                        after: last_key.expect("re-drive without a last key"),
+                    },
+                )?;
+            }
+        }
+        Ok(affected)
+    }
+
+    fn update_set_with_indices(
+        &self,
+        txn: TxnId,
+        of: &OpenFile,
+        range: &KeyRange,
+        predicate: Option<&Expr>,
+        sets: &SetList,
+        constraint: Option<&Expr>,
+    ) -> Result<u64, FsError> {
+        // Read the qualifying rows (whole records, locked), then update
+        // each with index maintenance.
+        let scan = self.scan(
+            Some(txn),
+            of,
+            range,
+            predicate,
+            None,
+            SubsetMode::Vsbb,
+            ReadLock::Shared,
+        )?;
+        let mut affected = 0u64;
+        for row in &scan.rows {
+            let key = encode_record_key(&of.desc, &row.0);
+            self.update_by_key(txn, of, &key, sets, constraint)?;
+            affected += 1;
+        }
+        Ok(affected)
+    }
+
+    /// Set-oriented DELETE over a key range, pushed down when the table has
+    /// no indices.
+    pub fn delete_set(
+        &self,
+        txn: TxnId,
+        of: &OpenFile,
+        range: &KeyRange,
+        predicate: Option<&Expr>,
+    ) -> Result<u64, FsError> {
+        if !of.indexes.is_empty() {
+            // Index maintenance requires the old rows.
+            let scan = self.scan(
+                Some(txn),
+                of,
+                range,
+                predicate,
+                None,
+                SubsetMode::Vsbb,
+                ReadLock::Shared,
+            )?;
+            let mut affected = 0u64;
+            for row in &scan.rows {
+                let key = encode_record_key(&of.desc, &row.0);
+                self.delete_by_key(txn, of, &key)?;
+                affected += 1;
+            }
+            return Ok(affected);
+        }
+        let mut affected = 0u64;
+        for (p, clipped) in of.partitions_for_range(range) {
+            let mut reply = self.send(
+                &p.process,
+                DpRequest::DeleteSubsetFirst {
+                    txn,
+                    file: p.file,
+                    range: clipped,
+                    predicate: predicate.cloned(),
+                },
+            )?;
+            loop {
+                let DpReply::Subset {
+                    affected: a,
+                    last_key,
+                    done,
+                    subset,
+                    ..
+                } = reply
+                else {
+                    panic!("protocol violation")
+                };
+                affected += a as u64;
+                if done {
+                    break;
+                }
+                reply = self.send(
+                    &p.process,
+                    DpRequest::DeleteSubsetNext {
+                        subset: subset.expect("re-drive without an SCB"),
+                        after: last_key.expect("re-drive without a last key"),
+                    },
+                )?;
+            }
+        }
+        Ok(affected)
+    }
+
+    // ------------------------------------------------------------------
+    // Access via secondary index (Figure 2)
+    // ------------------------------------------------------------------
+
+    /// Scan a secondary index by index-key range. Returns decoded *index*
+    /// rows (indexed fields + base primary key) — enough for index-only
+    /// queries.
+    pub fn scan_index(
+        &self,
+        txn: Option<TxnId>,
+        idx: &IndexInfo,
+        range: &KeyRange,
+        predicate: Option<&Expr>,
+        lock: ReadLock,
+    ) -> Result<Vec<Row>, FsError> {
+        let mut rows = Vec::new();
+        let mut reply = self.send(
+            &idx.process,
+            DpRequest::GetSubsetFirst {
+                txn,
+                file: idx.file,
+                range: range.clone(),
+                predicate: predicate.cloned(),
+                projection: None,
+                mode: SubsetMode::Vsbb,
+                lock,
+            },
+        )?;
+        loop {
+            let DpReply::Subset {
+                rows: batch,
+                last_key,
+                done,
+                subset,
+                ..
+            } = reply
+            else {
+                panic!("protocol violation")
+            };
+            for bytes in batch {
+                rows.push(self.decode(&idx.desc, &bytes)?);
+            }
+            if done {
+                break;
+            }
+            reply = self.send(
+                &idx.process,
+                DpRequest::GetSubsetNext {
+                    subset: subset.expect("re-drive without an SCB"),
+                    after: last_key.expect("re-drive without a last key"),
+                },
+            )?;
+        }
+        Ok(rows)
+    }
+
+    /// Read base rows via a secondary index (Figure 2): first the index's
+    /// Disk Process, then the base partition's, per qualifying entry.
+    pub fn read_via_index(
+        &self,
+        txn: Option<TxnId>,
+        of: &OpenFile,
+        idx: &IndexInfo,
+        index_range: &KeyRange,
+        lock: ReadLock,
+    ) -> Result<Vec<Row>, FsError> {
+        let entries = self.scan_index(txn, idx, index_range, None, lock)?;
+        let mut out = Vec::with_capacity(entries.len());
+        for irow in &entries {
+            let base_key = idx.base_key_from_index_row(&of.desc, &irow.0);
+            if let Some(row) = self.read_by_key(txn, of, &base_key, lock)? {
+                out.push(row);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Client-side buffering for the blocked sequential-insert extension (the
+/// paper's *Opportunities for Future Performance Enhancements*): "multiple
+/// sequential inserts issued to the File System by the SQL Executor would
+/// then be accumulated in a local buffer by the File System, which would,
+/// when required, send the buffer of inserted records to the Disk Process
+/// using one message."
+pub struct BlockedInserter<'a> {
+    fs: &'a FileSystem,
+    of: &'a OpenFile,
+    txn: TxnId,
+    /// Per-partition buffers of `(key, record)`.
+    buffers: KeyedRecordBuffers,
+    /// Per-index buffers.
+    index_buffers: KeyedRecordBuffers,
+    /// Flush a partition buffer at this many records.
+    pub flush_at: usize,
+}
+
+impl<'a> BlockedInserter<'a> {
+    /// A blocked inserter for one transaction over one table.
+    pub fn new(fs: &'a FileSystem, of: &'a OpenFile, txn: TxnId) -> Self {
+        BlockedInserter {
+            fs,
+            of,
+            txn,
+            buffers: HashMap::new(),
+            index_buffers: HashMap::new(),
+            flush_at: 100,
+        }
+    }
+
+    /// Buffer one row; flushes automatically at the threshold.
+    pub fn push(&mut self, values: &[Value]) -> Result<(), FsError> {
+        let record =
+            encode_row(&self.of.desc, values).map_err(|e| FsError::BadRow(e.to_string()))?;
+        let key = encode_record_key(&self.of.desc, values);
+        let pi = self
+            .of
+            .partitions
+            .iter()
+            .position(|p| p.range.contains(&key))
+            .expect("partition ranges must cover the key space");
+        self.buffers.entry(pi).or_default().push((key, record));
+        for (ii, idx) in self.of.indexes.iter().enumerate() {
+            let irow = idx.index_row(&self.of.desc, values);
+            let ikey = encode_record_key(&idx.desc, &irow);
+            let irec = encode_row(&idx.desc, &irow).map_err(|e| FsError::BadRow(e.to_string()))?;
+            self.index_buffers.entry(ii).or_default().push((ikey, irec));
+        }
+        if self.buffers[&pi].len() >= self.flush_at {
+            self.flush_partition(pi)?;
+        }
+        Ok(())
+    }
+
+    fn flush_partition(&mut self, pi: usize) -> Result<(), FsError> {
+        let Some(mut records) = self.buffers.remove(&pi) else {
+            return Ok(());
+        };
+        if records.is_empty() {
+            return Ok(());
+        }
+        records.sort_by(|a, b| a.0.cmp(&b.0));
+        let p = &self.of.partitions[pi];
+        self.fs.send(
+            &p.process,
+            DpRequest::BlockedInsert {
+                txn: self.txn,
+                file: p.file,
+                records,
+            },
+        )?;
+        Ok(())
+    }
+
+    /// Flush every buffered record (base and index). Must be called before
+    /// commit.
+    pub fn flush(&mut self) -> Result<(), FsError> {
+        let parts: Vec<usize> = self.buffers.keys().copied().collect();
+        for pi in parts {
+            self.flush_partition(pi)?;
+        }
+        let idxs: Vec<usize> = self.index_buffers.keys().copied().collect();
+        for ii in idxs {
+            let Some(mut records) = self.index_buffers.remove(&ii) else {
+                continue;
+            };
+            if records.is_empty() {
+                continue;
+            }
+            records.sort_by(|a, b| a.0.cmp(&b.0));
+            let idx = &self.of.indexes[ii];
+            self.fs.send(
+                &idx.process,
+                DpRequest::BlockedInsert {
+                    txn: self.txn,
+                    file: idx.file,
+                    records,
+                },
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Client-side buffering for `UPDATE WHERE CURRENT` / `DELETE WHERE
+/// CURRENT` (the paper's second future-work enhancement): "by allowing the
+/// updates (deletes) to occur in a buffer local to the File System, and
+/// then sending the buffer full of updates (deletes) to the Disk Process
+/// in one message, substantial message traffic savings in the FS-DP
+/// interface could be realized."
+///
+/// The cursor's owner supplies old and new row values; index maintenance
+/// is buffered alongside, so secondary indices also see blocked traffic.
+pub struct CursorUpdater<'a> {
+    fs: &'a FileSystem,
+    of: &'a OpenFile,
+    txn: TxnId,
+    updates: KeyedRecordBuffers,
+    deletes: KeyBuffers,
+    idx_inserts: KeyedRecordBuffers,
+    idx_deletes: KeyBuffers,
+    n_updates: u64,
+    n_deletes: u64,
+}
+
+/// Per-partition/per-index buffers of `(key, record)` pairs.
+type KeyedRecordBuffers = HashMap<usize, Vec<(Vec<u8>, Vec<u8>)>>;
+/// Per-partition/per-index buffers of keys.
+type KeyBuffers = HashMap<usize, Vec<Vec<u8>>>;
+
+impl<'a> CursorUpdater<'a> {
+    /// A buffered cursor writer for one transaction over one table.
+    pub fn new(fs: &'a FileSystem, of: &'a OpenFile, txn: TxnId) -> Self {
+        CursorUpdater {
+            fs,
+            of,
+            txn,
+            updates: HashMap::new(),
+            deletes: HashMap::new(),
+            idx_inserts: HashMap::new(),
+            idx_deletes: HashMap::new(),
+            n_updates: 0,
+            n_deletes: 0,
+        }
+    }
+
+    fn partition_index(&self, key: &[u8]) -> usize {
+        self.of
+            .partitions
+            .iter()
+            .position(|p| p.range.contains(key))
+            .expect("partition ranges must cover the key space")
+    }
+
+    /// Buffer `UPDATE WHERE CURRENT`: the cursor's current row `old`
+    /// becomes `new` (same primary key).
+    pub fn update(&mut self, old: &[Value], new: &[Value]) -> Result<(), FsError> {
+        let key = encode_record_key(&self.of.desc, new);
+        assert_eq!(
+            key,
+            encode_record_key(&self.of.desc, old),
+            "WHERE CURRENT updates cannot change the primary key"
+        );
+        let record = encode_row(&self.of.desc, new).map_err(|e| FsError::BadRow(e.to_string()))?;
+        let pi = self.partition_index(&key);
+        self.updates.entry(pi).or_default().push((key, record));
+        for (ii, idx) in self.of.indexes.iter().enumerate() {
+            let old_irow = idx.index_row(&self.of.desc, old);
+            let new_irow = idx.index_row(&self.of.desc, new);
+            if old_irow != new_irow {
+                self.idx_deletes
+                    .entry(ii)
+                    .or_default()
+                    .push(encode_record_key(&idx.desc, &old_irow));
+                let irec =
+                    encode_row(&idx.desc, &new_irow).map_err(|e| FsError::BadRow(e.to_string()))?;
+                self.idx_inserts
+                    .entry(ii)
+                    .or_default()
+                    .push((encode_record_key(&idx.desc, &new_irow), irec));
+            }
+        }
+        self.n_updates += 1;
+        Ok(())
+    }
+
+    /// Buffer `DELETE WHERE CURRENT` of the cursor's current row.
+    pub fn delete(&mut self, old: &[Value]) -> Result<(), FsError> {
+        let key = encode_record_key(&self.of.desc, old);
+        let pi = self.partition_index(&key);
+        self.deletes.entry(pi).or_default().push(key);
+        for (ii, idx) in self.of.indexes.iter().enumerate() {
+            let irow = idx.index_row(&self.of.desc, old);
+            self.idx_deletes
+                .entry(ii)
+                .or_default()
+                .push(encode_record_key(&idx.desc, &irow));
+        }
+        self.n_deletes += 1;
+        Ok(())
+    }
+
+    /// Ship every buffer in one message per Disk Process touched. Returns
+    /// `(rows updated, rows deleted)`.
+    pub fn flush(&mut self) -> Result<(u64, u64), FsError> {
+        for (pi, records) in std::mem::take(&mut self.updates) {
+            let p = &self.of.partitions[pi];
+            self.fs.send(
+                &p.process,
+                DpRequest::BlockedUpdate {
+                    txn: self.txn,
+                    file: p.file,
+                    records,
+                },
+            )?;
+        }
+        for (pi, keys) in std::mem::take(&mut self.deletes) {
+            let p = &self.of.partitions[pi];
+            self.fs.send(
+                &p.process,
+                DpRequest::BlockedDelete {
+                    txn: self.txn,
+                    file: p.file,
+                    keys,
+                },
+            )?;
+        }
+        for (ii, keys) in std::mem::take(&mut self.idx_deletes) {
+            let idx = &self.of.indexes[ii];
+            self.fs.send(
+                &idx.process,
+                DpRequest::BlockedDelete {
+                    txn: self.txn,
+                    file: idx.file,
+                    keys,
+                },
+            )?;
+        }
+        for (ii, mut records) in std::mem::take(&mut self.idx_inserts) {
+            records.sort_by(|a, b| a.0.cmp(&b.0));
+            let idx = &self.of.indexes[ii];
+            self.fs.send(
+                &idx.process,
+                DpRequest::BlockedInsert {
+                    txn: self.txn,
+                    file: idx.file,
+                    records,
+                },
+            )?;
+        }
+        Ok((self.n_updates, self.n_deletes))
+    }
+}
+
+/// ENSCRIBE-visible lock call used by both APIs.
+impl FileSystem {
+    /// Acquire a file or record lock through the Disk Process.
+    pub fn lock(
+        &self,
+        txn: TxnId,
+        process: &str,
+        file: nsql_dp::FileId,
+        key: Option<Vec<u8>>,
+        mode: LockMode,
+    ) -> Result<(), FsError> {
+        self.send(
+            process,
+            DpRequest::Lock {
+                txn,
+                file,
+                key,
+                mode,
+            },
+        )?;
+        Ok(())
+    }
+}

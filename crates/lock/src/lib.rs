@@ -1,0 +1,453 @@
+#![warn(missing_docs)]
+//! The lock management component of the Disk Process.
+//!
+//! The paper describes concurrency control "via locking at the file, record,
+//! or *generic* (key prefix) level", with SQL's VSBB extending record
+//! locking to "a form of virtual block locking in which the records of the
+//! virtual block are locked as a group". All four granularities reduce to
+//! two shapes:
+//!
+//! * a **file lock**, covering every record of a file, and
+//! * a **key-range lock**, covering an interval of encoded keys — a point
+//!   for a record lock, a prefix range for a generic lock, and the span of
+//!   a virtual block for a VSBB group lock.
+//!
+//! The manager is *non-blocking*: a conflicting request returns the holder
+//! so the Disk Process can decide to queue, abort, or bounce the request.
+//! A waits-for graph detects deadlocks when callers declare waits.
+//!
+//! Locking is strict two-phase: transactions release everything at
+//! commit/abort via [`LockManager::release_all`].
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Transaction identifier (assigned by TMF; opaque here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TxnId(pub u64);
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// File identifier within one volume.
+pub type FileId = u32;
+
+/// Lock modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    /// Shared (read).
+    Shared,
+    /// Exclusive (write).
+    Exclusive,
+}
+
+impl LockMode {
+    /// Classic S/X compatibility.
+    pub fn compatible(self, other: LockMode) -> bool {
+        matches!((self, other), (LockMode::Shared, LockMode::Shared))
+    }
+}
+
+/// What a lock covers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LockScope {
+    /// The whole file.
+    File,
+    /// An inclusive interval of encoded keys. Record locks are degenerate
+    /// intervals (`lo == hi`); generic (key-prefix) locks and virtual-block
+    /// group locks are wider.
+    KeyInterval {
+        /// Low end (inclusive).
+        lo: Vec<u8>,
+        /// High end (inclusive).
+        hi: Vec<u8>,
+    },
+}
+
+impl LockScope {
+    /// A record (point) lock.
+    pub fn record(key: Vec<u8>) -> Self {
+        LockScope::KeyInterval {
+            lo: key.clone(),
+            hi: key,
+        }
+    }
+
+    /// A lock over `[lo, hi]` — used for virtual-block group locks.
+    pub fn interval(lo: Vec<u8>, hi: Vec<u8>) -> Self {
+        assert!(lo <= hi);
+        LockScope::KeyInterval { lo, hi }
+    }
+
+    /// Do two scopes cover any key in common? File scope overlaps
+    /// everything in the same file.
+    pub fn overlaps(&self, other: &LockScope) -> bool {
+        match (self, other) {
+            (LockScope::File, _) | (_, LockScope::File) => true,
+            (
+                LockScope::KeyInterval { lo: a_lo, hi: a_hi },
+                LockScope::KeyInterval { lo: b_lo, hi: b_hi },
+            ) => a_lo <= b_hi && b_lo <= a_hi,
+        }
+    }
+}
+
+/// A held lock (internal record; exposed for tests and introspection).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeldLock {
+    /// Owner.
+    pub txn: TxnId,
+    /// File the lock is on.
+    pub file: FileId,
+    /// Coverage.
+    pub scope: LockScope,
+    /// Mode.
+    pub mode: LockMode,
+}
+
+/// Why a lock could not be granted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LockError {
+    /// Conflicts with a lock held by `holder`.
+    Conflict {
+        /// The transaction holding the conflicting lock.
+        holder: TxnId,
+    },
+    /// Granting the wait would close a waits-for cycle; the requester
+    /// should abort.
+    Deadlock {
+        /// The victim (the requester itself).
+        victim: TxnId,
+    },
+}
+
+impl fmt::Display for LockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockError::Conflict { holder } => write!(f, "lock conflict with {holder}"),
+            LockError::Deadlock { victim } => write!(f, "deadlock; victim {victim}"),
+        }
+    }
+}
+
+impl std::error::Error for LockError {}
+
+#[derive(Default)]
+struct State {
+    held: Vec<HeldLock>,
+    /// waiter -> holder edges, declared by callers that decide to block.
+    waits_for: HashMap<TxnId, TxnId>,
+}
+
+/// The per-volume lock manager.
+#[derive(Default)]
+pub struct LockManager {
+    state: Mutex<State>,
+}
+
+impl LockManager {
+    /// An empty lock table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Try to acquire a lock. On success the lock is recorded (re-acquiring
+    /// a covered lock in the same or weaker mode is a no-op; a stronger mode
+    /// upgrades when no other holder conflicts).
+    pub fn acquire(
+        &self,
+        txn: TxnId,
+        file: FileId,
+        scope: LockScope,
+        mode: LockMode,
+    ) -> Result<(), LockError> {
+        let mut st = self.state.lock();
+        // Conflict scan: any overlapping lock by another txn in an
+        // incompatible mode blocks us.
+        for h in &st.held {
+            if h.txn != txn
+                && h.file == file
+                && h.scope.overlaps(&scope)
+                && !h.mode.compatible(mode)
+            {
+                return Err(LockError::Conflict { holder: h.txn });
+            }
+        }
+        // Already covered by one of our own locks at sufficient strength?
+        let covered = st.held.iter().any(|h| {
+            h.txn == txn
+                && h.file == file
+                && covers(&h.scope, &scope)
+                && (h.mode == LockMode::Exclusive || mode == LockMode::Shared)
+        });
+        if !covered {
+            st.held.push(HeldLock {
+                txn,
+                file,
+                scope,
+                mode,
+            });
+        }
+        Ok(())
+    }
+
+    /// Declare that `waiter` intends to wait for `holder`. Returns
+    /// `Deadlock` if the new edge closes a cycle (the waiter is the victim),
+    /// otherwise records the edge.
+    pub fn wait_for(&self, waiter: TxnId, holder: TxnId) -> Result<(), LockError> {
+        let mut st = self.state.lock();
+        if holder == waiter {
+            return Err(LockError::Deadlock { victim: waiter });
+        }
+        // Walk holder's wait chain; if it reaches `waiter` we have a cycle.
+        let mut cur = holder;
+        let mut hops = 0;
+        while let Some(&next) = st.waits_for.get(&cur) {
+            if next == waiter {
+                return Err(LockError::Deadlock { victim: waiter });
+            }
+            cur = next;
+            hops += 1;
+            if hops > st.waits_for.len() {
+                break; // defensive: malformed graph
+            }
+        }
+        st.waits_for.insert(waiter, holder);
+        Ok(())
+    }
+
+    /// Remove the waits-for edge of `waiter` (it got the lock or gave up).
+    pub fn stop_waiting(&self, waiter: TxnId) {
+        self.state.lock().waits_for.remove(&waiter);
+    }
+
+    /// Release every lock held by `txn` (commit/abort; strict two-phase).
+    pub fn release_all(&self, txn: TxnId) {
+        let mut st = self.state.lock();
+        st.held.retain(|h| h.txn != txn);
+        st.waits_for.remove(&txn);
+        st.waits_for.retain(|_, holder| *holder != txn);
+    }
+
+    /// Locks currently held by `txn` (for tests/inspection).
+    pub fn held_by(&self, txn: TxnId) -> Vec<HeldLock> {
+        self.state
+            .lock()
+            .held
+            .iter()
+            .filter(|h| h.txn == txn)
+            .cloned()
+            .collect()
+    }
+
+    /// Total number of held locks.
+    pub fn lock_count(&self) -> usize {
+        self.state.lock().held.len()
+    }
+
+    /// Would `txn` be able to acquire the lock right now? (No side effects.)
+    pub fn can_acquire(&self, txn: TxnId, file: FileId, scope: &LockScope, mode: LockMode) -> bool {
+        let st = self.state.lock();
+        st.held.iter().all(|h| {
+            h.txn == txn || h.file != file || !h.scope.overlaps(scope) || h.mode.compatible(mode)
+        })
+    }
+}
+
+/// Does scope `outer` cover every key `inner` covers?
+fn covers(outer: &LockScope, inner: &LockScope) -> bool {
+    match (outer, inner) {
+        (LockScope::File, _) => true,
+        (LockScope::KeyInterval { .. }, LockScope::File) => false,
+        (
+            LockScope::KeyInterval { lo: o_lo, hi: o_hi },
+            LockScope::KeyInterval { lo: i_lo, hi: i_hi },
+        ) => o_lo <= i_lo && i_hi <= o_hi,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(b: u8) -> Vec<u8> {
+        vec![b]
+    }
+
+    #[test]
+    fn shared_locks_coexist() {
+        let lm = LockManager::new();
+        lm.acquire(TxnId(1), 0, LockScope::record(k(5)), LockMode::Shared)
+            .unwrap();
+        lm.acquire(TxnId(2), 0, LockScope::record(k(5)), LockMode::Shared)
+            .unwrap();
+        assert_eq!(lm.lock_count(), 2);
+    }
+
+    #[test]
+    fn exclusive_conflicts_with_any() {
+        let lm = LockManager::new();
+        lm.acquire(TxnId(1), 0, LockScope::record(k(5)), LockMode::Exclusive)
+            .unwrap();
+        assert_eq!(
+            lm.acquire(TxnId(2), 0, LockScope::record(k(5)), LockMode::Shared),
+            Err(LockError::Conflict { holder: TxnId(1) })
+        );
+        assert_eq!(
+            lm.acquire(TxnId(2), 0, LockScope::record(k(5)), LockMode::Exclusive),
+            Err(LockError::Conflict { holder: TxnId(1) })
+        );
+    }
+
+    #[test]
+    fn different_keys_dont_conflict() {
+        let lm = LockManager::new();
+        lm.acquire(TxnId(1), 0, LockScope::record(k(5)), LockMode::Exclusive)
+            .unwrap();
+        lm.acquire(TxnId(2), 0, LockScope::record(k(6)), LockMode::Exclusive)
+            .unwrap();
+    }
+
+    #[test]
+    fn different_files_dont_conflict() {
+        let lm = LockManager::new();
+        lm.acquire(TxnId(1), 0, LockScope::File, LockMode::Exclusive)
+            .unwrap();
+        lm.acquire(TxnId(2), 1, LockScope::File, LockMode::Exclusive)
+            .unwrap();
+    }
+
+    #[test]
+    fn file_lock_blocks_record_locks() {
+        let lm = LockManager::new();
+        lm.acquire(TxnId(1), 0, LockScope::File, LockMode::Exclusive)
+            .unwrap();
+        assert!(lm
+            .acquire(TxnId(2), 0, LockScope::record(k(1)), LockMode::Shared)
+            .is_err());
+        // Shared file lock permits shared record locks but not exclusive.
+        let lm = LockManager::new();
+        lm.acquire(TxnId(1), 0, LockScope::File, LockMode::Shared)
+            .unwrap();
+        assert!(lm
+            .acquire(TxnId(2), 0, LockScope::record(k(1)), LockMode::Shared)
+            .is_ok());
+        assert!(lm
+            .acquire(TxnId(3), 0, LockScope::record(k(2)), LockMode::Exclusive)
+            .is_err());
+    }
+
+    #[test]
+    fn generic_prefix_lock_blocks_interval() {
+        // A virtual-block group lock over [10, 20] conflicts with a write
+        // to key 15 but not to key 25 — this is experiment E13's mechanism.
+        let lm = LockManager::new();
+        lm.acquire(
+            TxnId(1),
+            0,
+            LockScope::interval(k(10), k(20)),
+            LockMode::Shared,
+        )
+        .unwrap();
+        assert!(lm
+            .acquire(TxnId(2), 0, LockScope::record(k(15)), LockMode::Exclusive)
+            .is_err());
+        assert!(lm
+            .acquire(TxnId(2), 0, LockScope::record(k(25)), LockMode::Exclusive)
+            .is_ok());
+    }
+
+    #[test]
+    fn reacquire_is_idempotent_and_upgrade_works() {
+        let lm = LockManager::new();
+        let t = TxnId(1);
+        lm.acquire(t, 0, LockScope::record(k(5)), LockMode::Shared)
+            .unwrap();
+        lm.acquire(t, 0, LockScope::record(k(5)), LockMode::Shared)
+            .unwrap();
+        assert_eq!(lm.lock_count(), 1, "covered re-acquire adds nothing");
+        // Upgrade to exclusive with no other holder.
+        lm.acquire(t, 0, LockScope::record(k(5)), LockMode::Exclusive)
+            .unwrap();
+        assert!(!lm.can_acquire(TxnId(2), 0, &LockScope::record(k(5)), LockMode::Shared));
+        // Upgrade blocked by another shared holder.
+        let lm = LockManager::new();
+        lm.acquire(TxnId(1), 0, LockScope::record(k(7)), LockMode::Shared)
+            .unwrap();
+        lm.acquire(TxnId(2), 0, LockScope::record(k(7)), LockMode::Shared)
+            .unwrap();
+        assert!(lm
+            .acquire(TxnId(1), 0, LockScope::record(k(7)), LockMode::Exclusive)
+            .is_err());
+    }
+
+    #[test]
+    fn release_all_frees_everything() {
+        let lm = LockManager::new();
+        lm.acquire(TxnId(1), 0, LockScope::record(k(1)), LockMode::Exclusive)
+            .unwrap();
+        lm.acquire(TxnId(1), 1, LockScope::File, LockMode::Shared)
+            .unwrap();
+        lm.release_all(TxnId(1));
+        assert_eq!(lm.lock_count(), 0);
+        assert!(lm
+            .acquire(TxnId(2), 0, LockScope::record(k(1)), LockMode::Exclusive)
+            .is_ok());
+    }
+
+    #[test]
+    fn deadlock_detected_on_cycle() {
+        let lm = LockManager::new();
+        // T1 waits for T2, T2 waits for T3: fine.
+        lm.wait_for(TxnId(1), TxnId(2)).unwrap();
+        lm.wait_for(TxnId(2), TxnId(3)).unwrap();
+        // T3 waiting for T1 closes the cycle.
+        assert_eq!(
+            lm.wait_for(TxnId(3), TxnId(1)),
+            Err(LockError::Deadlock { victim: TxnId(3) })
+        );
+        // After T1 stops waiting, the edge is gone and T3 may wait.
+        lm.stop_waiting(TxnId(1));
+        lm.wait_for(TxnId(3), TxnId(1)).unwrap();
+    }
+
+    #[test]
+    fn self_wait_is_deadlock() {
+        let lm = LockManager::new();
+        assert!(lm.wait_for(TxnId(1), TxnId(1)).is_err());
+    }
+
+    #[test]
+    fn release_clears_wait_edges() {
+        let lm = LockManager::new();
+        lm.wait_for(TxnId(1), TxnId(2)).unwrap();
+        lm.release_all(TxnId(2));
+        // T2 gone: T2->? edges and ?->T2 edges cleared, so no cycle now.
+        lm.wait_for(TxnId(2), TxnId(1)).unwrap();
+    }
+
+    #[test]
+    fn held_by_reports_scopes() {
+        let lm = LockManager::new();
+        lm.acquire(TxnId(9), 3, LockScope::record(k(5)), LockMode::Exclusive)
+            .unwrap();
+        let held = lm.held_by(TxnId(9));
+        assert_eq!(held.len(), 1);
+        assert_eq!(held[0].file, 3);
+        assert_eq!(held[0].mode, LockMode::Exclusive);
+    }
+
+    #[test]
+    fn scope_overlap_relations() {
+        let a = LockScope::interval(k(1), k(5));
+        let b = LockScope::interval(k(5), k(9));
+        let c = LockScope::interval(k(6), k(9));
+        assert!(a.overlaps(&b), "shared endpoint overlaps");
+        assert!(!a.overlaps(&c));
+        assert!(LockScope::File.overlaps(&a));
+    }
+}

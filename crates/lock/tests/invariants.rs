@@ -1,0 +1,114 @@
+//! Property-based invariants of the lock manager.
+
+use nsql_lock::{LockManager, LockMode, LockScope, TxnId};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Acquire {
+        txn: u8,
+        file: u8,
+        lo: u8,
+        len: u8,
+        exclusive: bool,
+    },
+    AcquireFile {
+        txn: u8,
+        file: u8,
+        exclusive: bool,
+    },
+    Release(u8),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..6, 0u8..3, any::<u8>(), 0u8..16, any::<bool>()).prop_map(
+            |(txn, file, lo, len, exclusive)| Op::Acquire {
+                txn,
+                file,
+                lo,
+                len,
+                exclusive,
+            }
+        ),
+        (0u8..6, 0u8..3, any::<bool>()).prop_map(|(txn, file, exclusive)| Op::AcquireFile {
+            txn,
+            file,
+            exclusive
+        }),
+        (0u8..6).prop_map(Op::Release),
+    ]
+}
+
+fn scope_of(lo: u8, len: u8) -> LockScope {
+    let hi = lo.saturating_add(len);
+    LockScope::interval(vec![lo], vec![hi])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// After any sequence of acquires and releases, the set of held locks
+    /// is conflict-free: no two different transactions hold overlapping
+    /// locks in incompatible modes.
+    #[test]
+    fn held_locks_never_conflict(ops in proptest::collection::vec(arb_op(), 1..200)) {
+        let lm = LockManager::new();
+        for op in ops {
+            match op {
+                Op::Acquire { txn, file, lo, len, exclusive } => {
+                    let mode = if exclusive { LockMode::Exclusive } else { LockMode::Shared };
+                    let _ = lm.acquire(TxnId(txn as u64), file as u32, scope_of(lo, len), mode);
+                }
+                Op::AcquireFile { txn, file, exclusive } => {
+                    let mode = if exclusive { LockMode::Exclusive } else { LockMode::Shared };
+                    let _ = lm.acquire(TxnId(txn as u64), file as u32, LockScope::File, mode);
+                }
+                Op::Release(txn) => lm.release_all(TxnId(txn as u64)),
+            }
+            // Invariant: every pair of held locks from different txns on
+            // the same file is either non-overlapping or compatible.
+            let mut all = Vec::new();
+            for t in 0..6u64 {
+                all.extend(lm.held_by(TxnId(t)));
+            }
+            for a in &all {
+                for b in &all {
+                    if a.txn != b.txn && a.file == b.file && a.scope.overlaps(&b.scope) {
+                        prop_assert!(
+                            a.mode.compatible(b.mode),
+                            "conflicting locks held: {a:?} vs {b:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Granted requests are exactly those `can_acquire` predicted.
+    #[test]
+    fn can_acquire_is_consistent(ops in proptest::collection::vec(arb_op(), 1..100)) {
+        let lm = LockManager::new();
+        for op in ops {
+            if let Op::Acquire { txn, file, lo, len, exclusive } = op {
+                let mode = if exclusive { LockMode::Exclusive } else { LockMode::Shared };
+                let scope = scope_of(lo, len);
+                let predicted = lm.can_acquire(TxnId(txn as u64), file as u32, &scope, mode);
+                let granted = lm
+                    .acquire(TxnId(txn as u64), file as u32, scope, mode)
+                    .is_ok();
+                prop_assert_eq!(predicted, granted);
+            }
+        }
+    }
+
+    /// Release makes everything re-acquirable by anyone.
+    #[test]
+    fn release_unblocks(lo in any::<u8>(), len in 0u8..16, exclusive in any::<bool>()) {
+        let lm = LockManager::new();
+        let mode = if exclusive { LockMode::Exclusive } else { LockMode::Shared };
+        lm.acquire(TxnId(1), 0, scope_of(lo, len), mode).unwrap();
+        lm.release_all(TxnId(1));
+        lm.acquire(TxnId(2), 0, scope_of(lo, len), LockMode::Exclusive).unwrap();
+    }
+}

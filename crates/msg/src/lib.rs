@@ -1,0 +1,397 @@
+#![warn(missing_docs)]
+//! The simulated message-based operating system.
+//!
+//! Tandem's Guardian OS connects requesters and servers — possibly on
+//! different CPUs or different network nodes — exclusively via messages;
+//! there is no shared memory. This crate reproduces the property that
+//! matters to the paper: **every interaction between the File System and a
+//! Disk Process is a counted, costed message**, and remote messages cost
+//! more than local ones. That is what makes "filter data at its source" a
+//! winning strategy.
+//!
+//! Processes register on a [`Bus`] under Tandem-style `$NAME`s with a home
+//! CPU. [`Bus::request`] performs a request/reply exchange: it looks up the
+//! server, accounts the message (count, bytes, locality) against the
+//! [`nsql_sim::Metrics`], advances the virtual clock per the cost model, and
+//! invokes the server's handler in-line (the simulation is deterministic and
+//! synchronous). Handlers may themselves send messages (e.g. a data-volume
+//! Disk Process sending audit to the audit-trail Disk Process).
+
+use nsql_sim::{Micros, Sim};
+use parking_lot::RwLock;
+use std::any::Any;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A node (one Tandem system of up to 16 CPUs) in the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u8);
+
+/// A processor within a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CpuId {
+    /// Owning node.
+    pub node: NodeId,
+    /// Processor number within the node (0..15).
+    pub cpu: u8,
+}
+
+impl CpuId {
+    /// Construct from node and cpu numbers.
+    pub fn new(node: u8, cpu: u8) -> Self {
+        CpuId {
+            node: NodeId(node),
+            cpu,
+        }
+    }
+}
+
+impl fmt::Display for CpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "\\{}.{}", self.node.0, self.cpu)
+    }
+}
+
+/// Message categories, used only for metric attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsgKind {
+    /// An FS-DP interface request (the paper's headline traffic).
+    FsDp,
+    /// An FS-DP continuation re-drive (also counted as FS-DP).
+    Redrive,
+    /// Audit shipment to the audit-trail Disk Process.
+    Audit,
+    /// Process-pair checkpoint (primary → backup).
+    Checkpoint,
+    /// Anything else (TMF coordination, sort subcontracts, ...).
+    Other,
+}
+
+/// A reply from a server: an opaque payload plus its wire size.
+pub struct Response {
+    /// Downcast by the requester to the concrete reply type.
+    pub payload: Box<dyn Any + Send>,
+    /// Reply bytes, for message accounting.
+    pub size: usize,
+}
+
+impl fmt::Debug for Response {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Response")
+            .field("size", &self.size)
+            .finish()
+    }
+}
+
+impl Response {
+    /// Convenience constructor.
+    pub fn new<T: Any + Send>(payload: T, size: usize) -> Self {
+        Response {
+            payload: Box::new(payload),
+            size,
+        }
+    }
+
+    /// Downcast the payload, panicking on a protocol type mismatch (which is
+    /// a bug, not a runtime condition).
+    pub fn expect<T: Any>(self) -> T {
+        *self
+            .payload
+            .downcast::<T>()
+            .expect("message protocol type mismatch")
+    }
+}
+
+/// A message server (Disk Process, audit-trail process, backup process, ...).
+pub trait Server: Send + Sync {
+    /// Handle one request. The payload is downcast to the protocol type the
+    /// server expects. Handlers run on the server's CPU: they may account
+    /// CPU/disk work and may send further messages through the bus.
+    fn handle(&self, request: Box<dyn Any + Send>) -> Response;
+}
+
+/// Errors from message sends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BusError {
+    /// No process registered under that name.
+    UnknownProcess(String),
+    /// The process's CPU has been failed by fault injection.
+    CpuDown(String),
+}
+
+impl fmt::Display for BusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BusError::UnknownProcess(name) => write!(f, "no process named {name}"),
+            BusError::CpuDown(name) => write!(f, "path down to {name} (CPU failed)"),
+        }
+    }
+}
+
+impl std::error::Error for BusError {}
+
+struct Entry {
+    cpu: CpuId,
+    server: Arc<dyn Server>,
+}
+
+/// The message system: process registry plus accounting.
+pub struct Bus {
+    sim: Sim,
+    processes: RwLock<HashMap<String, Entry>>,
+    dead_cpus: RwLock<Vec<CpuId>>,
+}
+
+impl Bus {
+    /// A bus within the given simulation context.
+    pub fn new(sim: Sim) -> Arc<Self> {
+        Arc::new(Bus {
+            sim,
+            processes: RwLock::new(HashMap::new()),
+            dead_cpus: RwLock::new(Vec::new()),
+        })
+    }
+
+    /// The simulation context this bus accounts into.
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    /// Register (or replace) a named process on a CPU.
+    pub fn register(&self, name: impl Into<String>, cpu: CpuId, server: Arc<dyn Server>) {
+        self.processes
+            .write()
+            .insert(name.into(), Entry { cpu, server });
+    }
+
+    /// Remove a process registration.
+    pub fn deregister(&self, name: &str) {
+        self.processes.write().remove(name);
+    }
+
+    /// The CPU a process currently runs on.
+    pub fn cpu_of(&self, name: &str) -> Option<CpuId> {
+        self.processes.read().get(name).map(|e| e.cpu)
+    }
+
+    /// Fault injection: mark a CPU as failed. Subsequent sends to processes
+    /// homed there return [`BusError::CpuDown`] until a takeover re-registers
+    /// them elsewhere.
+    pub fn fail_cpu(&self, cpu: CpuId) {
+        self.dead_cpus.write().push(cpu);
+    }
+
+    /// Heal a failed CPU (reload).
+    pub fn revive_cpu(&self, cpu: CpuId) {
+        self.dead_cpus.write().retain(|&c| c != cpu);
+    }
+
+    /// Is the CPU currently failed?
+    pub fn cpu_is_down(&self, cpu: CpuId) -> bool {
+        self.dead_cpus.read().contains(&cpu)
+    }
+
+    /// Perform one request/reply exchange.
+    ///
+    /// `req_size` is the request's wire size in bytes; the reply's size comes
+    /// from the server. Both are accounted, along with the exchange itself
+    /// and its locality, and the virtual clock advances per the cost model.
+    pub fn request(
+        &self,
+        from: CpuId,
+        to: &str,
+        kind: MsgKind,
+        req_size: usize,
+        payload: Box<dyn Any + Send>,
+    ) -> Result<Response, BusError> {
+        let (cpu, server) = {
+            let procs = self.processes.read();
+            let entry = procs
+                .get(to)
+                .ok_or_else(|| BusError::UnknownProcess(to.to_string()))?;
+            (entry.cpu, Arc::clone(&entry.server))
+        };
+        if self.cpu_is_down(cpu) {
+            return Err(BusError::CpuDown(to.to_string()));
+        }
+        if self.cpu_is_down(from) {
+            return Err(BusError::CpuDown(format!("requester cpu {from}")));
+        }
+
+        let m = &self.sim.metrics;
+        m.msgs_total.inc();
+        let remote = from.node != cpu.node;
+        if remote {
+            m.msgs_remote.inc();
+        }
+        match kind {
+            MsgKind::FsDp => m.msgs_fs_dp.inc(),
+            MsgKind::Redrive => {
+                m.msgs_fs_dp.inc();
+                m.msgs_redrive.inc();
+            }
+            MsgKind::Audit => m.msgs_audit.inc(),
+            MsgKind::Checkpoint => m.msgs_checkpoint.inc(),
+            MsgKind::Other => {}
+        }
+
+        let response = server.handle(payload);
+
+        let bytes = req_size + response.size;
+        m.msg_bytes_total.add(bytes as u64);
+        self.sim
+            .clock
+            .advance(self.sim.cost.msg_cost(remote, bytes));
+        Ok(response)
+    }
+
+    /// Cost (without sending) of an exchange to `to` carrying `bytes` — used
+    /// by planners estimating remote access.
+    pub fn estimate_cost(&self, from: CpuId, to: &str, bytes: usize) -> Option<Micros> {
+        let cpu = self.cpu_of(to)?;
+        Some(self.sim.cost.msg_cost(from.node != cpu.node, bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Echo server that replies with the request integer + 1.
+    struct Echo;
+    impl Server for Echo {
+        fn handle(&self, request: Box<dyn Any + Send>) -> Response {
+            let n = *request.downcast::<u64>().unwrap();
+            Response::new(n + 1, 8)
+        }
+    }
+
+    fn setup() -> (Sim, Arc<Bus>) {
+        let sim = Sim::new();
+        let bus = Bus::new(sim.clone());
+        (sim, bus)
+    }
+
+    #[test]
+    fn request_reply_roundtrip() {
+        let (_sim, bus) = setup();
+        bus.register("$DATA1", CpuId::new(0, 1), Arc::new(Echo));
+        let r = bus
+            .request(
+                CpuId::new(0, 0),
+                "$DATA1",
+                MsgKind::FsDp,
+                16,
+                Box::new(41u64),
+            )
+            .unwrap();
+        assert_eq!(r.expect::<u64>(), 42);
+    }
+
+    #[test]
+    fn accounting_local_vs_remote() {
+        let (sim, bus) = setup();
+        bus.register("$LOCAL", CpuId::new(0, 1), Arc::new(Echo));
+        bus.register("$REMOTE", CpuId::new(1, 0), Arc::new(Echo));
+        let from = CpuId::new(0, 0);
+
+        let t0 = sim.now();
+        bus.request(from, "$LOCAL", MsgKind::FsDp, 100, Box::new(1u64))
+            .unwrap();
+        let local_cost = sim.now() - t0;
+
+        let t1 = sim.now();
+        bus.request(from, "$REMOTE", MsgKind::FsDp, 100, Box::new(1u64))
+            .unwrap();
+        let remote_cost = sim.now() - t1;
+
+        assert!(remote_cost > local_cost);
+        let s = sim.metrics.snapshot();
+        assert_eq!(s.msgs_total, 2);
+        assert_eq!(s.msgs_remote, 1);
+        assert_eq!(s.msgs_fs_dp, 2);
+        assert_eq!(s.msg_bytes_total, 2 * (100 + 8));
+    }
+
+    #[test]
+    fn redrive_counts_as_fs_dp_too() {
+        let (sim, bus) = setup();
+        bus.register("$D", CpuId::new(0, 0), Arc::new(Echo));
+        bus.request(CpuId::new(0, 0), "$D", MsgKind::Redrive, 10, Box::new(0u64))
+            .unwrap();
+        let s = sim.metrics.snapshot();
+        assert_eq!(s.msgs_fs_dp, 1);
+        assert_eq!(s.msgs_redrive, 1);
+    }
+
+    #[test]
+    fn unknown_process_errors() {
+        let (_sim, bus) = setup();
+        let err = bus
+            .request(CpuId::new(0, 0), "$NOPE", MsgKind::Other, 0, Box::new(0u64))
+            .unwrap_err();
+        assert_eq!(err, BusError::UnknownProcess("$NOPE".into()));
+    }
+
+    #[test]
+    fn cpu_failure_blocks_and_takeover_restores() {
+        let (_sim, bus) = setup();
+        let primary = CpuId::new(0, 1);
+        let backup = CpuId::new(0, 2);
+        bus.register("$DATA", primary, Arc::new(Echo));
+        bus.fail_cpu(primary);
+        let err = bus
+            .request(CpuId::new(0, 0), "$DATA", MsgKind::FsDp, 0, Box::new(0u64))
+            .unwrap_err();
+        assert!(matches!(err, BusError::CpuDown(_)));
+        // Takeover: re-register on the backup CPU.
+        bus.register("$DATA", backup, Arc::new(Echo));
+        assert!(bus
+            .request(CpuId::new(0, 0), "$DATA", MsgKind::FsDp, 0, Box::new(5u64))
+            .is_ok());
+        assert_eq!(bus.cpu_of("$DATA"), Some(backup));
+        // Revive works too.
+        bus.revive_cpu(primary);
+        assert!(!bus.cpu_is_down(primary));
+    }
+
+    #[test]
+    fn nested_sends_from_handler() {
+        // A server that forwards to another server (like a data DP sending
+        // audit to the audit-trail DP while handling a write).
+        struct Forwarder {
+            bus: Arc<Bus>,
+            inner: String,
+            cpu: CpuId,
+        }
+        impl Server for Forwarder {
+            fn handle(&self, request: Box<dyn Any + Send>) -> Response {
+                let n = *request.downcast::<u64>().unwrap();
+                let r = self
+                    .bus
+                    .request(self.cpu, &self.inner, MsgKind::Audit, 8, Box::new(n))
+                    .unwrap();
+                Response::new(r.expect::<u64>() + 100, 8)
+            }
+        }
+        let (sim, bus) = setup();
+        bus.register("$AUDIT", CpuId::new(0, 3), Arc::new(Echo));
+        bus.register(
+            "$DATA",
+            CpuId::new(0, 1),
+            Arc::new(Forwarder {
+                bus: Arc::clone(&bus),
+                inner: "$AUDIT".into(),
+                cpu: CpuId::new(0, 1),
+            }),
+        );
+        let r = bus
+            .request(CpuId::new(0, 0), "$DATA", MsgKind::FsDp, 8, Box::new(1u64))
+            .unwrap();
+        assert_eq!(r.expect::<u64>(), 102);
+        let s = sim.metrics.snapshot();
+        assert_eq!(s.msgs_total, 2);
+        assert_eq!(s.msgs_audit, 1);
+    }
+}

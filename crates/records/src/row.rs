@@ -1,0 +1,384 @@
+//! Row encoding/decoding and field access.
+//!
+//! Two access paths exist deliberately:
+//!
+//! * [`Row`] — fully decoded values, used by the SQL executor.
+//! * [`RawRecord`] — lazy field extraction straight from encoded record
+//!   bytes, used by the Disk Process when evaluating pushed-down predicates
+//!   and projections (decode only the fields actually touched).
+
+use crate::types::{FieldType, RecordDescriptor};
+use crate::value::Value;
+
+/// Errors produced when encoding or decoding records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Value count does not match the descriptor.
+    Arity {
+        /// Fields in the descriptor.
+        expected: usize,
+        /// Values supplied.
+        got: usize,
+    },
+    /// A value does not fit the declared field type.
+    TypeMismatch {
+        /// Offending field number.
+        field: u16,
+    },
+    /// NULL supplied for a NOT NULL field.
+    NullViolation {
+        /// Offending field number.
+        field: u16,
+    },
+    /// Record bytes are malformed / truncated.
+    Corrupt,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Arity { expected, got } => {
+                write!(f, "expected {expected} values, got {got}")
+            }
+            CodecError::TypeMismatch { field } => write!(f, "type mismatch at field {field}"),
+            CodecError::NullViolation { field } => {
+                write!(f, "NULL not allowed in field {field}")
+            }
+            CodecError::Corrupt => write!(f, "corrupt record bytes"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Uniform field access for predicate/expression evaluation.
+pub trait RowAccessor {
+    /// Value of field `i`. Out-of-range access is a logic error upstream and
+    /// may panic.
+    fn field(&self, i: u16) -> Value;
+    /// Number of accessible fields.
+    fn width(&self) -> usize;
+}
+
+/// A fully decoded row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row(pub Vec<Value>);
+
+impl Row {
+    /// Total wire size of the row's values.
+    pub fn wire_size(&self) -> usize {
+        self.0.iter().map(Value::wire_size).sum()
+    }
+}
+
+impl RowAccessor for Row {
+    fn field(&self, i: u16) -> Value {
+        self.0[i as usize].clone()
+    }
+    fn width(&self) -> usize {
+        self.0.len()
+    }
+}
+
+impl RowAccessor for [Value] {
+    fn field(&self, i: u16) -> Value {
+        self[i as usize].clone()
+    }
+    fn width(&self) -> usize {
+        self.len()
+    }
+}
+
+/// Borrowed-slice row view (usable as a `&dyn RowAccessor`).
+pub struct SliceRow<'a>(pub &'a [Value]);
+
+impl RowAccessor for SliceRow<'_> {
+    fn field(&self, i: u16) -> Value {
+        self.0[i as usize].clone()
+    }
+    fn width(&self) -> usize {
+        self.0.len()
+    }
+}
+
+/// Two rows side by side (outer ++ inner), used by the executor for join
+/// predicate evaluation.
+pub struct ConcatRow<'a, A: ?Sized, B: ?Sized> {
+    /// Left (outer) row.
+    pub left: &'a A,
+    /// Right (inner) row.
+    pub right: &'a B,
+}
+
+impl<A: RowAccessor + ?Sized, B: RowAccessor + ?Sized> RowAccessor for ConcatRow<'_, A, B> {
+    fn field(&self, i: u16) -> Value {
+        let lw = self.left.width() as u16;
+        if i < lw {
+            self.left.field(i)
+        } else {
+            self.right.field(i - lw)
+        }
+    }
+    fn width(&self) -> usize {
+        self.left.width() + self.right.width()
+    }
+}
+
+/// Encode a row of values per `desc`. Validates arity, types, and NOT NULL.
+pub fn encode_row(desc: &RecordDescriptor, values: &[Value]) -> Result<Vec<u8>, CodecError> {
+    if values.len() != desc.num_fields() {
+        return Err(CodecError::Arity {
+            expected: desc.num_fields(),
+            got: values.len(),
+        });
+    }
+    let mut buf = vec![0u8; desc.bitmap_len() + desc.fixed_size()];
+    let mut tail: Vec<u8> = Vec::new();
+    for (i, (v, f)) in values.iter().zip(&desc.fields).enumerate() {
+        let slot = desc.slot_offset(i as u16);
+        if v.is_null() {
+            if !f.nullable {
+                return Err(CodecError::NullViolation { field: i as u16 });
+            }
+            buf[i / 8] |= 1 << (i % 8);
+            continue;
+        }
+        if !f.ty.admits(v) {
+            return Err(CodecError::TypeMismatch { field: i as u16 });
+        }
+        match (f.ty, v) {
+            (FieldType::SmallInt, Value::SmallInt(n)) => {
+                buf[slot..slot + 2].copy_from_slice(&n.to_be_bytes())
+            }
+            (FieldType::Int, Value::Int(n)) => {
+                buf[slot..slot + 4].copy_from_slice(&n.to_be_bytes())
+            }
+            (FieldType::LargeInt, Value::LargeInt(n)) => {
+                buf[slot..slot + 8].copy_from_slice(&n.to_be_bytes())
+            }
+            (FieldType::Double, Value::Double(x)) => {
+                buf[slot..slot + 8].copy_from_slice(&x.to_be_bytes())
+            }
+            (FieldType::Char(n), Value::Str(s)) => {
+                let n = n as usize;
+                if s.len() > n {
+                    return Err(CodecError::TypeMismatch { field: i as u16 });
+                }
+                buf[slot..slot + s.len()].copy_from_slice(s.as_bytes());
+                for b in &mut buf[slot + s.len()..slot + n] {
+                    *b = b' ';
+                }
+            }
+            (FieldType::Varchar(n), Value::Str(s)) => {
+                if s.len() > n as usize {
+                    return Err(CodecError::TypeMismatch { field: i as u16 });
+                }
+                let off = tail.len() as u16;
+                buf[slot..slot + 2].copy_from_slice(&off.to_be_bytes());
+                buf[slot + 2..slot + 4].copy_from_slice(&(s.len() as u16).to_be_bytes());
+                tail.extend_from_slice(s.as_bytes());
+            }
+            _ => return Err(CodecError::TypeMismatch { field: i as u16 }),
+        }
+    }
+    buf.extend_from_slice(&tail);
+    Ok(buf)
+}
+
+/// Decode all fields of an encoded record.
+pub fn decode_row(desc: &RecordDescriptor, bytes: &[u8]) -> Result<Row, CodecError> {
+    let mut out = Vec::with_capacity(desc.num_fields());
+    for i in 0..desc.num_fields() as u16 {
+        out.push(extract_field(desc, bytes, i)?);
+    }
+    Ok(Row(out))
+}
+
+/// Extract one field from encoded record bytes without decoding the rest.
+pub fn extract_field(desc: &RecordDescriptor, bytes: &[u8], i: u16) -> Result<Value, CodecError> {
+    let idx = i as usize;
+    if idx >= desc.num_fields() || bytes.len() < desc.bitmap_len() + desc.fixed_size() {
+        return Err(CodecError::Corrupt);
+    }
+    if bytes[idx / 8] & (1 << (idx % 8)) != 0 {
+        return Ok(Value::Null);
+    }
+    let slot = desc.slot_offset(i);
+    let f = &desc.fields[idx];
+    let take = |n: usize| -> Result<&[u8], CodecError> {
+        bytes.get(slot..slot + n).ok_or(CodecError::Corrupt)
+    };
+    Ok(match f.ty {
+        FieldType::SmallInt => Value::SmallInt(i16::from_be_bytes(take(2)?.try_into().unwrap())),
+        FieldType::Int => Value::Int(i32::from_be_bytes(take(4)?.try_into().unwrap())),
+        FieldType::LargeInt => Value::LargeInt(i64::from_be_bytes(take(8)?.try_into().unwrap())),
+        FieldType::Double => Value::Double(f64::from_be_bytes(take(8)?.try_into().unwrap())),
+        FieldType::Char(n) => {
+            let raw = take(n as usize)?;
+            let s = std::str::from_utf8(raw).map_err(|_| CodecError::Corrupt)?;
+            Value::Str(s.trim_end_matches(' ').to_string())
+        }
+        FieldType::Varchar(_) => {
+            let hdr = take(4)?;
+            let off = u16::from_be_bytes(hdr[0..2].try_into().unwrap()) as usize;
+            let len = u16::from_be_bytes(hdr[2..4].try_into().unwrap()) as usize;
+            let base = desc.bitmap_len() + desc.fixed_size();
+            let raw = bytes
+                .get(base + off..base + off + len)
+                .ok_or(CodecError::Corrupt)?;
+            let s = std::str::from_utf8(raw).map_err(|_| CodecError::Corrupt)?;
+            Value::Str(s.to_string())
+        }
+    })
+}
+
+/// Lazy field access over encoded record bytes — the Disk Process view.
+pub struct RawRecord<'a> {
+    /// The record layout.
+    pub desc: &'a RecordDescriptor,
+    /// Encoded record.
+    pub bytes: &'a [u8],
+}
+
+impl RowAccessor for RawRecord<'_> {
+    fn field(&self, i: u16) -> Value {
+        extract_field(self.desc, self.bytes, i).unwrap_or(Value::Null)
+    }
+    fn width(&self) -> usize {
+        self.desc.num_fields()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::FieldDef;
+
+    fn desc() -> RecordDescriptor {
+        RecordDescriptor::new(
+            vec![
+                FieldDef::new("ID", FieldType::Int),
+                FieldDef::new("NAME", FieldType::Char(8)),
+                FieldDef::nullable("SAL", FieldType::Double),
+                FieldDef::nullable("NOTE", FieldType::Varchar(20)),
+                FieldDef::nullable("N2", FieldType::Varchar(20)),
+            ],
+            vec![0],
+        )
+    }
+
+    fn sample() -> Vec<Value> {
+        vec![
+            Value::Int(42),
+            Value::Str("BOB".into()),
+            Value::Double(1234.5),
+            Value::Str("hello".into()),
+            Value::Str("world!".into()),
+        ]
+    }
+
+    #[test]
+    fn round_trip() {
+        let d = desc();
+        let bytes = encode_row(&d, &sample()).unwrap();
+        let row = decode_row(&d, &bytes).unwrap();
+        assert_eq!(row.0, sample());
+    }
+
+    #[test]
+    fn nulls_round_trip() {
+        let d = desc();
+        let vals = vec![
+            Value::Int(1),
+            Value::Str("X".into()),
+            Value::Null,
+            Value::Null,
+            Value::Str("v".into()),
+        ];
+        let bytes = encode_row(&d, &vals).unwrap();
+        assert_eq!(decode_row(&d, &bytes).unwrap().0, vals);
+    }
+
+    #[test]
+    fn lazy_extraction_matches_decode() {
+        let d = desc();
+        let bytes = encode_row(&d, &sample()).unwrap();
+        for i in 0..d.num_fields() as u16 {
+            assert_eq!(
+                extract_field(&d, &bytes, i).unwrap(),
+                decode_row(&d, &bytes).unwrap().0[i as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn char_is_space_padded_and_trimmed() {
+        let d = desc();
+        let bytes = encode_row(&d, &sample()).unwrap();
+        // Raw bytes contain the padded form...
+        let slot = d.slot_offset(1);
+        assert_eq!(&bytes[slot..slot + 8], b"BOB     ");
+        // ... but extraction trims.
+        assert_eq!(
+            extract_field(&d, &bytes, 1).unwrap(),
+            Value::Str("BOB".into())
+        );
+    }
+
+    #[test]
+    fn not_null_enforced() {
+        let d = desc();
+        let mut vals = sample();
+        vals[0] = Value::Null;
+        assert_eq!(
+            encode_row(&d, &vals),
+            Err(CodecError::NullViolation { field: 0 })
+        );
+    }
+
+    #[test]
+    fn arity_and_type_checked() {
+        let d = desc();
+        assert!(matches!(
+            encode_row(&d, &sample()[..3]),
+            Err(CodecError::Arity { .. })
+        ));
+        let mut vals = sample();
+        vals[0] = Value::Str("no".into());
+        assert_eq!(
+            encode_row(&d, &vals),
+            Err(CodecError::TypeMismatch { field: 0 })
+        );
+    }
+
+    #[test]
+    fn oversized_strings_rejected() {
+        let d = desc();
+        let mut vals = sample();
+        vals[1] = Value::Str("LONGERTHAN8".into());
+        assert!(encode_row(&d, &vals).is_err());
+        let mut vals = sample();
+        vals[3] = Value::Str("x".repeat(21));
+        assert!(encode_row(&d, &vals).is_err());
+    }
+
+    #[test]
+    fn concat_row_spans_both_sides() {
+        let left = Row(vec![Value::Int(1), Value::Int(2)]);
+        let right = Row(vec![Value::Int(3)]);
+        let c = ConcatRow {
+            left: &left,
+            right: &right,
+        };
+        assert_eq!(c.width(), 3);
+        assert_eq!(c.field(0), Value::Int(1));
+        assert_eq!(c.field(2), Value::Int(3));
+    }
+
+    #[test]
+    fn truncated_bytes_are_corrupt_not_panic() {
+        let d = desc();
+        let bytes = encode_row(&d, &sample()).unwrap();
+        assert_eq!(extract_field(&d, &bytes[..4], 0), Err(CodecError::Corrupt));
+    }
+}

@@ -1,0 +1,73 @@
+//! Virtual clock.
+//!
+//! Time is a monotonically non-decreasing count of virtual microseconds.
+//! Components advance it as they accrue simulated cost. Multi-stream
+//! experiments (e.g. group commit under concurrent arrivals, experiment E7)
+//! use [`Clock::advance_to`] to merge per-stream timelines: the clock only
+//! ever moves forward.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Virtual microseconds since simulation start.
+pub type Micros = u64;
+
+/// A monotone virtual clock shared by every component of a simulated cluster.
+#[derive(Debug)]
+pub struct Clock {
+    now_us: AtomicU64,
+}
+
+impl Clock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        Clock {
+            now_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Micros {
+        self.now_us.load(Ordering::Relaxed)
+    }
+
+    /// Advance the clock by `delta` microseconds and return the new time.
+    pub fn advance(&self, delta: Micros) -> Micros {
+        self.now_us.fetch_add(delta, Ordering::Relaxed) + delta
+    }
+
+    /// Move the clock forward to `t` if `t` is in the future; never moves the
+    /// clock backwards. Returns the (possibly unchanged) current time.
+    pub fn advance_to(&self, t: Micros) -> Micros {
+        self.now_us.fetch_max(t, Ordering::Relaxed).max(t)
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_advances() {
+        let c = Clock::new();
+        assert_eq!(c.now(), 0);
+        assert_eq!(c.advance(5), 5);
+        assert_eq!(c.advance(7), 12);
+        assert_eq!(c.now(), 12);
+    }
+
+    #[test]
+    fn advance_to_is_monotone() {
+        let c = Clock::new();
+        c.advance(100);
+        assert_eq!(c.advance_to(50), 100, "must not move backwards");
+        assert_eq!(c.now(), 100);
+        assert_eq!(c.advance_to(250), 250);
+        assert_eq!(c.now(), 250);
+    }
+}

@@ -1,0 +1,205 @@
+//! Metrics: the counters the paper's evaluation is expressed in.
+//!
+//! A [`Metrics`] registry lives in the [`crate::Sim`] context; every
+//! component increments counters as it works. Experiments take a
+//! [`MetricsSnapshot`] before and after a workload and subtract.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A single monotone counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+macro_rules! metrics {
+    ($(#[doc = $doc:literal] $name:ident,)+) => {
+        /// The full counter registry of a simulated cluster.
+        #[derive(Debug, Default)]
+        pub struct Metrics {
+            $(#[doc = $doc] pub $name: Counter,)+
+        }
+
+        /// A point-in-time copy of every counter. Supports subtraction to
+        /// obtain per-workload deltas.
+        #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+        pub struct MetricsSnapshot {
+            $(#[doc = $doc] pub $name: u64,)+
+        }
+
+        impl Metrics {
+            /// Fresh registry with all counters at zero.
+            pub fn new() -> Self {
+                Self::default()
+            }
+
+            /// Copy every counter.
+            pub fn snapshot(&self) -> MetricsSnapshot {
+                MetricsSnapshot {
+                    $($name: self.$name.get(),)+
+                }
+            }
+
+            /// Delta of every counter since `before`.
+            pub fn since(&self, before: &MetricsSnapshot) -> MetricsSnapshot {
+                let now = self.snapshot();
+                MetricsSnapshot {
+                    $($name: now.$name - before.$name,)+
+                }
+            }
+        }
+
+        impl MetricsSnapshot {
+            /// Iterate (name, value) pairs, in declaration order.
+            pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+                [$((stringify!($name), self.$name),)+].into_iter()
+            }
+        }
+
+        impl std::ops::Sub for MetricsSnapshot {
+            type Output = MetricsSnapshot;
+            fn sub(self, rhs: MetricsSnapshot) -> MetricsSnapshot {
+                MetricsSnapshot {
+                    $($name: self.$name - rhs.$name,)+
+                }
+            }
+        }
+
+        impl fmt::Display for MetricsSnapshot {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                for (name, value) in self.iter() {
+                    if value != 0 {
+                        writeln!(f, "  {name:<28} {value}")?;
+                    }
+                }
+                Ok(())
+            }
+        }
+    };
+}
+
+metrics! {
+    /// Total request/reply message exchanges over the message system.
+    msgs_total,
+    /// Message exchanges that crossed a node boundary.
+    msgs_remote,
+    /// Total bytes carried by messages (requests + replies).
+    msg_bytes_total,
+    /// FS-DP interface messages (the paper's headline metric).
+    msgs_fs_dp,
+    /// Audit messages from data-volume DPs to the audit-trail DP.
+    msgs_audit,
+    /// Process-pair checkpoint messages (primary -> backup).
+    msgs_checkpoint,
+    /// Continuation re-drive messages (GET^NEXT / UPDATE^SUBSET^NEXT ...).
+    msgs_redrive,
+    /// Disk read operations issued.
+    disk_reads,
+    /// Disk write operations issued.
+    disk_writes,
+    /// Blocks transferred by disk reads.
+    disk_blocks_read,
+    /// Blocks transferred by disk writes.
+    disk_blocks_written,
+    /// Disk I/Os that transferred more than one block (bulk I/O).
+    disk_bulk_ios,
+    /// Buffer-pool lookups that hit.
+    cache_hits,
+    /// Buffer-pool lookups that missed and required a disk read.
+    cache_misses,
+    /// Bulk reads issued by the pre-fetcher.
+    prefetch_reads,
+    /// Cache hits satisfied from a pre-fetched block.
+    prefetch_hits,
+    /// Dirty-string writes issued by the write-behind mechanism.
+    writebehind_writes,
+    /// Clean buffers stolen by the memory-pressure handshake.
+    cache_steals,
+    /// Audit records generated.
+    audit_records,
+    /// Total audit bytes generated.
+    audit_bytes,
+    /// Audit-trail disk writes (group-commit flushes).
+    audit_flushes,
+    /// Audit flushes triggered by a buffer-full condition.
+    audit_buffer_full_flushes,
+    /// Transactions committed.
+    txns_committed,
+    /// Transactions aborted.
+    txns_aborted,
+    /// Transactions whose commit rode an audit write shared with others.
+    group_commit_piggybacks,
+    /// Lock requests that had to wait.
+    lock_waits,
+    /// Deadlocks detected (victim aborted).
+    deadlocks,
+    /// CPU work units accounted to the SQL executor / application layer.
+    cpu_executor,
+    /// CPU work units accounted to the File System.
+    cpu_fs,
+    /// CPU work units accounted to the Disk Process.
+    cpu_dp,
+    /// Records examined by Disk Process predicate evaluation.
+    dp_records_examined,
+    /// Records selected (passed the DP filter).
+    dp_records_selected,
+    /// Subset Control Blocks created.
+    subset_control_blocks,
+    /// Rows returned to the application.
+    rows_returned,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_delta() {
+        let m = Metrics::new();
+        m.msgs_total.add(5);
+        let before = m.snapshot();
+        m.msgs_total.add(3);
+        m.disk_reads.inc();
+        let delta = m.since(&before);
+        assert_eq!(delta.msgs_total, 3);
+        assert_eq!(delta.disk_reads, 1);
+        assert_eq!(delta.disk_writes, 0);
+    }
+
+    #[test]
+    fn sub_operator_matches_since() {
+        let m = Metrics::new();
+        let s0 = m.snapshot();
+        m.cache_hits.add(7);
+        let s1 = m.snapshot();
+        assert_eq!((s1 - s0).cache_hits, 7);
+        assert_eq!(m.since(&s0), s1 - s0);
+    }
+
+    #[test]
+    fn iter_names_nonempty_and_display() {
+        let m = Metrics::new();
+        m.rows_returned.add(2);
+        let s = m.snapshot();
+        assert!(s.iter().count() > 20);
+        let shown = format!("{s}");
+        assert!(shown.contains("rows_returned"));
+        assert!(!shown.contains("disk_reads"), "zero counters are hidden");
+    }
+}

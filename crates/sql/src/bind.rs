@@ -1,0 +1,268 @@
+//! Name resolution: AST expressions → bound expressions over field numbers.
+//!
+//! A [`Scope`] is an ordered list of visible tables; the bound field number
+//! of a column is its table's offset plus its position in the table's
+//! descriptor. For single-table statements the offset is zero, so bound
+//! field numbers coincide with record-descriptor field numbers — exactly
+//! the form the Disk Process evaluates.
+
+use crate::ast::{AstExpr, ColumnRef};
+use nsql_records::{Expr, RecordDescriptor};
+
+/// Binding errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BindError {
+    /// Column not found in any visible table.
+    UnknownColumn(String),
+    /// Column name matches more than one table.
+    Ambiguous(String),
+    /// Qualifier does not name a visible table.
+    UnknownTable(String),
+}
+
+impl std::fmt::Display for BindError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BindError::UnknownColumn(c) => write!(f, "unknown column {c}"),
+            BindError::Ambiguous(c) => write!(f, "ambiguous column {c}"),
+            BindError::UnknownTable(t) => write!(f, "unknown table or alias {t}"),
+        }
+    }
+}
+
+impl std::error::Error for BindError {}
+
+/// One visible table in a scope.
+pub struct ScopeTable<'a> {
+    /// Name and optional alias it answers to.
+    pub names: Vec<String>,
+    /// Its record layout.
+    pub desc: &'a RecordDescriptor,
+    /// Field-number offset of its first column in the combined row.
+    pub offset: u16,
+}
+
+/// An ordered name scope.
+pub struct Scope<'a> {
+    /// Visible tables.
+    pub tables: Vec<ScopeTable<'a>>,
+}
+
+impl<'a> Scope<'a> {
+    /// Scope over a single table at offset 0.
+    pub fn single(name: &str, desc: &'a RecordDescriptor) -> Scope<'a> {
+        Scope {
+            tables: vec![ScopeTable {
+                names: vec![name.to_ascii_uppercase()],
+                desc,
+                offset: 0,
+            }],
+        }
+    }
+
+    /// Build a multi-table scope; offsets accumulate in order.
+    pub fn over(tables: Vec<(Vec<String>, &'a RecordDescriptor)>) -> Scope<'a> {
+        let mut out = Vec::new();
+        let mut offset = 0u16;
+        for (names, desc) in tables {
+            out.push(ScopeTable {
+                names: names.iter().map(|n| n.to_ascii_uppercase()).collect(),
+                desc,
+                offset,
+            });
+            offset += desc.num_fields() as u16;
+        }
+        Scope { tables: out }
+    }
+
+    /// Total width of the combined row.
+    pub fn width(&self) -> u16 {
+        self.tables.iter().map(|t| t.desc.num_fields() as u16).sum()
+    }
+
+    /// Resolve a column reference to a combined-row field number.
+    pub fn resolve(&self, col: &ColumnRef) -> Result<u16, BindError> {
+        let cname = col.column.to_ascii_uppercase();
+        match &col.qualifier {
+            Some(q) => {
+                let q = q.to_ascii_uppercase();
+                let t = self
+                    .tables
+                    .iter()
+                    .find(|t| t.names.contains(&q))
+                    .ok_or(BindError::UnknownTable(q))?;
+                let f = t.desc.field_named(&cname).ok_or_else(|| {
+                    BindError::UnknownColumn(format!(
+                        "{}.{cname}",
+                        col.qualifier.as_deref().unwrap_or("")
+                    ))
+                })?;
+                Ok(t.offset + f)
+            }
+            None => {
+                let mut found = None;
+                for t in &self.tables {
+                    if let Some(f) = t.desc.field_named(&cname) {
+                        if found.is_some() {
+                            return Err(BindError::Ambiguous(cname));
+                        }
+                        found = Some(t.offset + f);
+                    }
+                }
+                found.ok_or(BindError::UnknownColumn(cname))
+            }
+        }
+    }
+
+    /// Which table (index into `tables`) owns combined field `f`?
+    pub fn table_of_field(&self, f: u16) -> usize {
+        for (i, t) in self.tables.iter().enumerate().rev() {
+            if f >= t.offset {
+                return i;
+            }
+        }
+        0
+    }
+}
+
+/// Bind a name-based expression into field-number form.
+pub fn bind_expr(ast: &AstExpr, scope: &Scope) -> Result<Expr, BindError> {
+    Ok(match ast {
+        AstExpr::Lit(v) => Expr::Lit(v.clone()),
+        AstExpr::Column(c) => Expr::Field(scope.resolve(c)?),
+        AstExpr::Arith(a, op, b) => Expr::Arith(
+            Box::new(bind_expr(a, scope)?),
+            *op,
+            Box::new(bind_expr(b, scope)?),
+        ),
+        AstExpr::Cmp(a, op, b) => Expr::Cmp(
+            Box::new(bind_expr(a, scope)?),
+            *op,
+            Box::new(bind_expr(b, scope)?),
+        ),
+        AstExpr::And(a, b) => Expr::and(bind_expr(a, scope)?, bind_expr(b, scope)?),
+        AstExpr::Or(a, b) => Expr::or(bind_expr(a, scope)?, bind_expr(b, scope)?),
+        AstExpr::Not(a) => Expr::Not(Box::new(bind_expr(a, scope)?)),
+        AstExpr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(bind_expr(expr, scope)?),
+            negated: *negated,
+        },
+        AstExpr::Between { expr, lo, hi } => Expr::Between {
+            expr: Box::new(bind_expr(expr, scope)?),
+            lo: Box::new(bind_expr(lo, scope)?),
+            hi: Box::new(bind_expr(hi, scope)?),
+        },
+        AstExpr::InList(e, list) => Expr::InList(
+            Box::new(bind_expr(e, scope)?),
+            list.iter()
+                .map(|i| bind_expr(i, scope))
+                .collect::<Result<Vec<_>, _>>()?,
+        ),
+        AstExpr::Like(e, p) => Expr::Like(Box::new(bind_expr(e, scope)?), p.clone()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Statement;
+    use crate::parser::parse;
+    use nsql_records::{FieldDef, FieldType};
+
+    fn emp() -> RecordDescriptor {
+        RecordDescriptor::new(
+            vec![
+                FieldDef::new("EMPNO", FieldType::Int),
+                FieldDef::new("NAME", FieldType::Char(8)),
+                FieldDef::new("DEPTNO", FieldType::Int),
+            ],
+            vec![0],
+        )
+    }
+
+    fn dept() -> RecordDescriptor {
+        RecordDescriptor::new(
+            vec![
+                FieldDef::new("DEPTNO", FieldType::Int),
+                FieldDef::new("DNAME", FieldType::Char(8)),
+            ],
+            vec![0],
+        )
+    }
+
+    fn where_of(sql: &str) -> AstExpr {
+        let Statement::Select(s) = parse(sql).unwrap() else {
+            panic!()
+        };
+        s.where_clause.unwrap()
+    }
+
+    #[test]
+    fn single_table_binding() {
+        let d = emp();
+        let scope = Scope::single("EMP", &d);
+        let e = bind_expr(
+            &where_of("SELECT * FROM EMP WHERE EMPNO <= 1000 AND NAME = 'X'"),
+            &scope,
+        )
+        .unwrap();
+        let mut fields = Vec::new();
+        e.collect_fields(&mut fields);
+        assert_eq!(fields, vec![0, 1]);
+    }
+
+    #[test]
+    fn qualified_and_offset_binding() {
+        let (e_desc, d_desc) = (emp(), dept());
+        let scope = Scope::over(vec![
+            (vec!["EMP".into(), "E".into()], &e_desc),
+            (vec!["DEPT".into(), "D".into()], &d_desc),
+        ]);
+        let e = bind_expr(
+            &where_of("SELECT * FROM EMP E, DEPT D WHERE E.DEPTNO = D.DEPTNO"),
+            &scope,
+        )
+        .unwrap();
+        let mut fields = Vec::new();
+        e.collect_fields(&mut fields);
+        assert_eq!(fields, vec![2, 3], "DEPT columns offset past EMP's");
+        assert_eq!(scope.table_of_field(2), 0);
+        assert_eq!(scope.table_of_field(3), 1);
+        assert_eq!(scope.width(), 5);
+    }
+
+    #[test]
+    fn ambiguity_detected() {
+        let (e_desc, d_desc) = (emp(), dept());
+        let scope = Scope::over(vec![
+            (vec!["EMP".into()], &e_desc),
+            (vec!["DEPT".into()], &d_desc),
+        ]);
+        let err = bind_expr(
+            &where_of("SELECT * FROM EMP, DEPT WHERE DEPTNO = 1"),
+            &scope,
+        )
+        .unwrap_err();
+        assert_eq!(err, BindError::Ambiguous("DEPTNO".into()));
+        // Unqualified but unique columns bind fine.
+        bind_expr(
+            &where_of("SELECT * FROM EMP, DEPT WHERE DNAME = 'X'"),
+            &scope,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn unknown_names_rejected() {
+        let d = emp();
+        let scope = Scope::single("EMP", &d);
+        assert!(matches!(
+            bind_expr(&where_of("SELECT * FROM EMP WHERE NOPE = 1"), &scope),
+            Err(BindError::UnknownColumn(_))
+        ));
+        assert!(matches!(
+            bind_expr(&where_of("SELECT * FROM EMP WHERE X.EMPNO = 1"), &scope),
+            Err(BindError::UnknownTable(_))
+        ));
+    }
+}

@@ -1,0 +1,548 @@
+//! The SQL Executor.
+//!
+//! "The application program's SQL statements invoke the SQL Executor, a set
+//! of library routines which run in the application's process environment.
+//! The Executor invokes the File System on behalf of the application. Its
+//! field-oriented and possibly set-oriented File System calls implement the
+//! execution plan of the pre-compiled query."
+//!
+//! Reads choose the transfer interface per the paper's examples: a scan
+//! with selection or projection uses **VSBB**; a bare `SELECT *` scan uses
+//! **RSBB**; `FOR BROWSE RECORD ACCESS` (an experiment extension) forces
+//! the old record-at-a-time interface.
+
+use crate::ast::AggFunc;
+use crate::catalog::Catalog;
+use crate::plan::{
+    AccessPath, AggOutput, AggPlan, DeletePlan, InsertPlan, SelectPlan, TableAccess, UpdatePlan,
+};
+use crate::sort::{fastsort, sort_cmp};
+use nsql_dp::{ReadLock, SubsetMode};
+use nsql_fs::{FileSystem, FsError};
+use nsql_lock::TxnId;
+use nsql_records::{EvalError, Expr, KeyRange, Row, RowAccessor, Value};
+use nsql_sim::CpuLayer;
+use std::collections::HashMap;
+
+/// Execution errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// File System / Disk Process failure.
+    Fs(FsError),
+    /// Expression evaluation failure.
+    Eval(String),
+    /// CHECK constraint rejected a row.
+    ConstraintViolation,
+}
+
+impl From<FsError> for ExecError {
+    fn from(e: FsError) -> Self {
+        if matches!(e, FsError::Dp(nsql_dp::DpError::ConstraintViolation)) {
+            ExecError::ConstraintViolation
+        } else {
+            ExecError::Fs(e)
+        }
+    }
+}
+
+impl From<EvalError> for ExecError {
+    fn from(e: EvalError) -> Self {
+        ExecError::Eval(e.to_string())
+    }
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Fs(e) => write!(f, "{e}"),
+            ExecError::Eval(e) => write!(f, "evaluation failed: {e}"),
+            ExecError::ConstraintViolation => write!(f, "integrity constraint violated"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// A query result set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Column names.
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Row>,
+}
+
+impl QueryResult {
+    /// Render as an ASCII table (examples and the REPL-style demos).
+    pub fn to_table(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.0.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for (i, c) in self.columns.iter().enumerate() {
+            out.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+        }
+        out.push('\n');
+        for (i, _) in self.columns.iter().enumerate() {
+            out.push_str(&"-".repeat(widths[i]));
+            out.push_str("  ");
+        }
+        out.push('\n');
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                out.push_str(&format!("{:<w$}  ", cell, w = widths[i]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The executor: runs plans through a File System instance.
+pub struct Executor<'a> {
+    /// The requester's File System.
+    pub fs: &'a FileSystem,
+    /// The shared catalog (row-count statistics updates).
+    pub catalog: &'a Catalog,
+    /// FastSort parallelism for ORDER BY (the paper's "user option which
+    /// directs the SQL compiler to cause the invocation ... of the parallel
+    /// sorter"). 1 = serial.
+    pub sort_parallelism: u32,
+}
+
+impl Executor<'_> {
+    fn sim(&self) -> &nsql_sim::Sim {
+        self.fs.sim()
+    }
+
+    // ------------------------------------------------------------------
+    // SELECT
+    // ------------------------------------------------------------------
+
+    /// Execute a SELECT plan.
+    pub fn select(&self, plan: &SelectPlan, txn: Option<TxnId>) -> Result<QueryResult, ExecError> {
+        // Fetch each table's contribution.
+        let mut per_table: Vec<Vec<Row>> = Vec::with_capacity(plan.tables.len());
+        for t in &plan.tables {
+            per_table.push(self.fetch_table(t, txn)?);
+        }
+
+        // Nested-loop join (cross product progressively filtered).
+        let mut joined: Vec<Row> = per_table.first().cloned().unwrap_or_default();
+        for batch in per_table.iter().skip(1) {
+            let mut next = Vec::new();
+            for outer in &joined {
+                for inner in batch {
+                    self.sim().cpu_work(CpuLayer::Executor, 1);
+                    let mut row = outer.0.clone();
+                    row.extend_from_slice(&inner.0);
+                    next.push(Row(row));
+                }
+            }
+            joined = next;
+        }
+        if let Some(f) = &plan.join_filter {
+            let mut kept = Vec::with_capacity(joined.len());
+            for row in joined {
+                self.sim()
+                    .cpu_work(CpuLayer::Executor, 1 + f.eval_cost() / 2);
+                if f.passes(&row)? {
+                    kept.push(row);
+                }
+            }
+            joined = kept;
+        }
+
+        // Aggregate or plain projection.
+        let mut result = if let Some(agg) = &plan.aggregate {
+            self.aggregate(agg, &joined, &plan.column_names)?
+        } else {
+            let sorted = fastsort(self.sim(), joined, &plan.order_by, self.sort_parallelism)?;
+            let mut rows = Vec::with_capacity(sorted.len());
+            for row in &sorted {
+                self.sim().cpu_work(CpuLayer::Executor, 1);
+                let mut out = Vec::with_capacity(plan.output.len());
+                for (_, e) in &plan.output {
+                    out.push(e.eval(row)?);
+                }
+                rows.push(Row(out));
+            }
+            QueryResult {
+                columns: plan.column_names.clone(),
+                rows,
+            }
+        };
+
+        // ORDER BY over aggregate output.
+        if !plan.order_on_output.is_empty() {
+            let keys: Vec<(Expr, bool)> = plan
+                .order_on_output
+                .iter()
+                .map(|&(pos, desc)| (Expr::Field(pos as u16), desc))
+                .collect();
+            result.rows = fastsort(self.sim(), result.rows, &keys, self.sort_parallelism)?;
+        }
+
+        self.sim()
+            .metrics
+            .rows_returned
+            .add(result.rows.len() as u64);
+        Ok(result)
+    }
+
+    /// Fetch one table's rows per its access path, projected to
+    /// `fetch_fields` and filtered by the residual.
+    fn fetch_table(&self, t: &TableAccess, txn: Option<TxnId>) -> Result<Vec<Row>, ExecError> {
+        let of = &t.info.open;
+        let all_fields = t.fetch_fields.len() == of.desc.num_fields();
+        let rows = match &t.access {
+            AccessPath::TableScan {
+                range,
+                pushdown,
+                browse: false,
+            } => {
+                // SELECT * with no predicate travels via RSBB (paper
+                // example 2); anything with selection or projection uses
+                // VSBB (example 1).
+                let (mode, projection) = if pushdown.is_none() && all_fields {
+                    (SubsetMode::Rsbb, None)
+                } else {
+                    (SubsetMode::Vsbb, Some(t.fetch_fields.as_slice()))
+                };
+                let scan = self.fs.scan(
+                    txn,
+                    of,
+                    range,
+                    pushdown.as_ref(),
+                    projection,
+                    mode,
+                    if txn.is_some() {
+                        ReadLock::Shared
+                    } else {
+                        ReadLock::None
+                    },
+                )?;
+                if projection.is_none() && !all_fields {
+                    unreachable!("RSBB only chosen when all fields are fetched");
+                }
+                scan.rows
+            }
+            AccessPath::TableScan { browse: true, .. } => {
+                // Record-at-a-time: read whole records, project + filter
+                // locally.
+                let mut cur = self.fs.ens_open(of, txn);
+                let mut rows = Vec::new();
+                while let Some(full) = self.fs.ens_read_next(&mut cur)? {
+                    self.sim().cpu_work(CpuLayer::Executor, 1);
+                    let projected = Row(t
+                        .fetch_fields
+                        .iter()
+                        .map(|&f| full.0[f as usize].clone())
+                        .collect());
+                    rows.push(projected);
+                }
+                rows
+            }
+            AccessPath::IndexScan {
+                index,
+                range,
+                index_pushdown,
+                index_only,
+            } => {
+                let idx = &of.indexes[*index];
+                let entries = self.fs.scan_index(
+                    txn,
+                    idx,
+                    range,
+                    index_pushdown.as_ref(),
+                    if txn.is_some() {
+                        ReadLock::Shared
+                    } else {
+                        ReadLock::None
+                    },
+                )?;
+                if *index_only {
+                    // Project directly out of index rows.
+                    let field_in_index = |base: u16| -> usize {
+                        idx.base_fields
+                            .iter()
+                            .position(|&b| b == base)
+                            .or_else(|| {
+                                of.desc
+                                    .key_fields
+                                    .iter()
+                                    .position(|&k| k == base)
+                                    .map(|p| idx.base_fields.len() + p)
+                            })
+                            .expect("index-only plan covers all fetched fields")
+                    };
+                    entries
+                        .into_iter()
+                        .map(|irow| {
+                            Row(t
+                                .fetch_fields
+                                .iter()
+                                .map(|&f| irow.0[field_in_index(f)].clone())
+                                .collect())
+                        })
+                        .collect()
+                } else {
+                    // Figure 2: fetch each base record by primary key.
+                    let mut rows = Vec::new();
+                    for irow in &entries {
+                        let base_key = idx.base_key_from_index_row(&of.desc, &irow.0);
+                        if let Some(full) = self.fs.read_by_key(
+                            txn,
+                            of,
+                            &base_key,
+                            if txn.is_some() {
+                                ReadLock::Shared
+                            } else {
+                                ReadLock::None
+                            },
+                        )? {
+                            rows.push(Row(t
+                                .fetch_fields
+                                .iter()
+                                .map(|&f| full.0[f as usize].clone())
+                                .collect()));
+                        }
+                    }
+                    rows
+                }
+            }
+        };
+        // Residual filter (browse / base-fetch index paths).
+        if let Some(r) = &t.residual {
+            let mut kept = Vec::with_capacity(rows.len());
+            for row in rows {
+                self.sim()
+                    .cpu_work(CpuLayer::Executor, 1 + r.eval_cost() / 2);
+                if r.passes(&row)? {
+                    kept.push(row);
+                }
+            }
+            return Ok(kept);
+        }
+        Ok(rows)
+    }
+
+    fn aggregate(
+        &self,
+        agg: &AggPlan,
+        rows: &[Row],
+        names: &[String],
+    ) -> Result<QueryResult, ExecError> {
+        #[derive(Clone)]
+        struct AccState {
+            count: u64,
+            sum_i: i64,
+            sum_f: f64,
+            any_float: bool,
+            min: Option<Value>,
+            max: Option<Value>,
+        }
+        impl Default for AccState {
+            fn default() -> Self {
+                AccState {
+                    count: 0,
+                    sum_i: 0,
+                    sum_f: 0.0,
+                    any_float: false,
+                    min: None,
+                    max: None,
+                }
+            }
+        }
+
+        let mut groups: HashMap<Vec<u8>, (Vec<Value>, Vec<AccState>)> = HashMap::new();
+        let mut order: Vec<Vec<u8>> = Vec::new();
+        for row in rows {
+            self.sim()
+                .cpu_work(CpuLayer::Executor, 1 + agg.aggs.len() as u64);
+            let group_vals: Vec<Value> = agg.group_by.iter().map(|&g| row.field(g)).collect();
+            let gk = group_key(&group_vals);
+            let entry = groups.entry(gk.clone()).or_insert_with(|| {
+                order.push(gk);
+                (group_vals, vec![AccState::default(); agg.aggs.len()])
+            });
+            for (i, (func, arg)) in agg.aggs.iter().enumerate() {
+                let v = match arg {
+                    None => Value::Int(1), // COUNT(*)
+                    Some(e) => e.eval(row)?,
+                };
+                if v.is_null() {
+                    continue; // NULLs are ignored by aggregates
+                }
+                let st = &mut entry.1[i];
+                st.count += 1;
+                match func {
+                    AggFunc::Count => {}
+                    AggFunc::Sum | AggFunc::Avg => {
+                        if let Some(i64v) = v.as_i64() {
+                            st.sum_i += i64v;
+                            st.sum_f += i64v as f64;
+                        } else if let Some(f) = v.as_f64() {
+                            st.any_float = true;
+                            st.sum_f += f;
+                        } else {
+                            return Err(ExecError::Eval(
+                                "SUM/AVG requires numeric argument".into(),
+                            ));
+                        }
+                    }
+                    AggFunc::Min => {
+                        if st.min.as_ref().is_none_or(|m| sort_cmp(&v, m).is_lt()) {
+                            st.min = Some(v.clone());
+                        }
+                    }
+                    AggFunc::Max => {
+                        if st.max.as_ref().is_none_or(|m| sort_cmp(&v, m).is_gt()) {
+                            st.max = Some(v.clone());
+                        }
+                    }
+                }
+            }
+        }
+        // A global aggregate over zero rows still yields one row.
+        if groups.is_empty() && agg.group_by.is_empty() {
+            let gk = group_key(&[]);
+            order.push(gk.clone());
+            groups.insert(gk, (Vec::new(), vec![AccState::default(); agg.aggs.len()]));
+        }
+
+        let mut out_rows = Vec::with_capacity(order.len());
+        for gk in order {
+            let (gvals, states) = &groups[&gk];
+            let mut out = Vec::with_capacity(agg.output.len());
+            for o in &agg.output {
+                out.push(match *o {
+                    AggOutput::GroupCol(i) => gvals[i].clone(),
+                    AggOutput::Agg(i) => {
+                        let st = &states[i];
+                        match agg.aggs[i].0 {
+                            AggFunc::Count => Value::LargeInt(st.count as i64),
+                            AggFunc::Sum => {
+                                if st.count == 0 {
+                                    Value::Null
+                                } else if st.any_float {
+                                    Value::Double(st.sum_f)
+                                } else {
+                                    Value::LargeInt(st.sum_i)
+                                }
+                            }
+                            AggFunc::Avg => {
+                                if st.count == 0 {
+                                    Value::Null
+                                } else {
+                                    Value::Double(st.sum_f / st.count as f64)
+                                }
+                            }
+                            AggFunc::Min => st.min.clone().unwrap_or(Value::Null),
+                            AggFunc::Max => st.max.clone().unwrap_or(Value::Null),
+                        }
+                    }
+                });
+            }
+            out_rows.push(Row(out));
+        }
+        Ok(QueryResult {
+            columns: names.to_vec(),
+            rows: out_rows,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // DML
+    // ------------------------------------------------------------------
+
+    /// Execute an INSERT plan; returns the number of rows inserted.
+    pub fn insert(&self, plan: &InsertPlan, txn: TxnId) -> Result<u64, ExecError> {
+        for row in &plan.rows {
+            // CHECK constraints verified before shipping the row.
+            for c in &plan.info.checks {
+                self.sim()
+                    .cpu_work(CpuLayer::Executor, 1 + c.eval_cost() / 2);
+                if !c.passes(&nsql_records::SliceRow(row))? {
+                    return Err(ExecError::ConstraintViolation);
+                }
+            }
+            self.fs.insert_row(txn, &plan.info.open, row)?;
+        }
+        self.catalog
+            .bump_rows(&plan.info.name, plan.rows.len() as i64);
+        Ok(plan.rows.len() as u64)
+    }
+
+    /// Execute an UPDATE plan; returns the number of rows updated.
+    pub fn update(&self, plan: &UpdatePlan, txn: TxnId) -> Result<u64, ExecError> {
+        let n = self.fs.update_set(
+            txn,
+            &plan.info.open,
+            &plan.range,
+            plan.predicate.as_ref(),
+            &plan.sets,
+            plan.constraint.as_ref(),
+        )?;
+        Ok(n)
+    }
+
+    /// Execute a DELETE plan; returns the number of rows deleted.
+    pub fn delete(&self, plan: &DeletePlan, txn: TxnId) -> Result<u64, ExecError> {
+        let n = self
+            .fs
+            .delete_set(txn, &plan.info.open, &plan.range, plan.predicate.as_ref())?;
+        self.catalog.bump_rows(&plan.info.name, -(n as i64));
+        Ok(n)
+    }
+}
+
+/// Order-insensitive hashable key for grouping values (f64 via bit
+/// patterns; strings length-prefixed).
+fn group_key(vals: &[Value]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for v in vals {
+        match v {
+            Value::Null => out.push(0),
+            Value::Bool(b) => {
+                out.push(1);
+                out.push(*b as u8);
+            }
+            Value::SmallInt(n) => {
+                out.push(2);
+                out.extend_from_slice(&(*n as i64).to_be_bytes());
+            }
+            Value::Int(n) => {
+                out.push(2);
+                out.extend_from_slice(&(*n as i64).to_be_bytes());
+            }
+            Value::LargeInt(n) => {
+                out.push(2);
+                out.extend_from_slice(&n.to_be_bytes());
+            }
+            Value::Double(x) => {
+                out.push(3);
+                out.extend_from_slice(&x.to_bits().to_be_bytes());
+            }
+            Value::Str(s) => {
+                out.push(4);
+                out.extend_from_slice(&(s.len() as u32).to_be_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+        }
+    }
+    out
+}
+
+/// Evaluate a `KeyRange`-less full scan quickly (used by tests).
+pub fn full_range() -> KeyRange {
+    KeyRange::all()
+}

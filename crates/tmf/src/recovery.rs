@@ -1,0 +1,162 @@
+//! Crash recovery planning from the audit trail.
+//!
+//! "The dual roles of the backup Disk Process and TMF in maintaining high
+//! device availability, fault tolerance, transaction consistency, and
+//! robustness to crash are described in \[Borr2\]."
+//!
+//! Recovery of a volume after a crash follows the classic discipline:
+//!
+//! * **winners** — transactions with a commit record on the durable trail —
+//!   have all their changes **redone** in LSN order;
+//! * **losers** — transactions without an outcome record, or with an abort
+//!   record — have any changes that may have reached disk **undone** in
+//!   reverse LSN order.
+//!
+//! Redo/undo application is *logical* and idempotent: the Disk Process
+//! applies "insert unless present / set to after-image / delete if present"
+//! through its record-management component (see `nsql-dp`). This module
+//! only classifies and orders the work.
+
+use crate::audit::{AuditBody, AuditRecord};
+use nsql_lock::TxnId;
+use std::collections::HashSet;
+
+/// The ordered work needed to recover one volume.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryPlan {
+    /// Committed transactions found on the trail.
+    pub winners: HashSet<TxnId>,
+    /// Data records of winners for the volume, in LSN order (apply first).
+    pub redo: Vec<AuditRecord>,
+    /// Data records of losers for the volume, in reverse LSN order (apply
+    /// after redo).
+    pub undo: Vec<AuditRecord>,
+}
+
+/// Build the recovery plan for `volume` from the durable trail records.
+pub fn classify(records: &[AuditRecord], volume: &str) -> RecoveryPlan {
+    let mut winners = HashSet::new();
+    let mut aborted = HashSet::new();
+    for r in records {
+        match r.body {
+            AuditBody::Commit => {
+                winners.insert(r.txn);
+            }
+            AuditBody::Abort => {
+                aborted.insert(r.txn);
+            }
+            _ => {}
+        }
+    }
+
+    let mut redo: Vec<AuditRecord> = Vec::new();
+    let mut undo: Vec<AuditRecord> = Vec::new();
+    for r in records {
+        if r.body.is_outcome() || r.volume != volume {
+            continue;
+        }
+        if winners.contains(&r.txn) {
+            redo.push(r.clone());
+        } else {
+            // Explicitly aborted or in-flight at the crash: undo. (With
+            // strict WAL the in-flight changes can only be on disk if their
+            // audit is durable, which is exactly the set we see here.)
+            undo.push(r.clone());
+        }
+    }
+    redo.sort_by_key(|r| r.lsn);
+    undo.sort_by_key(|r| std::cmp::Reverse(r.lsn));
+    RecoveryPlan {
+        winners,
+        redo,
+        undo,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(lsn: u64, txn: u64, volume: &str, body: AuditBody) -> AuditRecord {
+        AuditRecord {
+            lsn,
+            txn: TxnId(txn),
+            volume: volume.into(),
+            file: 0,
+            body,
+        }
+    }
+
+    fn ins(lsn: u64, txn: u64, volume: &str) -> AuditRecord {
+        rec(
+            lsn,
+            txn,
+            volume,
+            AuditBody::Insert {
+                key: vec![lsn as u8],
+                record: vec![0],
+            },
+        )
+    }
+
+    #[test]
+    fn winners_redo_losers_undo() {
+        let records = vec![
+            ins(1, 1, "$D"),
+            ins(2, 2, "$D"),
+            rec(3, 1, "", AuditBody::Commit),
+            ins(4, 2, "$D"),
+            // txn 2 never commits
+        ];
+        let plan = classify(&records, "$D");
+        assert!(plan.winners.contains(&TxnId(1)));
+        assert!(!plan.winners.contains(&TxnId(2)));
+        assert_eq!(plan.redo.len(), 1);
+        assert_eq!(plan.redo[0].lsn, 1);
+        assert_eq!(plan.undo.len(), 2);
+        assert_eq!(
+            plan.undo.iter().map(|r| r.lsn).collect::<Vec<_>>(),
+            vec![4, 2],
+            "undo runs in reverse LSN order"
+        );
+    }
+
+    #[test]
+    fn aborted_txns_are_losers() {
+        let records = vec![ins(1, 7, "$D"), rec(2, 7, "", AuditBody::Abort)];
+        let plan = classify(&records, "$D");
+        assert!(plan.redo.is_empty());
+        assert_eq!(plan.undo.len(), 1);
+    }
+
+    #[test]
+    fn other_volumes_filtered_out() {
+        let records = vec![
+            ins(1, 1, "$D1"),
+            ins(2, 1, "$D2"),
+            rec(3, 1, "", AuditBody::Commit),
+        ];
+        let plan = classify(&records, "$D1");
+        assert_eq!(plan.redo.len(), 1);
+        assert_eq!(plan.redo[0].volume, "$D1");
+    }
+
+    #[test]
+    fn redo_is_lsn_ordered() {
+        let records = vec![
+            ins(5, 1, "$D"),
+            ins(2, 1, "$D"),
+            ins(9, 1, "$D"),
+            rec(10, 1, "", AuditBody::Commit),
+        ];
+        let plan = classify(&records, "$D");
+        let lsns: Vec<_> = plan.redo.iter().map(|r| r.lsn).collect();
+        assert_eq!(lsns, vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn empty_trail_empty_plan() {
+        let plan = classify(&[], "$D");
+        assert!(plan.redo.is_empty() && plan.undo.is_empty() && plan.winners.is_empty());
+    }
+}

@@ -1,0 +1,680 @@
+//! The audit-trail Disk Process and the per-volume audit sender.
+//!
+//! "Both SQL and ENSCRIBE share the same TMF audit trail (log), which
+//! resides on the audit trail volume, managed by a standard Disk Process.
+//! The audit trail writing component ... is highly optimized for long, or
+//! *bulk* sequential I/O's using group commit and audit piggy-backing."
+//!
+//! Model:
+//!
+//! * Data-volume Disk Processes buffer their audit in a [`VolumeAuditor`]
+//!   and ship it in batches (counted `Audit` messages) when the send buffer
+//!   fills, at prepare time, or when the write-ahead-log check forces it.
+//! * The [`Trail`] appends batches to its write buffer. A commit request
+//!   opens (or joins) a **commit group**: the group flushes when its timer
+//!   expires or the buffer fills. Every flush is a string of sequential
+//!   bulk writes to the (simulated) audit volume.
+//! * The group-commit timer is fixed or **adaptive**: adapting the timer to
+//!   the observed commit arrival rate is the \[Helland\] mechanism the paper
+//!   cites ("timers have been introduced to force out pending commits from
+//!   a partially full buffer ... dynamically adjusting the timers based on
+//!   such system statistics as transaction rate").
+//!
+//! The audit volume is modelled inside the trail (append-only storage plus
+//! a device busy-timeline) rather than through a `nsql_disk::Disk`: the
+//! trail never reads its own blocks during normal operation, and modelling
+//! it directly lets flushes be scheduled at their exact group-commit times.
+
+use crate::audit::{AuditBody, AuditRecord, Lsn, LsnSource};
+use nsql_lock::TxnId;
+use nsql_msg::{Bus, CpuId, MsgKind, Response, Server};
+use nsql_sim::{Micros, Sim};
+use parking_lot::Mutex;
+use std::any::Any;
+use std::sync::Arc;
+
+/// Conventional process name of the audit-trail Disk Process.
+pub const AUDIT_PROCESS: &str = "$AUDIT";
+
+/// Group-commit timer policy.
+#[derive(Debug, Clone, Copy)]
+pub enum CommitTimer {
+    /// Flush a commit group this long after its first commit arrives.
+    Fixed(Micros),
+    /// Adapt the timer to the observed commit inter-arrival time, aiming
+    /// for `target_group` commits per flush, clamped to `[min, max]`.
+    Adaptive {
+        /// Shortest allowed timer.
+        min: Micros,
+        /// Longest allowed timer.
+        max: Micros,
+        /// Desired commits per audit write.
+        target_group: u32,
+    },
+}
+
+impl Default for CommitTimer {
+    fn default() -> Self {
+        // A sensible 1988 default: 5 ms fixed.
+        CommitTimer::Fixed(5_000)
+    }
+}
+
+/// Requests understood by the audit-trail Disk Process.
+#[derive(Debug)]
+pub enum TrailRequest {
+    /// A batch of audit records from a data-volume Disk Process.
+    Append {
+        /// The records, in LSN order.
+        records: Vec<AuditRecord>,
+    },
+    /// Commit `txn`: append a commit record and group-commit it.
+    Commit {
+        /// Committing transaction.
+        txn: TxnId,
+    },
+    /// Abort `txn`: append an abort record (lazy; presumed abort).
+    Abort {
+        /// Aborting transaction.
+        txn: TxnId,
+    },
+}
+
+impl TrailRequest {
+    /// Wire size for message accounting.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            TrailRequest::Append { records } => {
+                8 + records.iter().map(AuditRecord::size).sum::<usize>()
+            }
+            TrailRequest::Commit { .. } | TrailRequest::Abort { .. } => 16,
+        }
+    }
+}
+
+/// Replies from the audit-trail Disk Process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrailReply {
+    /// Batch accepted.
+    Ok,
+    /// Commit record will be durable at `completion` (virtual time).
+    Committed {
+        /// Virtual time at which the covering audit write completes.
+        completion: Micros,
+    },
+}
+
+/// A pending commit group awaiting its timer.
+#[derive(Debug)]
+struct PendingGroup {
+    flush_at: Micros,
+}
+
+#[derive(Debug, Default)]
+struct TrailInner {
+    /// Durably flushed records (the readable log).
+    durable: Vec<AuditRecord>,
+    durable_lsn: Lsn,
+    /// Unflushed write buffer.
+    buffer: Vec<AuditRecord>,
+    buffer_bytes: usize,
+    buffer_commits: u32,
+    group: Option<PendingGroup>,
+    /// Audit-volume device timeline.
+    disk_busy_until: Micros,
+    /// Adaptive-timer state: EWMA of commit inter-arrival time.
+    last_commit_at: Option<Micros>,
+    arrival_ewma_us: f64,
+}
+
+/// The audit-trail Disk Process.
+pub struct Trail {
+    sim: Sim,
+    lsns: Arc<LsnSource>,
+    /// Write-buffer capacity in bytes; reaching it forces a flush (the
+    /// paper's buffer-full condition). Default: one maximal bulk I/O (28 KB).
+    pub buffer_capacity: usize,
+    timer: Mutex<CommitTimer>,
+    inner: Mutex<TrailInner>,
+}
+
+impl Trail {
+    /// Create a trail with the given timer policy.
+    pub fn new(sim: Sim, lsns: Arc<LsnSource>, timer: CommitTimer) -> Arc<Self> {
+        let buffer_capacity = sim.cost.bulk_io_max;
+        Arc::new(Trail {
+            sim,
+            lsns,
+            buffer_capacity,
+            timer: Mutex::new(timer),
+            inner: Mutex::new(TrailInner::default()),
+        })
+    }
+
+    /// Change the timer policy (used by experiment E7's sweep).
+    pub fn set_timer(&self, timer: CommitTimer) {
+        *self.timer.lock() = timer;
+    }
+
+    /// Highest LSN durably on disk as of virtual `now` (settles any group
+    /// whose flush time has passed). This is the write-ahead-log watermark.
+    pub fn durable_lsn(&self, now: Micros) -> Lsn {
+        let mut inner = self.inner.lock();
+        self.settle(&mut inner, now);
+        inner.durable_lsn
+    }
+
+    /// Force the trail durable up to at least `lsn` (write-ahead-log
+    /// enforcement before a data page steal/write-behind). Returns the
+    /// completion time of the covering flush.
+    pub fn force_up_to(&self, lsn: Lsn, now: Micros) -> Micros {
+        let mut inner = self.inner.lock();
+        self.settle(&mut inner, now);
+        if inner.durable_lsn >= lsn || inner.buffer.is_empty() {
+            return now;
+        }
+        self.flush(&mut inner, now, false)
+    }
+
+    /// All durably flushed records (for recovery).
+    pub fn durable_records(&self, now: Micros) -> Vec<AuditRecord> {
+        let mut inner = self.inner.lock();
+        self.settle(&mut inner, now);
+        inner.durable.clone()
+    }
+
+    /// Simulate a crash of the whole system: unflushed audit is lost.
+    pub fn crash(&self) {
+        let mut inner = self.inner.lock();
+        inner.buffer.clear();
+        inner.buffer_bytes = 0;
+        inner.buffer_commits = 0;
+        inner.group = None;
+    }
+
+    /// Duration of the sequential bulk-write string needed for `bytes`.
+    fn flush_duration(&self, bytes: usize) -> Micros {
+        let cost = &self.sim.cost;
+        let blocks = bytes.div_ceil(cost.block_size).max(1);
+        let max_blocks = cost.bulk_io_max_blocks();
+        let mut remaining = blocks;
+        let mut total = 0;
+        while remaining > 0 {
+            let n = remaining.min(max_blocks);
+            total += cost.disk_io_cost(true, n);
+            remaining -= n;
+        }
+        total
+    }
+
+    /// Flush the buffer as one audit write, starting no earlier than `at`.
+    /// Returns the completion time.
+    fn flush(&self, inner: &mut TrailInner, at: Micros, buffer_full: bool) -> Micros {
+        let m = &self.sim.metrics;
+        let bytes = inner.buffer_bytes;
+        let cost = &self.sim.cost;
+        let blocks = bytes.div_ceil(cost.block_size).max(1);
+        let max_blocks = cost.bulk_io_max_blocks();
+        let nwrites = blocks.div_ceil(max_blocks);
+
+        m.audit_flushes.inc();
+        if buffer_full {
+            m.audit_buffer_full_flushes.inc();
+        }
+        m.disk_writes.add(nwrites as u64);
+        m.disk_blocks_written.add(blocks as u64);
+        if blocks > 1 {
+            m.disk_bulk_ios.add(nwrites as u64);
+        }
+        if inner.buffer_commits > 1 {
+            m.group_commit_piggybacks
+                .add(inner.buffer_commits as u64 - 1);
+        }
+
+        let start = inner.disk_busy_until.max(at);
+        let end = start + self.flush_duration(bytes);
+        inner.disk_busy_until = end;
+
+        inner.durable_lsn = inner
+            .buffer
+            .iter()
+            .map(|r| r.lsn)
+            .max()
+            .unwrap_or(inner.durable_lsn)
+            .max(inner.durable_lsn);
+        inner.durable.append(&mut inner.buffer);
+        inner.buffer_bytes = 0;
+        inner.buffer_commits = 0;
+        inner.group = None;
+        end
+    }
+
+    /// Flush any pending group whose timer has expired by `now`.
+    fn settle(&self, inner: &mut TrailInner, now: Micros) {
+        if let Some(g) = &inner.group {
+            if g.flush_at <= now {
+                let at = g.flush_at;
+                self.flush(inner, at, false);
+            }
+        }
+    }
+
+    /// Current timer interval given adaptive state.
+    fn timer_interval(&self, inner: &TrailInner) -> Micros {
+        match *self.timer.lock() {
+            CommitTimer::Fixed(us) => us,
+            CommitTimer::Adaptive {
+                min,
+                max,
+                target_group,
+            } => {
+                if inner.arrival_ewma_us <= 0.0 {
+                    return max; // no rate info yet: wait for a group
+                }
+                let want = inner.arrival_ewma_us * target_group as f64;
+                (want as Micros).clamp(min, max)
+            }
+        }
+    }
+
+    fn append_records(&self, inner: &mut TrailInner, records: Vec<AuditRecord>, now: Micros) {
+        for r in records {
+            inner.buffer_bytes += r.size();
+            if r.body.is_outcome() {
+                self.sim.metrics.audit_records.inc();
+                self.sim.metrics.audit_bytes.add(r.size() as u64);
+            }
+            inner.buffer.push(r);
+        }
+        if inner.buffer_bytes >= self.buffer_capacity {
+            self.flush(inner, now, true);
+        }
+    }
+
+    /// Core request handling (also callable without a message for tests).
+    pub fn apply(&self, req: TrailRequest) -> TrailReply {
+        let now = self.sim.now();
+        let mut inner = self.inner.lock();
+        self.settle(&mut inner, now);
+        match req {
+            TrailRequest::Append { records } => {
+                self.append_records(&mut inner, records, now);
+                TrailReply::Ok
+            }
+            TrailRequest::Commit { txn } => {
+                // Adaptive-timer statistics.
+                if let Some(last) = inner.last_commit_at {
+                    let delta = now.saturating_sub(last) as f64;
+                    inner.arrival_ewma_us = if inner.arrival_ewma_us <= 0.0 {
+                        delta
+                    } else {
+                        0.8 * inner.arrival_ewma_us + 0.2 * delta
+                    };
+                }
+                inner.last_commit_at = Some(now);
+
+                let rec = AuditRecord {
+                    lsn: self.lsns.next(),
+                    txn,
+                    volume: String::new(),
+                    file: 0,
+                    body: AuditBody::Commit,
+                };
+                inner.buffer_commits += 1;
+                self.append_records(&mut inner, vec![rec], now);
+                // append_records may have flushed on buffer-full; if so the
+                // commit is already durable.
+                if inner.buffer.is_empty() {
+                    return TrailReply::Committed {
+                        completion: inner.disk_busy_until,
+                    };
+                }
+                let completion = match &inner.group {
+                    // Piggy-back on the pending group (counted at flush).
+                    Some(g) => g.flush_at,
+                    None => {
+                        let flush_at = now + self.timer_interval(&inner);
+                        inner.group = Some(PendingGroup { flush_at });
+                        flush_at
+                    }
+                };
+                let completion =
+                    completion.max(inner.disk_busy_until) + self.flush_duration(inner.buffer_bytes);
+                TrailReply::Committed { completion }
+            }
+            TrailRequest::Abort { txn } => {
+                let rec = AuditRecord {
+                    lsn: self.lsns.next(),
+                    txn,
+                    volume: String::new(),
+                    file: 0,
+                    body: AuditBody::Abort,
+                };
+                self.append_records(&mut inner, vec![rec], now);
+                TrailReply::Ok
+            }
+        }
+    }
+}
+
+impl Server for Trail {
+    fn handle(&self, request: Box<dyn Any + Send>) -> Response {
+        let req = *request
+            .downcast::<TrailRequest>()
+            .expect("audit trail got a non-TrailRequest message");
+        let reply = self.apply(req);
+        Response::new(reply, 16)
+    }
+}
+
+/// Per-volume audit sender, owned by a data-volume Disk Process.
+///
+/// Buffers audit records and ships them to [`AUDIT_PROCESS`] in batches —
+/// field compression makes SQL batches smaller, so the buffer fills (and a
+/// message is sent) less often.
+pub struct VolumeAuditor {
+    bus: Arc<Bus>,
+    cpu: CpuId,
+    /// Volume name stamped into records.
+    pub volume: String,
+    lsns: Arc<LsnSource>,
+    /// Send the buffer once it holds at least this many bytes.
+    send_threshold: std::sync::atomic::AtomicUsize,
+    buf: Mutex<(Vec<AuditRecord>, usize)>,
+}
+
+impl VolumeAuditor {
+    /// Create an auditor for `volume`, homed on `cpu`.
+    pub fn new(bus: Arc<Bus>, cpu: CpuId, volume: impl Into<String>, lsns: Arc<LsnSource>) -> Self {
+        VolumeAuditor {
+            bus,
+            cpu,
+            volume: volume.into(),
+            lsns,
+            send_threshold: std::sync::atomic::AtomicUsize::new(4096),
+            buf: Mutex::new((Vec::new(), 0)),
+        }
+    }
+
+    /// Change the send-buffer threshold (ablation experiments).
+    pub fn set_send_threshold(&self, bytes: usize) {
+        self.send_threshold
+            .store(bytes, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Append an audit record for (`txn`, `file`); ships the buffer if the
+    /// threshold is reached. Returns the record's LSN (for WAL page
+    /// tagging).
+    pub fn log(&self, txn: TxnId, file: u32, body: AuditBody) -> Lsn {
+        let lsn = self.lsns.next();
+        let rec = AuditRecord {
+            lsn,
+            txn,
+            volume: self.volume.clone(),
+            file,
+            body,
+        };
+        let m = &self.bus.sim().metrics;
+        m.audit_records.inc();
+        m.audit_bytes.add(rec.size() as u64);
+        let should_send = {
+            let mut b = self.buf.lock();
+            b.1 += rec.size();
+            b.0.push(rec);
+            b.1 >= self
+                .send_threshold
+                .load(std::sync::atomic::Ordering::Relaxed)
+        };
+        if should_send {
+            self.send();
+        }
+        lsn
+    }
+
+    /// Ship all buffered records to the audit-trail Disk Process.
+    pub fn send(&self) {
+        let records = {
+            let mut b = self.buf.lock();
+            if b.0.is_empty() {
+                return;
+            }
+            b.1 = 0;
+            std::mem::take(&mut b.0)
+        };
+        let req = TrailRequest::Append { records };
+        let size = req.wire_size();
+        self.bus
+            .request(self.cpu, AUDIT_PROCESS, MsgKind::Audit, size, Box::new(req))
+            .expect("audit trail process unreachable")
+            .expect::<TrailReply>();
+    }
+
+    /// Number of bytes currently buffered (tests).
+    pub fn buffered_bytes(&self) -> usize {
+        self.buf.lock().1
+    }
+
+    /// Simulate losing this volume's in-memory audit buffer in a crash.
+    pub fn crash(&self) {
+        let mut b = self.buf.lock();
+        b.0.clear();
+        b.1 = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsql_records::Value;
+
+    fn setup(timer: CommitTimer) -> (Sim, Arc<Bus>, Arc<Trail>, Arc<LsnSource>) {
+        let sim = Sim::new();
+        let bus = Bus::new(sim.clone());
+        let lsns = LsnSource::new();
+        let trail = Trail::new(sim.clone(), Arc::clone(&lsns), timer);
+        bus.register(AUDIT_PROCESS, CpuId::new(0, 0), trail.clone());
+        (sim, bus, trail, lsns)
+    }
+
+    fn update_body(nbytes: usize) -> AuditBody {
+        AuditBody::UpdateFull {
+            key: vec![0u8; 8],
+            before: vec![0u8; nbytes / 2],
+            after: vec![1u8; nbytes / 2],
+        }
+    }
+
+    #[test]
+    fn commit_becomes_durable_after_timer() {
+        let (sim, _bus, trail, _lsns) = setup(CommitTimer::Fixed(5_000));
+        let reply = trail.apply(TrailRequest::Commit { txn: TxnId(1) });
+        let TrailReply::Committed { completion } = reply else {
+            panic!("expected Committed");
+        };
+        assert!(completion >= sim.now() + 5_000);
+        // Not durable yet...
+        assert_eq!(trail.durable_lsn(sim.now()), 0);
+        // ... durable once the flush time passes.
+        sim.clock.advance_to(completion);
+        assert!(trail.durable_lsn(sim.now()) >= 1);
+        assert_eq!(sim.metrics.audit_flushes.get(), 1);
+    }
+
+    #[test]
+    fn commits_within_timer_share_one_flush() {
+        let (sim, _bus, trail, _lsns) = setup(CommitTimer::Fixed(10_000));
+        trail.apply(TrailRequest::Commit { txn: TxnId(1) });
+        sim.clock.advance(1_000);
+        trail.apply(TrailRequest::Commit { txn: TxnId(2) });
+        sim.clock.advance(1_000);
+        trail.apply(TrailRequest::Commit { txn: TxnId(3) });
+        sim.clock.advance(20_000);
+        trail.durable_lsn(sim.now()); // settle
+        assert_eq!(sim.metrics.audit_flushes.get(), 1, "one group flush");
+        assert_eq!(sim.metrics.group_commit_piggybacks.get(), 2);
+    }
+
+    #[test]
+    fn spaced_commits_flush_separately() {
+        let (sim, _bus, trail, _lsns) = setup(CommitTimer::Fixed(1_000));
+        for t in 1..=3u64 {
+            trail.apply(TrailRequest::Commit { txn: TxnId(t) });
+            sim.clock.advance(50_000);
+        }
+        trail.durable_lsn(sim.now());
+        assert_eq!(sim.metrics.audit_flushes.get(), 3);
+        assert_eq!(sim.metrics.group_commit_piggybacks.get(), 0);
+    }
+
+    #[test]
+    fn buffer_full_forces_flush() {
+        let (sim, _bus, trail, lsns) = setup(CommitTimer::Fixed(1_000_000));
+        // Stuff the buffer past 28 KB without any commit.
+        let mut pushed = 0usize;
+        while pushed < trail.buffer_capacity {
+            let body = update_body(2_000);
+            let rec = AuditRecord {
+                lsn: lsns.next(),
+                txn: TxnId(1),
+                volume: "$DATA1".into(),
+                file: 0,
+                body,
+            };
+            pushed += rec.size();
+            trail.apply(TrailRequest::Append { records: vec![rec] });
+        }
+        assert_eq!(sim.metrics.audit_buffer_full_flushes.get(), 1);
+        assert!(trail.durable_lsn(sim.now()) > 0);
+    }
+
+    #[test]
+    fn force_up_to_flushes_immediately() {
+        let (sim, _bus, trail, lsns) = setup(CommitTimer::Fixed(1_000_000));
+        let lsn = lsns.next();
+        trail.apply(TrailRequest::Append {
+            records: vec![AuditRecord {
+                lsn,
+                txn: TxnId(1),
+                volume: "$D".into(),
+                file: 0,
+                body: update_body(100),
+            }],
+        });
+        assert!(trail.durable_lsn(sim.now()) < lsn);
+        let done = trail.force_up_to(lsn, sim.now());
+        assert!(done >= sim.now());
+        assert!(trail.durable_lsn(done) >= lsn);
+    }
+
+    #[test]
+    fn adaptive_timer_tracks_arrival_rate() {
+        let (sim, _bus, trail, _lsns) = setup(CommitTimer::Adaptive {
+            min: 500,
+            max: 50_000,
+            target_group: 4,
+        });
+        // Fast arrivals: ~1 ms apart -> timer should end up well under max,
+        // grouping several commits per flush.
+        for t in 1..=40u64 {
+            trail.apply(TrailRequest::Commit { txn: TxnId(t) });
+            sim.clock.advance(1_000);
+        }
+        sim.clock.advance(100_000);
+        trail.durable_lsn(sim.now());
+        let flushes = sim.metrics.audit_flushes.get();
+        assert!(
+            flushes < 40,
+            "adaptive timer should group fast commits ({flushes} flushes for 40 commits)"
+        );
+        assert!(sim.metrics.group_commit_piggybacks.get() > 0);
+    }
+
+    #[test]
+    fn crash_loses_unflushed_only() {
+        let (sim, _bus, trail, lsns) = setup(CommitTimer::Fixed(5_000));
+        // Make one record durable.
+        let l1 = lsns.next();
+        trail.apply(TrailRequest::Append {
+            records: vec![AuditRecord {
+                lsn: l1,
+                txn: TxnId(1),
+                volume: "$D".into(),
+                file: 0,
+                body: update_body(50),
+            }],
+        });
+        trail.force_up_to(l1, sim.now());
+        // Buffer another, then crash before flushing.
+        let l2 = lsns.next();
+        trail.apply(TrailRequest::Append {
+            records: vec![AuditRecord {
+                lsn: l2,
+                txn: TxnId(2),
+                volume: "$D".into(),
+                file: 0,
+                body: update_body(50),
+            }],
+        });
+        trail.crash();
+        let recs = trail.durable_records(sim.now());
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].lsn, l1);
+    }
+
+    #[test]
+    fn auditor_batches_until_threshold() {
+        let (sim, bus, _trail, lsns) = setup(CommitTimer::Fixed(5_000));
+        let auditor = VolumeAuditor::new(Arc::clone(&bus), CpuId::new(0, 1), "$DATA1", lsns);
+        // Small field-compressed updates: many records per send.
+        let body = || AuditBody::UpdateFields {
+            key: vec![0u8; 8],
+            before: vec![(3, Value::Double(1.0))],
+            after: vec![(3, Value::Double(1.07))],
+        };
+        let mut sent_before = sim.metrics.msgs_audit.get();
+        assert_eq!(sent_before, 0);
+        let mut logged = 0;
+        while sim.metrics.msgs_audit.get() == sent_before {
+            auditor.log(TxnId(1), 0, body());
+            logged += 1;
+            assert!(logged < 1000, "send threshold never reached");
+        }
+        assert!(
+            logged > 20,
+            "field-compressed records should batch heavily (got {logged})"
+        );
+        // Full-image updates fill the buffer much faster.
+        sent_before = sim.metrics.msgs_audit.get();
+        let mut logged_full = 0;
+        while sim.metrics.msgs_audit.get() == sent_before {
+            auditor.log(TxnId(1), 0, update_body(200));
+            logged_full += 1;
+        }
+        assert!(
+            logged_full < logged / 2,
+            "full images ({logged_full}/send) must batch worse than field images ({logged}/send)"
+        );
+    }
+
+    #[test]
+    fn auditor_send_flushes_residue() {
+        let (sim, bus, trail, lsns) = setup(CommitTimer::Fixed(5_000));
+        let auditor = VolumeAuditor::new(Arc::clone(&bus), CpuId::new(0, 1), "$DATA1", lsns);
+        let lsn = auditor.log(
+            TxnId(7),
+            2,
+            AuditBody::Insert {
+                key: vec![1, 2],
+                record: vec![3, 4, 5],
+            },
+        );
+        assert!(auditor.buffered_bytes() > 0);
+        auditor.send();
+        assert_eq!(auditor.buffered_bytes(), 0);
+        trail.force_up_to(lsn, sim.now());
+        let recs = trail.durable_records(sim.now());
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].txn, TxnId(7));
+        assert_eq!(recs[0].file, 2);
+    }
+}

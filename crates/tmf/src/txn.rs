@@ -1,0 +1,390 @@
+//! Transaction management: identity, state, and the commit/abort protocol.
+//!
+//! "A transaction mechanism coordinates the atomic commitment of updates by
+//! multiple processes in the network" \[Borr1\]. The [`TxnManager`] assigns
+//! transaction identifiers, tracks which Disk Processes each transaction
+//! touched (*participants*), and drives a simplified presumed-abort
+//! two-phase commit:
+//!
+//! 1. **Prepare** — each participant is asked (by message) to flush its
+//!    buffered audit for the transaction to the audit-trail Disk Process
+//!    and vote.
+//! 2. **Commit** — the commit record is sent to the trail, which group-
+//!    commits it; the caller's virtual clock advances to the covering
+//!    flush's completion (commit latency includes the group-commit wait).
+//! 3. **Finish** — participants are told the outcome so they release locks
+//!    (and undo, on abort).
+//!
+//! Single-participant transactions skip nothing in this model — the message
+//! counts are part of what experiments measure.
+
+use crate::trail::{TrailReply, TrailRequest, AUDIT_PROCESS};
+use nsql_lock::TxnId;
+use nsql_msg::{Bus, CpuId, MsgKind};
+use nsql_sim::Sim;
+use parking_lot::Mutex;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Transaction states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnState {
+    /// In flight.
+    Active,
+    /// Durably committed.
+    Committed,
+    /// Rolled back.
+    Aborted,
+}
+
+/// End-of-transaction messages sent to participant Disk Processes.
+#[derive(Debug, Clone, Copy)]
+pub enum EndTxnRequest {
+    /// Phase 1: flush audit for `txn` and vote.
+    Prepare {
+        /// The transaction.
+        txn: TxnId,
+    },
+    /// Phase 2: release locks; undo first when `committed` is false.
+    Finish {
+        /// The transaction.
+        txn: TxnId,
+        /// Outcome.
+        committed: bool,
+    },
+}
+
+impl EndTxnRequest {
+    /// Wire size for message accounting.
+    pub fn wire_size(&self) -> usize {
+        16
+    }
+}
+
+/// Participant vote / acknowledgment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EndTxnReply {
+    /// Prepared / finished.
+    Ok,
+    /// Participant cannot commit (forces abort).
+    VoteAbort,
+}
+
+/// Errors from commit processing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnError {
+    /// Unknown or already-finished transaction.
+    BadTxn(TxnId),
+    /// A participant voted to abort; the transaction was rolled back.
+    ParticipantAborted(String),
+    /// Message-system failure talking to a participant or the trail.
+    Unreachable(String),
+}
+
+impl std::fmt::Display for TxnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TxnError::BadTxn(t) => write!(f, "transaction {t} is not active"),
+            TxnError::ParticipantAborted(p) => write!(f, "participant {p} voted abort"),
+            TxnError::Unreachable(p) => write!(f, "cannot reach {p}"),
+        }
+    }
+}
+
+impl std::error::Error for TxnError {}
+
+struct TxnInfo {
+    state: TxnState,
+    participants: BTreeSet<String>,
+}
+
+/// The transaction manager (the TMF library side).
+pub struct TxnManager {
+    sim: Sim,
+    bus: Arc<Bus>,
+    next: AtomicU64,
+    txns: Mutex<HashMap<TxnId, TxnInfo>>,
+}
+
+impl TxnManager {
+    /// Create a manager bound to a bus.
+    pub fn new(sim: Sim, bus: Arc<Bus>) -> Arc<Self> {
+        Arc::new(TxnManager {
+            sim,
+            bus,
+            next: AtomicU64::new(1),
+            txns: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Begin a transaction.
+    pub fn begin(&self) -> TxnId {
+        let id = TxnId(self.next.fetch_add(1, Ordering::Relaxed));
+        self.txns.lock().insert(
+            id,
+            TxnInfo {
+                state: TxnState::Active,
+                participants: BTreeSet::new(),
+            },
+        );
+        id
+    }
+
+    /// Record that `process` (a Disk Process name) did work for `txn`.
+    /// Called by Disk Processes on first touch.
+    pub fn join(&self, txn: TxnId, process: &str) {
+        if let Some(info) = self.txns.lock().get_mut(&txn) {
+            info.participants.insert(process.to_string());
+        }
+    }
+
+    /// State of a transaction (`None` if unknown).
+    pub fn state(&self, txn: TxnId) -> Option<TxnState> {
+        self.txns.lock().get(&txn).map(|i| i.state)
+    }
+
+    /// Participants of a transaction (tests/inspection).
+    pub fn participants(&self, txn: TxnId) -> Vec<String> {
+        self.txns
+            .lock()
+            .get(&txn)
+            .map(|i| i.participants.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    fn take_active(&self, txn: TxnId) -> Result<BTreeSet<String>, TxnError> {
+        let txns = self.txns.lock();
+        match txns.get(&txn) {
+            Some(info) if info.state == TxnState::Active => Ok(info.participants.clone()),
+            _ => Err(TxnError::BadTxn(txn)),
+        }
+    }
+
+    fn set_state(&self, txn: TxnId, state: TxnState) {
+        if let Some(info) = self.txns.lock().get_mut(&txn) {
+            info.state = state;
+        }
+    }
+
+    /// Commit `txn`, driving prepare / trail-commit / finish from `from`
+    /// (the requester's CPU). On success the virtual clock has advanced to
+    /// the commit's durability point.
+    pub fn commit(&self, txn: TxnId, from: CpuId) -> Result<(), TxnError> {
+        let participants = self.take_active(txn)?;
+
+        // Phase 1: prepare (flush audit) and collect votes.
+        for p in &participants {
+            let req = EndTxnRequest::Prepare { txn };
+            let reply = self
+                .bus
+                .request(from, p, MsgKind::Other, req.wire_size(), Box::new(req))
+                .map_err(|_| TxnError::Unreachable(p.clone()))?
+                .expect::<EndTxnReply>();
+            if reply == EndTxnReply::VoteAbort {
+                // Presumed abort: roll everyone back.
+                self.finish_participants(txn, &participants, false, from);
+                self.trail_abort(txn, from);
+                self.set_state(txn, TxnState::Aborted);
+                self.sim.metrics.txns_aborted.inc();
+                return Err(TxnError::ParticipantAborted(p.clone()));
+            }
+        }
+
+        // Commit record to the trail; wait (in virtual time) for the group
+        // commit to cover it.
+        let req = TrailRequest::Commit { txn };
+        let reply = self
+            .bus
+            .request(
+                from,
+                AUDIT_PROCESS,
+                MsgKind::Other,
+                req.wire_size(),
+                Box::new(req),
+            )
+            .map_err(|_| TxnError::Unreachable(AUDIT_PROCESS.into()))?
+            .expect::<TrailReply>();
+        if let TrailReply::Committed { completion } = reply {
+            self.sim.clock.advance_to(completion);
+        }
+
+        // Phase 2: tell participants to release.
+        self.finish_participants(txn, &participants, true, from);
+        self.set_state(txn, TxnState::Committed);
+        self.sim.metrics.txns_committed.inc();
+        Ok(())
+    }
+
+    /// Abort `txn`: participants undo and release; an abort record is
+    /// written lazily.
+    pub fn abort(&self, txn: TxnId, from: CpuId) -> Result<(), TxnError> {
+        let participants = self.take_active(txn)?;
+        self.finish_participants(txn, &participants, false, from);
+        self.trail_abort(txn, from);
+        self.set_state(txn, TxnState::Aborted);
+        self.sim.metrics.txns_aborted.inc();
+        Ok(())
+    }
+
+    fn finish_participants(
+        &self,
+        txn: TxnId,
+        participants: &BTreeSet<String>,
+        committed: bool,
+        from: CpuId,
+    ) {
+        for p in participants {
+            let req = EndTxnRequest::Finish { txn, committed };
+            // Best effort: a dead participant recovers from the trail later.
+            let _ = self
+                .bus
+                .request(from, p, MsgKind::Other, req.wire_size(), Box::new(req));
+        }
+    }
+
+    fn trail_abort(&self, txn: TxnId, from: CpuId) {
+        let req = TrailRequest::Abort { txn };
+        let _ = self.bus.request(
+            from,
+            AUDIT_PROCESS,
+            MsgKind::Other,
+            req.wire_size(),
+            Box::new(req),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::LsnSource;
+    use crate::trail::{CommitTimer, Trail};
+    use nsql_msg::{Response, Server};
+    use parking_lot::Mutex as PMutex;
+    use std::any::Any;
+
+    /// A fake participant that records the protocol it sees.
+    struct FakeDp {
+        log: PMutex<Vec<String>>,
+        vote_abort: bool,
+    }
+
+    impl Server for FakeDp {
+        fn handle(&self, request: Box<dyn Any + Send>) -> Response {
+            let req = *request.downcast::<EndTxnRequest>().unwrap();
+            match req {
+                EndTxnRequest::Prepare { txn } => {
+                    self.log.lock().push(format!("prepare {txn}"));
+                    if self.vote_abort {
+                        Response::new(EndTxnReply::VoteAbort, 4)
+                    } else {
+                        Response::new(EndTxnReply::Ok, 4)
+                    }
+                }
+                EndTxnRequest::Finish { txn, committed } => {
+                    self.log
+                        .lock()
+                        .push(format!("finish {txn} committed={committed}"));
+                    Response::new(EndTxnReply::Ok, 4)
+                }
+            }
+        }
+    }
+
+    fn setup() -> (Sim, Arc<Bus>, Arc<TxnManager>, Arc<Trail>) {
+        let sim = Sim::new();
+        let bus = Bus::new(sim.clone());
+        let trail = Trail::new(sim.clone(), LsnSource::new(), CommitTimer::Fixed(2_000));
+        bus.register(AUDIT_PROCESS, CpuId::new(0, 0), trail.clone());
+        let mgr = TxnManager::new(sim.clone(), bus.clone());
+        (sim, bus, mgr, trail)
+    }
+
+    #[test]
+    fn commit_runs_two_phases_and_waits_for_group() {
+        let (sim, bus, mgr, _trail) = setup();
+        let dp = Arc::new(FakeDp {
+            log: PMutex::new(Vec::new()),
+            vote_abort: false,
+        });
+        bus.register("$DATA1", CpuId::new(0, 1), dp.clone());
+
+        let txn = mgr.begin();
+        mgr.join(txn, "$DATA1");
+        let t0 = sim.now();
+        mgr.commit(txn, CpuId::new(0, 0)).unwrap();
+        assert!(sim.now() >= t0 + 2_000, "commit waited for the group timer");
+        assert_eq!(mgr.state(txn), Some(TxnState::Committed));
+        let log = dp.log.lock().clone();
+        assert_eq!(log.len(), 2);
+        assert!(log[0].starts_with("prepare"));
+        assert!(log[1].contains("committed=true"));
+        assert_eq!(sim.metrics.txns_committed.get(), 1);
+    }
+
+    #[test]
+    fn participant_veto_aborts() {
+        let (sim, bus, mgr, _trail) = setup();
+        let dp = Arc::new(FakeDp {
+            log: PMutex::new(Vec::new()),
+            vote_abort: true,
+        });
+        bus.register("$DATA1", CpuId::new(0, 1), dp);
+        let txn = mgr.begin();
+        mgr.join(txn, "$DATA1");
+        let err = mgr.commit(txn, CpuId::new(0, 0)).unwrap_err();
+        assert!(matches!(err, TxnError::ParticipantAborted(_)));
+        assert_eq!(mgr.state(txn), Some(TxnState::Aborted));
+        assert_eq!(sim.metrics.txns_aborted.get(), 1);
+    }
+
+    #[test]
+    fn explicit_abort_notifies_participants() {
+        let (_sim, bus, mgr, _trail) = setup();
+        let dp = Arc::new(FakeDp {
+            log: PMutex::new(Vec::new()),
+            vote_abort: false,
+        });
+        bus.register("$DATA1", CpuId::new(0, 1), dp.clone());
+        let txn = mgr.begin();
+        mgr.join(txn, "$DATA1");
+        mgr.abort(txn, CpuId::new(0, 0)).unwrap();
+        let log = dp.log.lock().clone();
+        assert_eq!(log.len(), 1);
+        assert!(log[0].contains("committed=false"));
+    }
+
+    #[test]
+    fn double_commit_rejected() {
+        let (_sim, _bus, mgr, _trail) = setup();
+        let txn = mgr.begin();
+        mgr.commit(txn, CpuId::new(0, 0)).unwrap();
+        assert_eq!(
+            mgr.commit(txn, CpuId::new(0, 0)),
+            Err(TxnError::BadTxn(txn))
+        );
+    }
+
+    #[test]
+    fn multi_participant_commit_contacts_all() {
+        let (_sim, bus, mgr, _trail) = setup();
+        let dp1 = Arc::new(FakeDp {
+            log: PMutex::new(Vec::new()),
+            vote_abort: false,
+        });
+        let dp2 = Arc::new(FakeDp {
+            log: PMutex::new(Vec::new()),
+            vote_abort: false,
+        });
+        bus.register("$DATA1", CpuId::new(0, 1), dp1.clone());
+        bus.register("$DATA2", CpuId::new(1, 0), dp2.clone());
+        let txn = mgr.begin();
+        mgr.join(txn, "$DATA1");
+        mgr.join(txn, "$DATA2");
+        assert_eq!(mgr.participants(txn).len(), 2);
+        mgr.commit(txn, CpuId::new(0, 0)).unwrap();
+        assert_eq!(dp1.log.lock().len(), 2);
+        assert_eq!(dp2.log.lock().len(), 2);
+    }
+}

@@ -1,0 +1,17 @@
+#![warn(missing_docs)]
+//! Workload generators for the paper's evaluation.
+//!
+//! * [`wisconsin`] — the classic Wisconsin benchmark relation and its
+//!   selection/projection queries, which the paper cites for the VSBB
+//!   speed-ups ("VSBB gives NonStop SQL an additional factor of three over
+//!   RSBB on many of the Wisconsin benchmark queries").
+//! * [`bank`] — a DebitCredit/ET1-style banking workload (branch, teller,
+//!   account, history), standing in for the \[Benchmark\] workbook's OLTP
+//!   load, with both a NonStop SQL implementation and an ENSCRIBE
+//!   record-at-a-time implementation of the same transaction.
+
+pub mod bank;
+pub mod wisconsin;
+
+pub use bank::Bank;
+pub use wisconsin::Wisconsin;

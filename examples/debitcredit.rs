@@ -1,0 +1,71 @@
+//! DebitCredit: the banking workload the paper's performance claim rests
+//! on, run through both the NonStop SQL path and the ENSCRIBE path.
+//!
+//! ```sh
+//! cargo run --example debitcredit
+//! ```
+
+use nonstop_sql::ClusterBuilder;
+use nsql_sim::SimRng;
+use nsql_workloads::Bank;
+
+fn main() {
+    let txns = 200u32;
+
+    for (label, sql_path) in [("NonStop SQL", true), ("ENSCRIBE", false)] {
+        let db = ClusterBuilder::new().volume("$DATA1", 0, 1).build();
+        let bank = Bank::create(&db, 2, 500, "$DATA1").expect("load bank");
+        let session = db.session();
+        let mut rng = SimRng::seed_from(42);
+
+        let before = db.snapshot();
+        let t0 = db.sim.now();
+        for _ in 0..txns {
+            let (aid, tid, bid, delta) = bank.draw(&mut rng);
+            let txn = db.txnmgr.begin();
+            if sql_path {
+                bank.debit_credit_sql(session.fs(), txn, aid, tid, bid, delta)
+                    .expect("txn");
+            } else {
+                bank.debit_credit_enscribe(session.fs(), txn, aid, tid, bid, delta)
+                    .expect("txn");
+            }
+            db.txnmgr.commit(txn, session.cpu()).expect("commit");
+        }
+        let elapsed = db.sim.now() - t0;
+        let m = db.metrics().since(&before);
+
+        println!("--- {label} path, {txns} debit-credit transactions ---");
+        println!(
+            "  FS-DP messages : {:6}  ({:.1}/txn)",
+            m.msgs_fs_dp,
+            m.msgs_fs_dp as f64 / txns as f64
+        );
+        println!("  message bytes  : {:6}", m.msg_bytes_total);
+        println!(
+            "  audit bytes    : {:6}  ({:.0}/txn)",
+            m.audit_bytes,
+            m.audit_bytes as f64 / txns as f64
+        );
+        println!(
+            "  group commits  : {:6} flushes, {} piggybacked",
+            m.audit_flushes, m.group_commit_piggybacks
+        );
+        println!(
+            "  virtual time   : {:.2} ms/txn",
+            elapsed as f64 / txns as f64 / 1000.0
+        );
+        println!(
+            "  balance check  : total = {}",
+            bank.total_balance(&db).expect("sum")
+        );
+        println!();
+    }
+
+    println!(
+        "The SQL path needs 4 FS-DP messages per transaction (3 pushed-down update\n\
+         expressions + 1 insert) where ENSCRIBE needs 7 (3 reads + 3 writes + 1 insert),\n\
+         and its field-compressed audit is ~3x smaller — the mechanisms behind the\n\
+         paper's claim that NonStop SQL matches its pre-existing DBMS."
+    );
+}

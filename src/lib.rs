@@ -1,0 +1,14 @@
+//! Root facade of the NonStop SQL reproduction.
+//!
+//! Re-exports the public API of `nsql-core` (cluster construction, sessions,
+//! SQL execution) so examples and downstream users need a single dependency.
+//! See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+//! paper-vs-measured record.
+
+pub use nsql_core::*;
+
+/// The workload generators used by the experiments (Wisconsin, DebitCredit).
+pub use nsql_workloads as workloads;
+
+/// Simulation substrate (virtual clock, cost model, metrics).
+pub use nsql_sim as sim;

@@ -1,0 +1,239 @@
+//! Property-based tests over the stack's core invariants.
+
+use nsql_records::key::{encode_key_value, encode_record_key};
+use nsql_records::row::{decode_row, encode_row};
+use nsql_records::{CmpOp, Expr, FieldDef, FieldType, RecordDescriptor, Row, Value};
+use proptest::prelude::*;
+
+fn arb_value_for(ty: FieldType) -> BoxedStrategy<Value> {
+    match ty {
+        FieldType::SmallInt => any::<i16>().prop_map(Value::SmallInt).boxed(),
+        FieldType::Int => any::<i32>().prop_map(Value::Int).boxed(),
+        FieldType::LargeInt => any::<i64>().prop_map(Value::LargeInt).boxed(),
+        FieldType::Double => any::<f64>()
+            .prop_filter("NaN breaks ordering by design", |x| !x.is_nan())
+            .prop_map(Value::Double)
+            .boxed(),
+        FieldType::Char(n) => proptest::string::string_regex(&format!("[ -~]{{0,{n}}}"))
+            .unwrap()
+            .prop_map(|s| Value::Str(s.trim_end_matches(' ').to_string()))
+            .boxed(),
+        FieldType::Varchar(n) => proptest::string::string_regex(&format!("[ -~]{{0,{n}}}"))
+            .unwrap()
+            .prop_map(Value::Str)
+            .boxed(),
+    }
+}
+
+fn test_desc() -> RecordDescriptor {
+    RecordDescriptor::new(
+        vec![
+            FieldDef::new("K", FieldType::Int),
+            FieldDef::nullable("A", FieldType::SmallInt),
+            FieldDef::nullable("B", FieldType::Double),
+            FieldDef::nullable("C", FieldType::Char(16)),
+            FieldDef::nullable("D", FieldType::Varchar(32)),
+        ],
+        vec![0],
+    )
+}
+
+fn arb_row() -> impl Strategy<Value = Vec<Value>> {
+    let d = test_desc();
+    let fields: Vec<BoxedStrategy<Value>> = d
+        .fields
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            if i == 0 {
+                arb_value_for(f.ty)
+            } else {
+                prop_oneof![Just(Value::Null), arb_value_for(f.ty)].boxed()
+            }
+        })
+        .collect();
+    fields
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Row codec: encode/decode is the identity.
+    #[test]
+    fn row_codec_round_trips(row in arb_row()) {
+        let d = test_desc();
+        let bytes = encode_row(&d, &row).unwrap();
+        let decoded = decode_row(&d, &bytes).unwrap();
+        prop_assert_eq!(decoded.0, row);
+    }
+
+    /// Key encoding preserves SQL ordering for every scalar type.
+    #[test]
+    fn key_encoding_preserves_order(
+        a in any::<i32>(), b in any::<i32>(),
+        x in any::<f64>(), y in any::<f64>(),
+        s in "[ -~]{0,12}", t in "[ -~]{0,12}",
+    ) {
+        let enc = |ty: FieldType, v: &Value| {
+            let mut out = Vec::new();
+            encode_key_value(ty, v, &mut out);
+            out
+        };
+        // Integers.
+        let (ka, kb) = (enc(FieldType::Int, &Value::Int(a)), enc(FieldType::Int, &Value::Int(b)));
+        prop_assert_eq!(a.cmp(&b), ka.cmp(&kb));
+        // Doubles (excluding NaN).
+        prop_assume!(!x.is_nan() && !y.is_nan());
+        let (kx, ky) = (
+            enc(FieldType::Double, &Value::Double(x)),
+            enc(FieldType::Double, &Value::Double(y)),
+        );
+        if x < y { prop_assert!(kx < ky); }
+        if x > y { prop_assert!(kx > ky); }
+        // Varchars order like byte strings.
+        let (ks, kt) = (
+            enc(FieldType::Varchar(16), &Value::Str(s.clone())),
+            enc(FieldType::Varchar(16), &Value::Str(t.clone())),
+        );
+        prop_assert_eq!(s.as_bytes().cmp(t.as_bytes()), ks.cmp(&kt));
+    }
+
+    /// Composite record keys order like tuples of their key values.
+    #[test]
+    fn record_keys_order_like_tuples(a1 in -1000i32..1000, a2 in -1000i32..1000,
+                                     b1 in -1000i32..1000, b2 in -1000i32..1000) {
+        let d = RecordDescriptor::new(
+            vec![
+                FieldDef::new("X", FieldType::Int),
+                FieldDef::new("Y", FieldType::Int),
+            ],
+            vec![0, 1],
+        );
+        let ka = encode_record_key(&d, &[Value::Int(a1), Value::Int(a2)]);
+        let kb = encode_record_key(&d, &[Value::Int(b1), Value::Int(b2)]);
+        prop_assert_eq!((a1, a2).cmp(&(b1, b2)), ka.cmp(&kb));
+    }
+
+    /// The Disk Process's raw-record predicate evaluation agrees with
+    /// evaluation over the fully decoded row.
+    #[test]
+    fn raw_and_decoded_evaluation_agree(row in arb_row(), lit in any::<i16>()) {
+        let d = test_desc();
+        let bytes = encode_row(&d, &row).unwrap();
+        let raw = nsql_records::RawRecord { desc: &d, bytes: &bytes };
+        let decoded = Row(row);
+        for op in [CmpOp::Eq, CmpOp::Lt, CmpOp::Ge, CmpOp::Ne] {
+            let pred = Expr::field_cmp(1, op, Value::SmallInt(lit));
+            prop_assert_eq!(pred.eval(&raw), pred.eval(&decoded));
+        }
+        // IS NULL and arithmetic too.
+        let isnull = Expr::IsNull { expr: Box::new(Expr::Field(2)), negated: false };
+        prop_assert_eq!(isnull.eval(&raw), isnull.eval(&decoded));
+    }
+
+    /// Three-valued logic: De Morgan holds under SQL NULL semantics.
+    #[test]
+    fn de_morgan_under_three_valued_logic(a in 0u8..3, b in 0u8..3) {
+        let v = |x: u8| match x {
+            0 => Expr::lit(Value::Bool(false)),
+            1 => Expr::lit(Value::Bool(true)),
+            _ => Expr::lit(Value::Null),
+        };
+        let row = Row(vec![]);
+        let lhs = Expr::Not(Box::new(Expr::and(v(a), v(b))));
+        let rhs = Expr::or(
+            Expr::Not(Box::new(v(a))),
+            Expr::Not(Box::new(v(b))),
+        );
+        prop_assert_eq!(lhs.eval(&row).unwrap(), rhs.eval(&row).unwrap());
+    }
+
+    /// Descriptor byte-codec round-trips arbitrary schemas.
+    #[test]
+    fn descriptor_codec_round_trips(ncols in 1usize..12, seed in any::<u64>()) {
+        let mut fields = Vec::new();
+        let mut s = seed;
+        for i in 0..ncols {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let ty = match s % 6 {
+                0 => FieldType::SmallInt,
+                1 => FieldType::Int,
+                2 => FieldType::LargeInt,
+                3 => FieldType::Double,
+                4 => FieldType::Char((s % 40 + 1) as u16),
+                _ => FieldType::Varchar((s % 60 + 1) as u16),
+            };
+            if i == 0 {
+                fields.push(FieldDef::new(format!("C{i}"), ty));
+            } else {
+                fields.push(FieldDef::nullable(format!("C{i}"), ty));
+            }
+        }
+        let d = RecordDescriptor::new(fields, vec![0]);
+        let bytes = d.encode_bytes();
+        let (decoded, used) = RecordDescriptor::decode_bytes(&bytes);
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(decoded, d);
+    }
+}
+
+/// End-to-end property: a batch of random rows inserted through SQL is
+/// exactly what range queries return (checked against a model).
+#[test]
+fn sql_matches_model_on_random_data() {
+    use nonstop_sql::ClusterBuilder;
+    use std::collections::BTreeMap;
+
+    let mut runner = proptest::test_runner::TestRunner::new(ProptestConfig {
+        cases: 12,
+        ..ProptestConfig::default()
+    });
+    let strategy = proptest::collection::btree_map(-500i32..500, -1000i32..1000, 1..120);
+    runner
+        .run(&strategy, |model: BTreeMap<i32, i32>| {
+            let db = ClusterBuilder::new().volume("$DATA1", 0, 1).build();
+            let mut s = db.session();
+            s.execute("CREATE TABLE M (K INT NOT NULL, V INT NOT NULL, PRIMARY KEY (K))")
+                .unwrap();
+            s.execute("BEGIN WORK").unwrap();
+            for (k, v) in &model {
+                s.execute(&format!("INSERT INTO M VALUES ({k}, {v})"))
+                    .unwrap();
+            }
+            s.execute("COMMIT WORK").unwrap();
+
+            // Full scan matches.
+            let r = s.query("SELECT K, V FROM M").unwrap();
+            let got: Vec<(i32, i32)> = r
+                .rows
+                .iter()
+                .map(|row| match (&row.0[0], &row.0[1]) {
+                    (Value::Int(k), Value::Int(v)) => (*k, *v),
+                    _ => panic!(),
+                })
+                .collect();
+            let want: Vec<(i32, i32)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+            prop_assert_eq!(got, want);
+
+            // A range + predicate matches the model's filter.
+            let r = s
+                .query("SELECT K FROM M WHERE K BETWEEN -100 AND 100 AND V > 0")
+                .unwrap();
+            let got: Vec<i32> = r
+                .rows
+                .iter()
+                .map(|row| match row.0[0] {
+                    Value::Int(k) => k,
+                    _ => panic!(),
+                })
+                .collect();
+            let want: Vec<i32> = model
+                .iter()
+                .filter(|(k, v)| (-100..=100).contains(*k) && **v > 0)
+                .map(|(k, _)| *k)
+                .collect();
+            prop_assert_eq!(got, want);
+            Ok(())
+        })
+        .unwrap();
+}
