@@ -1,9 +1,10 @@
-//! Criterion micro-benchmarks over the engine.
+//! Wall-clock micro-benchmarks over the engine.
 //!
 //! These measure the *implementation's* real cost (wall time of the
 //! simulation) for the operations behind each paper experiment; the
 //! virtual-time/message-count results live in the `experiments` binary and
-//! EXPERIMENTS.md. One group per paper table/figure family:
+//! EXPERIMENTS.md. Run with `cargo bench`. One scenario per paper
+//! table/figure family:
 //!
 //! * `scan_interfaces`  — E2/E3 (record-at-a-time vs RSBB vs VSBB)
 //! * `update_pushdown`  — E4/E12 (expression + constraint shipping)
@@ -11,13 +12,28 @@
 //! * `group_commit`     — E6/E7 (audit + commit grouping)
 //! * `btree`            — the record-management substrate
 //! * `blocked_insert`   — E10 (load interfaces)
+//! * `recovery`         — crash + volume recovery
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use nsql_core::{Cluster, ClusterBuilder};
 use nsql_dp::{ReadLock, SubsetMode};
-use nsql_records::{ArithOp, CmpOp, Expr, KeyRange, SetList, Value};
+use nsql_records::{CmpOp, Expr, KeyRange, Value};
 use nsql_sim::SimRng;
 use nsql_workloads::{Bank, Wisconsin};
+use std::time::Instant;
+
+/// Time `iters` runs of `f` (after one warm-up) and print mean µs/iter.
+fn bench(group: &str, name: &str, iters: u32, mut f: impl FnMut()) {
+    f();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let total = t0.elapsed();
+    println!(
+        "{group}/{name:<28} {:>10.1} µs/iter  ({iters} iters)",
+        total.as_secs_f64() * 1e6 / iters as f64
+    );
+}
 
 fn wisconsin_db(rows: u32) -> Cluster {
     let db = ClusterBuilder::new().volume("$DATA1", 0, 1).build();
@@ -25,89 +41,70 @@ fn wisconsin_db(rows: u32) -> Cluster {
     db
 }
 
-fn bench_scan_interfaces(c: &mut Criterion) {
+fn bench_scan_interfaces() {
     let db = wisconsin_db(2_000);
     let info = db.catalog.table("WISC").unwrap();
     let session = db.session();
     let fs = session.fs();
 
-    let mut g = c.benchmark_group("scan_interfaces");
-    g.sample_size(10);
-    g.bench_function("record_at_a_time_2k", |b| {
-        b.iter(|| {
-            let mut cur = fs.ens_open(&info.open, None);
-            let mut n = 0;
-            while fs.ens_read_next(&mut cur).unwrap().is_some() {
-                n += 1;
-            }
-            assert_eq!(n, 2_000);
-        })
+    bench("scan_interfaces", "record_at_a_time_2k", 10, || {
+        let mut cur = fs.ens_open(&info.open, None);
+        let mut n = 0;
+        while fs.ens_read_next(&mut cur).unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 2_000);
     });
-    g.bench_function("rsbb_2k", |b| {
-        b.iter(|| {
-            let txn = db.txnmgr.begin();
-            let mut cur = fs.ens_open_sbb(&info.open, txn).unwrap();
-            let mut n = 0;
-            while fs.ens_read_next(&mut cur).unwrap().is_some() {
-                n += 1;
-            }
-            db.txnmgr.commit(txn, session.cpu()).unwrap();
-            assert_eq!(n, 2_000);
-        })
+    bench("scan_interfaces", "rsbb_2k", 10, || {
+        let txn = db.txnmgr.begin();
+        let mut cur = fs.ens_open_sbb(&info.open, txn).unwrap();
+        let mut n = 0;
+        while fs.ens_read_next(&mut cur).unwrap().is_some() {
+            n += 1;
+        }
+        db.txnmgr.commit(txn, session.cpu()).unwrap();
+        assert_eq!(n, 2_000);
     });
-    g.bench_function("vsbb_select_project_2k", |b| {
-        b.iter(|| {
-            let scan = fs
-                .scan(
-                    None,
-                    &info.open,
-                    &KeyRange::all(),
-                    Some(&Expr::field_cmp(1, CmpOp::Lt, Value::Int(200))),
-                    Some(&[0, 1]),
-                    SubsetMode::Vsbb,
-                    ReadLock::None,
-                )
-                .unwrap();
-            assert_eq!(scan.rows.len(), 200);
-        })
+    bench("scan_interfaces", "vsbb_select_project_2k", 10, || {
+        let scan = fs
+            .scan(
+                None,
+                &info.open,
+                &KeyRange::all(),
+                Some(&Expr::field_cmp(1, CmpOp::Lt, Value::Int(200))),
+                Some(&[0, 1]),
+                SubsetMode::Vsbb,
+                ReadLock::None,
+            )
+            .unwrap();
+        assert_eq!(scan.rows.len(), 200);
     });
-    g.finish();
 }
 
-fn bench_update_pushdown(c: &mut Criterion) {
-    let mut g = c.benchmark_group("update_pushdown");
-    g.sample_size(10);
-    g.bench_function("update_subset_1k", |b| {
-        b.iter_batched(
-            || {
-                let db = ClusterBuilder::new().volume("$DATA1", 0, 1).build();
-                let mut s = db.session();
-                s.execute("CREATE TABLE A (K INT NOT NULL, BAL DOUBLE NOT NULL, PRIMARY KEY (K))")
-                    .unwrap();
-                let info = db.catalog.table("A").unwrap();
-                let txn = db.txnmgr.begin();
-                {
-                    let mut ins = nsql_fs::BlockedInserter::new(s.fs(), &info.open, txn);
-                    for k in 0..1_000 {
-                        ins.push(&[Value::Int(k), Value::Double(10.0)]).unwrap();
-                    }
-                    ins.flush().unwrap();
-                }
-                db.txnmgr.commit(txn, s.cpu()).unwrap();
-                db
-            },
-            |db| {
-                let mut s = db.session();
-                let n = s
-                    .execute("UPDATE A SET BAL = BAL * 1.07 WHERE BAL > 0")
-                    .unwrap()
-                    .count();
-                assert_eq!(n, 1_000);
-            },
-            BatchSize::PerIteration,
-        )
+fn bench_update_pushdown() {
+    bench("update_pushdown", "update_subset_1k", 10, || {
+        let db = ClusterBuilder::new().volume("$DATA1", 0, 1).build();
+        let mut s = db.session();
+        s.execute("CREATE TABLE A (K INT NOT NULL, BAL DOUBLE NOT NULL, PRIMARY KEY (K))")
+            .unwrap();
+        let info = db.catalog.table("A").unwrap();
+        let txn = db.txnmgr.begin();
+        {
+            let mut ins = nsql_fs::BlockedInserter::new(s.fs(), &info.open, txn);
+            for k in 0..1_000 {
+                ins.push(&[Value::Int(k), Value::Double(10.0)]).unwrap();
+            }
+            ins.flush().unwrap();
+        }
+        db.txnmgr.commit(txn, s.cpu()).unwrap();
+        let n = s
+            .execute("UPDATE A SET BAL = BAL * 1.07 WHERE BAL > 0")
+            .unwrap()
+            .count();
+        assert_eq!(n, 1_000);
     });
-    g.bench_function("update_point_with_constraint", |b| {
+    {
+        use nsql_records::{ArithOp, SetList};
         let db = ClusterBuilder::new().volume("$DATA1", 0, 1).build();
         let mut s = db.session();
         s.execute("CREATE TABLE P (K INT NOT NULL, Q INT NOT NULL, PRIMARY KEY (K))")
@@ -127,87 +124,76 @@ fn bench_update_pushdown(c: &mut Criterion) {
             )],
         };
         let constraint = Expr::field_cmp(1, CmpOp::Ge, Value::Int(0));
-        b.iter(|| {
-            let txn = db.txnmgr.begin();
-            s.fs()
-                .update_by_key(txn, &info.open, &key, &sets, Some(&constraint))
-                .unwrap();
-            db.txnmgr.commit(txn, s.cpu()).unwrap();
-        })
-    });
-    g.finish();
+        bench(
+            "update_pushdown",
+            "update_point_with_constraint",
+            200,
+            || {
+                let txn = db.txnmgr.begin();
+                s.fs()
+                    .update_by_key(txn, &info.open, &key, &sets, Some(&constraint))
+                    .unwrap();
+                db.txnmgr.commit(txn, s.cpu()).unwrap();
+            },
+        );
+    }
 }
 
-fn bench_debitcredit(c: &mut Criterion) {
-    let mut g = c.benchmark_group("debitcredit");
-    g.sample_size(10);
+fn bench_debitcredit() {
     for (name, sql_path) in [("sql_txn", true), ("enscribe_txn", false)] {
-        g.bench_function(name, |b| {
-            let db = ClusterBuilder::new().volume("$DATA1", 0, 1).build();
-            let bank = Bank::create(&db, 1, 200, "$DATA1").unwrap();
-            let session = db.session();
-            let mut rng = SimRng::seed_from(9);
-            b.iter(|| {
-                let (aid, tid, bid, delta) = bank.draw(&mut rng);
-                let txn = db.txnmgr.begin();
-                if sql_path {
-                    bank.debit_credit_sql(session.fs(), txn, aid, tid, bid, delta)
-                        .unwrap();
-                } else {
-                    bank.debit_credit_enscribe(session.fs(), txn, aid, tid, bid, delta)
-                        .unwrap();
-                }
-                db.txnmgr.commit(txn, session.cpu()).unwrap();
-            })
+        let db = ClusterBuilder::new().volume("$DATA1", 0, 1).build();
+        let bank = Bank::create(&db, 1, 200, "$DATA1").unwrap();
+        let session = db.session();
+        let mut rng = SimRng::seed_from(9);
+        bench("debitcredit", name, 100, || {
+            let (aid, tid, bid, delta) = bank.draw(&mut rng);
+            let txn = db.txnmgr.begin();
+            if sql_path {
+                bank.debit_credit_sql(session.fs(), txn, aid, tid, bid, delta)
+                    .unwrap();
+            } else {
+                bank.debit_credit_enscribe(session.fs(), txn, aid, tid, bid, delta)
+                    .unwrap();
+            }
+            db.txnmgr.commit(txn, session.cpu()).unwrap();
         });
     }
-    g.finish();
 }
 
-fn bench_group_commit(c: &mut Criterion) {
+fn bench_group_commit() {
     use nsql_lock::TxnId;
     use nsql_tmf::{CommitTimer, LsnSource, Trail, TrailRequest};
 
-    let mut g = c.benchmark_group("group_commit");
-    g.bench_function("commit_arrivals_adaptive", |b| {
-        let sim = nsql_sim::Sim::new();
-        let trail = Trail::new(
-            sim.clone(),
-            LsnSource::new(),
-            CommitTimer::Adaptive {
-                min: 500,
-                max: 20_000,
-                target_group: 8,
-            },
-        );
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            trail.apply(TrailRequest::Commit { txn: TxnId(i) });
-            sim.clock.advance(1_000);
-        })
+    let sim = nsql_sim::Sim::new();
+    let trail = Trail::new(
+        sim.clone(),
+        LsnSource::new(),
+        CommitTimer::Adaptive {
+            min: 500,
+            max: 20_000,
+            target_group: 8,
+        },
+    );
+    let mut i = 0u64;
+    bench("group_commit", "commit_arrivals_adaptive", 1_000, || {
+        i += 1;
+        trail.apply(TrailRequest::Commit { txn: TxnId(i) });
+        sim.clock.advance(1_000);
     });
-    g.finish();
 }
 
-fn bench_btree(c: &mut Criterion) {
+fn bench_btree() {
     use nsql_btree::{BTreeFile, MemStore};
 
-    let mut g = c.benchmark_group("btree");
-    g.bench_function("insert_4k_blocks", |b| {
-        b.iter_batched(
-            MemStore::new,
-            |store| {
-                let root = BTreeFile::create(&store);
-                let tree = BTreeFile::open(&store, root);
-                for i in 0..1_000u32 {
-                    tree.insert(&i.to_be_bytes(), &[0u8; 100]).unwrap();
-                }
-            },
-            BatchSize::PerIteration,
-        )
+    bench("btree", "insert_4k_blocks", 20, || {
+        let store = MemStore::new();
+        let root = BTreeFile::create(&store);
+        let tree = BTreeFile::open(&store, root);
+        for i in 0..1_000u32 {
+            tree.insert(&i.to_be_bytes(), &[0u8; 100]).unwrap();
+        }
     });
-    g.bench_function("point_get", |b| {
+    {
         let store = MemStore::new();
         let root = BTreeFile::create(&store);
         let tree = BTreeFile::open(&store, root);
@@ -215,95 +201,68 @@ fn bench_btree(c: &mut Criterion) {
             tree.insert(&i.to_be_bytes(), &[0u8; 100]).unwrap();
         }
         let mut i = 0u32;
-        b.iter(|| {
+        bench("btree", "point_get", 10_000, || {
             i = (i + 7919) % 10_000;
             assert!(tree.get(&i.to_be_bytes()).is_some());
-        })
-    });
-    g.finish();
-}
-
-fn bench_blocked_insert(c: &mut Criterion) {
-    let mut g = c.benchmark_group("blocked_insert");
-    g.sample_size(10);
-    for (name, blocked) in [("per_record_1k", false), ("blocked_1k", true)] {
-        g.bench_function(name, |b| {
-            b.iter_batched(
-                || {
-                    let db = ClusterBuilder::new().volume("$DATA1", 0, 1).build();
-                    let mut s = db.session();
-                    s.execute("CREATE TABLE L (K INT NOT NULL, PRIMARY KEY (K))")
-                        .unwrap();
-                    db
-                },
-                |db| {
-                    let s = db.session();
-                    let info = db.catalog.table("L").unwrap();
-                    let txn = db.txnmgr.begin();
-                    if blocked {
-                        let mut ins = nsql_fs::BlockedInserter::new(s.fs(), &info.open, txn);
-                        for k in 0..1_000 {
-                            ins.push(&[Value::Int(k)]).unwrap();
-                        }
-                        ins.flush().unwrap();
-                    } else {
-                        for k in 0..1_000 {
-                            s.fs()
-                                .insert_row(txn, &info.open, &[Value::Int(k)])
-                                .unwrap();
-                        }
-                    }
-                    db.txnmgr.commit(txn, s.cpu()).unwrap();
-                },
-                BatchSize::PerIteration,
-            )
         });
     }
-    g.finish();
 }
 
-fn bench_recovery(c: &mut Criterion) {
-    let mut g = c.benchmark_group("recovery");
-    g.sample_size(10);
-    g.bench_function("crash_recover_1k_rows", |b| {
-        b.iter_batched(
-            || {
-                let db = ClusterBuilder::new().volume("$DATA1", 0, 1).build();
-                let mut s = db.session();
-                s.execute("CREATE TABLE T (K INT NOT NULL, V INT NOT NULL, PRIMARY KEY (K))")
-                    .unwrap();
-                let info = db.catalog.table("T").unwrap();
-                let txn = db.txnmgr.begin();
-                {
-                    let mut ins = nsql_fs::BlockedInserter::new(s.fs(), &info.open, txn);
-                    for k in 0..1_000 {
-                        ins.push(&[Value::Int(k), Value::Int(k)]).unwrap();
-                    }
-                    ins.flush().unwrap();
+fn bench_blocked_insert() {
+    for (name, blocked) in [("per_record_1k", false), ("blocked_1k", true)] {
+        bench("blocked_insert", name, 10, || {
+            let db = ClusterBuilder::new().volume("$DATA1", 0, 1).build();
+            let mut s = db.session();
+            s.execute("CREATE TABLE L (K INT NOT NULL, PRIMARY KEY (K))")
+                .unwrap();
+            let info = db.catalog.table("L").unwrap();
+            let txn = db.txnmgr.begin();
+            if blocked {
+                let mut ins = nsql_fs::BlockedInserter::new(s.fs(), &info.open, txn);
+                for k in 0..1_000 {
+                    ins.push(&[Value::Int(k)]).unwrap();
                 }
-                db.txnmgr.commit(txn, s.cpu()).unwrap();
-                db
-            },
-            |db| {
-                db.crash_and_recover_all();
-                let mut s = db.session();
-                let r = s.query("SELECT COUNT(*) FROM T").unwrap();
-                assert_eq!(r.rows[0].0[0], Value::LargeInt(1_000));
-            },
-            BatchSize::PerIteration,
-        )
-    });
-    g.finish();
+                ins.flush().unwrap();
+            } else {
+                for k in 0..1_000 {
+                    s.fs()
+                        .insert_row(txn, &info.open, &[Value::Int(k)])
+                        .unwrap();
+                }
+            }
+            db.txnmgr.commit(txn, s.cpu()).unwrap();
+        });
+    }
 }
 
-criterion_group!(
-    benches,
-    bench_scan_interfaces,
-    bench_update_pushdown,
-    bench_debitcredit,
-    bench_group_commit,
-    bench_btree,
-    bench_blocked_insert,
-    bench_recovery
-);
-criterion_main!(benches);
+fn bench_recovery() {
+    bench("recovery", "crash_recover_1k_rows", 10, || {
+        let db = ClusterBuilder::new().volume("$DATA1", 0, 1).build();
+        let mut s = db.session();
+        s.execute("CREATE TABLE T (K INT NOT NULL, V INT NOT NULL, PRIMARY KEY (K))")
+            .unwrap();
+        let info = db.catalog.table("T").unwrap();
+        let txn = db.txnmgr.begin();
+        {
+            let mut ins = nsql_fs::BlockedInserter::new(s.fs(), &info.open, txn);
+            for k in 0..1_000 {
+                ins.push(&[Value::Int(k), Value::Int(k)]).unwrap();
+            }
+            ins.flush().unwrap();
+        }
+        db.txnmgr.commit(txn, s.cpu()).unwrap();
+        db.crash_and_recover_all();
+        let r = s.query("SELECT COUNT(*) FROM T").unwrap();
+        assert_eq!(r.rows[0].0[0], Value::LargeInt(1_000));
+    });
+}
+
+fn main() {
+    bench_scan_interfaces();
+    bench_update_pushdown();
+    bench_debitcredit();
+    bench_group_commit();
+    bench_btree();
+    bench_blocked_insert();
+    bench_recovery();
+}

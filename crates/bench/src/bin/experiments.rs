@@ -1,7 +1,19 @@
 //! CLI entry point: print experiment reports.
+//!
+//! With `--json`, also write one machine-readable record per core
+//! experiment to `BENCH_results.json` in the current directory.
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--json") {
+        args.remove(pos);
+        let json = nsql_bench::run_json();
+        std::fs::write("BENCH_results.json", &json).expect("write BENCH_results.json");
+        eprintln!("wrote BENCH_results.json");
+        if args.is_empty() {
+            return;
+        }
+    }
     if args.is_empty() {
         print!("{}", nsql_bench::run("all"));
         return;

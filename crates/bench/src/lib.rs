@@ -1,10 +1,10 @@
 //! Benchmark harness: regenerates every experiment of DESIGN.md §4.
 //!
 //! `cargo run -p nsql-bench --bin experiments [--release] [-- e2 e9 ...]`
-//! prints the report tables recorded in EXPERIMENTS.md. Criterion
-//! micro-benchmarks live under `benches/`.
+//! prints the report tables recorded in EXPERIMENTS.md; `-- --json` writes
+//! machine-readable records to `BENCH_results.json`.
 
 pub mod experiments;
 pub mod report;
 
-pub use experiments::run;
+pub use experiments::{run, run_json};

@@ -67,6 +67,63 @@ impl Table {
         }
         out
     }
+
+    /// Render as one JSON object: `{"id", "title", "columns", "rows",
+    /// "notes"}`, where `rows` maps each column header to the rendered
+    /// cell. The `BENCH_results.json` record format.
+    pub fn to_json(&self, id: &str) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"id\": {}, \"title\": {}, \"columns\": [",
+            json_str(id),
+            json_str(&self.title)
+        );
+        for (i, h) in self.headers.iter().enumerate() {
+            let _ = write!(out, "{}{}", if i > 0 { ", " } else { "" }, json_str(h));
+        }
+        let _ = write!(out, "], \"rows\": [");
+        for (ri, r) in self.rows.iter().enumerate() {
+            let _ = write!(out, "{}{{", if ri > 0 { ", " } else { "" });
+            for (i, (h, c)) in self.headers.iter().zip(r).enumerate() {
+                let _ = write!(
+                    out,
+                    "{}{}: {}",
+                    if i > 0 { ", " } else { "" },
+                    json_str(h),
+                    json_str(c)
+                );
+            }
+            let _ = write!(out, "}}");
+        }
+        let _ = write!(out, "], \"notes\": [");
+        for (i, n) in self.notes.iter().enumerate() {
+            let _ = write!(out, "{}{}", if i > 0 { ", " } else { "" }, json_str(n));
+        }
+        let _ = write!(out, "]}}");
+        out
+    }
+}
+
+/// Escape a string as a JSON string literal.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Format a ratio like `3.2x`.
@@ -116,5 +173,23 @@ mod tests {
     fn ragged_rows_rejected() {
         let mut t = Table::new("x", &["a", "b"]);
         t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("µs ≈ x"), "\"µs ≈ x\"");
+    }
+
+    #[test]
+    fn json_record_shape() {
+        let mut t = Table::new("E0 — demo", &["name", "value"]);
+        t.row(vec!["alpha".into(), "1".into()]);
+        t.note("a note");
+        let j = t.to_json("e0");
+        assert!(j.starts_with("{\"id\": \"e0\""));
+        assert!(j.contains("\"columns\": [\"name\", \"value\"]"));
+        assert!(j.contains("{\"name\": \"alpha\", \"value\": \"1\"}"));
+        assert!(j.contains("\"notes\": [\"a note\"]"));
     }
 }

@@ -1,9 +1,10 @@
-//! Property-based model checking: the disk-block B-tree must behave
-//! exactly like `std::collections::BTreeMap` under arbitrary operation
-//! sequences, while maintaining its structural invariants.
+//! Randomised model checking: the disk-block B-tree must behave exactly
+//! like `std::collections::BTreeMap` under arbitrary operation sequences,
+//! while maintaining its structural invariants. Operation sequences are
+//! drawn from a seeded RNG so every run is reproducible.
 
 use nsql_btree::{BTreeFile, MemStore, ScanControl, TreeError};
-use proptest::prelude::*;
+use nsql_sim::SimRng;
 use std::collections::BTreeMap;
 use std::ops::Bound;
 
@@ -17,15 +18,17 @@ enum Op {
     ScanFrom(u16, u8),
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (any::<u16>(), any::<u8>()).prop_map(|(k, v)| Op::Insert(k % 512, v)),
-        (any::<u16>(), any::<u8>()).prop_map(|(k, v)| Op::Update(k % 512, v)),
-        (any::<u16>(), any::<u8>()).prop_map(|(k, v)| Op::Put(k % 512, v)),
-        any::<u16>().prop_map(|k| Op::Delete(k % 512)),
-        any::<u16>().prop_map(|k| Op::Get(k % 512)),
-        (any::<u16>(), 1u8..32).prop_map(|(k, n)| Op::ScanFrom(k % 512, n)),
-    ]
+fn draw_op(rng: &mut SimRng) -> Op {
+    let k = rng.below(512) as u16;
+    let v = rng.below(256) as u8;
+    match rng.below(6) {
+        0 => Op::Insert(k, v),
+        1 => Op::Update(k, v),
+        2 => Op::Put(k, v),
+        3 => Op::Delete(k),
+        4 => Op::Get(k),
+        _ => Op::ScanFrom(k, 1 + rng.below(31) as u8),
+    }
 }
 
 fn key(k: u16) -> Vec<u8> {
@@ -37,61 +40,61 @@ fn val(v: u8) -> Vec<u8> {
     vec![v; 1 + (v as usize % 40)]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn btree_equals_model(ops in proptest::collection::vec(arb_op(), 1..400)) {
+#[test]
+fn btree_equals_model() {
+    for case in 0..64u64 {
+        let mut rng = SimRng::seed_from(0xB7EE + case);
+        let nops = 1 + rng.below(400) as usize;
         // A small block size forces multi-level trees, splits and merges.
         let store = MemStore::with_block_size(256);
         let root = BTreeFile::create(&store);
         let tree = BTreeFile::open(&store, root);
         let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
 
-        for op in &ops {
-            match op {
+        for _ in 0..nops {
+            match draw_op(&mut rng) {
                 Op::Insert(k, v) => {
-                    let (k, v) = (key(*k), val(*v));
+                    let (k, v) = (key(k), val(v));
                     let expected = if model.contains_key(&k) {
                         Err(TreeError::DuplicateKey)
                     } else {
                         model.insert(k.clone(), v.clone());
                         Ok(())
                     };
-                    prop_assert_eq!(tree.insert(&k, &v), expected);
+                    assert_eq!(tree.insert(&k, &v), expected);
                 }
                 Op::Update(k, v) => {
-                    let (k, v) = (key(*k), val(*v));
+                    let (k, v) = (key(k), val(v));
                     let expected = if model.contains_key(&k) {
                         model.insert(k.clone(), v.clone());
                         Ok(())
                     } else {
                         Err(TreeError::NotFound)
                     };
-                    prop_assert_eq!(tree.update(&k, &v), expected);
+                    assert_eq!(tree.update(&k, &v), expected);
                 }
                 Op::Put(k, v) => {
-                    let (k, v) = (key(*k), val(*v));
+                    let (k, v) = (key(k), val(v));
                     model.insert(k.clone(), v.clone());
-                    prop_assert_eq!(tree.put(&k, &v), Ok(()));
+                    assert_eq!(tree.put(&k, &v), Ok(()));
                 }
                 Op::Delete(k) => {
-                    let k = key(*k);
+                    let k = key(k);
                     match model.remove(&k) {
-                        Some(old) => prop_assert_eq!(tree.delete(&k), Ok(old)),
-                        None => prop_assert_eq!(tree.delete(&k), Err(TreeError::NotFound)),
+                        Some(old) => assert_eq!(tree.delete(&k), Ok(old)),
+                        None => assert_eq!(tree.delete(&k), Err(TreeError::NotFound)),
                     }
                 }
                 Op::Get(k) => {
-                    let k = key(*k);
-                    prop_assert_eq!(tree.get(&k), model.get(&k).cloned());
+                    let k = key(k);
+                    assert_eq!(tree.get(&k), model.get(&k).cloned());
                 }
                 Op::ScanFrom(k, n) => {
-                    let k = key(*k);
+                    let k = key(k);
                     let mut got = Vec::new();
                     tree.scan(Bound::Included(&k), |key, value| {
                         got.push((key.to_vec(), value.to_vec()));
-                        if got.len() >= *n as usize {
+                        if got.len() >= n as usize {
                             ScanControl::Stop
                         } else {
                             ScanControl::Continue
@@ -99,10 +102,10 @@ proptest! {
                     });
                     let want: Vec<(Vec<u8>, Vec<u8>)> = model
                         .range(k..)
-                        .take(*n as usize)
+                        .take(n as usize)
                         .map(|(a, b)| (a.clone(), b.clone()))
                         .collect();
-                    prop_assert_eq!(got, want);
+                    assert_eq!(got, want);
                 }
             }
         }
@@ -111,13 +114,17 @@ proptest! {
         tree.validate();
         let got = tree.entries();
         let want: Vec<(Vec<u8>, Vec<u8>)> = model.into_iter().collect();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want);
     }
+}
 
-    /// Blocks freed by deletes are reusable: a grow/shrink cycle must not
-    /// leak more than the tree's final height in blocks.
-    #[test]
-    fn space_is_reclaimed(n in 50u16..300) {
+/// Blocks freed by deletes are reusable: a grow/shrink cycle must not leak
+/// more than the tree's final height in blocks.
+#[test]
+fn space_is_reclaimed() {
+    for case in 0..16u64 {
+        let mut rng = SimRng::seed_from(0x5ACE + case);
+        let n = 50 + rng.below(250) as u16;
         let store = MemStore::with_block_size(256);
         let root = BTreeFile::create(&store);
         let tree = BTreeFile::open(&store, root);
@@ -128,6 +135,10 @@ proptest! {
             tree.delete(&key(i)).unwrap();
         }
         tree.validate();
-        prop_assert!(store.live_blocks() <= 4, "{} live blocks after emptying", store.live_blocks());
+        assert!(
+            store.live_blocks() <= 4,
+            "{} live blocks after emptying",
+            store.live_blocks()
+        );
     }
 }

@@ -23,8 +23,8 @@
 //! covering its latest change is durable.
 
 use nsql_disk::{BlockNo, Disk, DiskError};
+use nsql_sim::sync::Mutex;
 use nsql_sim::{Micros, Sim};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -226,6 +226,8 @@ impl BufferPool {
         let Ok((datas, ready)) = self.disk.read_async(from, run) else {
             return; // hole in the file: skip
         };
+        self.sim
+            .trace_emit(|| nsql_sim::trace::TraceEventKind::Prefetch { blocks: run as u64 });
         for (i, data) in datas.into_iter().enumerate() {
             inner.frames.insert(
                 from + i as u32,
@@ -271,6 +273,7 @@ impl BufferPool {
 
     /// Evict LRU frames until `need` new frames fit.
     fn make_room(&self, inner: &mut PoolInner, need: usize) -> Result<(), DiskError> {
+        let mut evicted = 0u64;
         while inner.frames.len() + need > self.capacity {
             let victim = inner
                 .frames
@@ -289,6 +292,11 @@ impl BufferPool {
                 self.disk.write(victim, std::slice::from_ref(&f.data))?;
             }
             self.sim.metrics.cache_steals.inc();
+            evicted += 1;
+        }
+        if evicted > 0 {
+            self.sim
+                .trace_emit(|| nsql_sim::trace::TraceEventKind::CacheEvict { frames: evicted });
         }
         Ok(())
     }
@@ -427,7 +435,7 @@ impl BufferPool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use parking_lot::Mutex as PMutex;
+    use nsql_sim::sync::Mutex as PMutex;
 
     fn setup(capacity: usize) -> (Sim, Arc<Disk>, BufferPool) {
         let sim = Sim::new();

@@ -29,11 +29,11 @@ use nsql_dp::{BackupSink, DiskProcess, DpConfig, DpContext};
 use nsql_fs::{FileSystem, OpenFile};
 use nsql_lock::TxnId;
 use nsql_msg::{Bus, CpuId};
-use nsql_sim::{CostModel, Metrics, MetricsSnapshot, Sim};
+use nsql_sim::sync::RwLock;
+use nsql_sim::{CostModel, Metrics, MetricsSnapshot, Micros, Sim, TraceEvent};
 use nsql_sql::ast::Statement;
-use nsql_sql::{parse, plan, Catalog, Executor, Plan, QueryResult};
+use nsql_sql::{parse, plan, Catalog, Executor, OpStats, Plan, QueryResult};
 use nsql_tmf::{CommitTimer, LsnSource, Trail, TxnManager, AUDIT_PROCESS};
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -258,6 +258,7 @@ impl Cluster {
             fs: FileSystem::new(self.sim.clone(), Arc::clone(&self.bus), cpu),
             cpu,
             txn: None,
+            last_stats: None,
         }
     }
 
@@ -357,6 +358,19 @@ impl Cluster {
     }
 }
 
+/// What one statement cost: the counter delta, the virtual time it took,
+/// and (when tracing is enabled) the trace events it produced.
+#[derive(Debug, Clone)]
+pub struct QueryStats {
+    /// Delta of every metric counter over the statement.
+    pub metrics: MetricsSnapshot,
+    /// Virtual time the statement took.
+    pub elapsed_us: Micros,
+    /// Trace events emitted during the statement (empty when tracing is
+    /// disabled or the events were evicted from the ring).
+    pub trace: Vec<TraceEvent>,
+}
+
 /// One application session: SQL entry point plus the underlying File
 /// System for ENSCRIBE-style access.
 pub struct Session<'a> {
@@ -364,6 +378,7 @@ pub struct Session<'a> {
     fs: FileSystem,
     cpu: CpuId,
     txn: Option<TxnId>,
+    last_stats: Option<QueryStats>,
 }
 
 impl Session<'_> {
@@ -427,7 +442,31 @@ impl Session<'_> {
 
     /// Execute one SQL statement. DML outside an explicit transaction
     /// autocommits; inside one, effects become permanent at `COMMIT WORK`.
+    ///
+    /// The statement's cost (counter delta, virtual time, trace slice) is
+    /// captured and available from [`Session::last_stats`] afterwards.
     pub fn execute(&mut self, sql: &str) -> Result<Outcome, DbError> {
+        let sim = self.cluster.sim.clone();
+        let before = sim.metrics.snapshot();
+        let t0 = sim.clock.now();
+        let cursor = sim.trace.cursor();
+        let out = self.execute_inner(sql);
+        let elapsed = sim.clock.now().saturating_sub(t0);
+        sim.hist.stmt_latency_us.record(elapsed);
+        self.last_stats = Some(QueryStats {
+            metrics: sim.metrics.snapshot() - before,
+            elapsed_us: elapsed,
+            trace: sim.trace.since(cursor),
+        });
+        out
+    }
+
+    /// Cost of the most recently executed statement.
+    pub fn last_stats(&self) -> Option<&QueryStats> {
+        self.last_stats.as_ref()
+    }
+
+    fn execute_inner(&mut self, sql: &str) -> Result<Outcome, DbError> {
         let stmt = parse(sql).map_err(db_err)?;
         let planned = plan(&self.cluster.catalog, stmt).map_err(db_err)?;
         let exec = Executor {
@@ -445,6 +484,10 @@ impl Session<'_> {
                         .map(|l| nsql_records::Row(vec![nsql_records::Value::Str(l)]))
                         .collect(),
                 }))
+            }
+            Plan::ExplainAnalyze(inner) => {
+                let stats = self.analyze(&exec, *inner)?;
+                Ok(Outcome::Rows(analyze_result(&stats)))
             }
             Plan::Select(p) => {
                 let r = exec.select(&p, self.txn).map_err(db_err)?;
@@ -504,6 +547,57 @@ impl Session<'_> {
         }
     }
 
+    /// Execute the wrapped plan of an `EXPLAIN ANALYZE`, collecting one
+    /// [`OpStats`] per operator. DML is measured as a single operator plus,
+    /// outside an explicit transaction, a COMMIT operator — so the stages
+    /// stay contiguous and their message counts sum to the global delta.
+    fn analyze(&self, exec: &Executor<'_>, planned: Plan) -> Result<Vec<OpStats>, DbError> {
+        let sim = &self.cluster.sim;
+        match planned {
+            Plan::Select(p) => {
+                let (_, stats) = exec.select_analyzed(&p, self.txn).map_err(db_err)?;
+                Ok(stats)
+            }
+            p @ (Plan::Insert(_) | Plan::Update(_) | Plan::Delete(_)) => {
+                let label = nsql_sql::plan::describe(&p).join("; ");
+                let run = |txn: TxnId| match &p {
+                    Plan::Insert(ip) => exec.insert(ip, txn).map_err(db_err),
+                    Plan::Update(up) => exec.update(up, txn).map_err(db_err),
+                    Plan::Delete(dp) => exec.delete(dp, txn).map_err(db_err),
+                    _ => unreachable!(),
+                };
+                let mut stats = Vec::new();
+                match self.txn {
+                    Some(txn) => {
+                        let mark = op_mark(sim);
+                        let n = run(txn)?;
+                        stats.push(close_op(sim, label, n, mark));
+                    }
+                    None => {
+                        let txn = self.cluster.txnmgr.begin();
+                        let mark = op_mark(sim);
+                        match run(txn) {
+                            Ok(n) => {
+                                stats.push(close_op(sim, label, n, mark));
+                                let mark = op_mark(sim);
+                                self.cluster.txnmgr.commit(txn, self.cpu).map_err(db_err)?;
+                                stats.push(close_op(sim, "COMMIT".into(), 0, mark));
+                            }
+                            Err(e) => {
+                                let _ = self.cluster.txnmgr.abort(txn, self.cpu);
+                                return Err(e);
+                            }
+                        }
+                    }
+                }
+                Ok(stats)
+            }
+            _ => Err(DbError(
+                "EXPLAIN ANALYZE supports SELECT, INSERT, UPDATE and DELETE".into(),
+            )),
+        }
+    }
+
     fn dml<F: FnOnce(TxnId) -> Result<u64, DbError>>(&self, f: F) -> Result<Outcome, DbError> {
         match self.txn {
             Some(txn) => {
@@ -525,6 +619,65 @@ impl Session<'_> {
                 }
             }
         }
+    }
+}
+
+/// Open one operator measurement window (EXPLAIN ANALYZE over DML).
+fn op_mark(sim: &Sim) -> (MetricsSnapshot, Micros) {
+    (sim.metrics.snapshot(), sim.clock.now())
+}
+
+/// Close an operator measurement window into an [`OpStats`].
+fn close_op(sim: &Sim, label: String, rows: u64, mark: (MetricsSnapshot, Micros)) -> OpStats {
+    let d = sim.metrics.snapshot() - mark.0;
+    OpStats {
+        label,
+        rows,
+        msgs_fs_dp: d.msgs_fs_dp,
+        disk_reads: d.disk_reads,
+        disk_writes: d.disk_writes,
+        elapsed_us: sim.clock.now().saturating_sub(mark.1),
+    }
+}
+
+/// Render per-operator statistics as the EXPLAIN ANALYZE result set.
+fn analyze_result(stats: &[OpStats]) -> QueryResult {
+    use nsql_records::{Row, Value};
+    let mut rows = Vec::with_capacity(stats.len() + 1);
+    let (mut msgs, mut reads, mut writes, mut elapsed) = (0u64, 0u64, 0u64, 0u64);
+    for s in stats {
+        msgs += s.msgs_fs_dp;
+        reads += s.disk_reads;
+        writes += s.disk_writes;
+        elapsed += s.elapsed_us;
+        rows.push(Row(vec![
+            Value::Str(s.label.clone()),
+            Value::LargeInt(s.rows as i64),
+            Value::LargeInt(s.msgs_fs_dp as i64),
+            Value::LargeInt(s.disk_reads as i64),
+            Value::LargeInt(s.disk_writes as i64),
+            Value::LargeInt(s.elapsed_us as i64),
+        ]));
+    }
+    let out_rows = stats.last().map_or(0, |s| s.rows);
+    rows.push(Row(vec![
+        Value::Str("TOTAL".into()),
+        Value::LargeInt(out_rows as i64),
+        Value::LargeInt(msgs as i64),
+        Value::LargeInt(reads as i64),
+        Value::LargeInt(writes as i64),
+        Value::LargeInt(elapsed as i64),
+    ]));
+    QueryResult {
+        columns: vec![
+            "OPERATOR".into(),
+            "ROWS".into(),
+            "MSGS FS-DP".into(),
+            "DISK READS".into(),
+            "DISK WRITES".into(),
+            "ELAPSED US".into(),
+        ],
+        rows,
     }
 }
 

@@ -16,8 +16,8 @@
 //!   cpu-bound processing using data from the cache to occur in parallel
 //!   with disk I/O's").
 
+use nsql_sim::sync::Mutex;
 use nsql_sim::{Micros, Sim};
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// Index of a block on a volume.
@@ -150,6 +150,13 @@ impl Disk {
         if nblocks > 1 {
             m.disk_bulk_ios.inc();
         }
+        self.sim
+            .trace_emit(|| nsql_sim::trace::TraceEventKind::DiskIo {
+                volume: self.name.clone(),
+                write: is_write,
+                blocks: nblocks as u64,
+                synchronous,
+            });
         if synchronous {
             self.sim.clock.advance_to(end);
         }

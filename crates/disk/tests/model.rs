@@ -1,22 +1,24 @@
-//! Property tests for the simulated disk.
+//! Randomised model tests for the simulated disk, driven by a seeded RNG.
 
 use nsql_disk::Disk;
-use nsql_sim::Sim;
-use proptest::prelude::*;
+use nsql_sim::{Sim, SimRng};
 use std::collections::HashMap;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Reads always return the latest write, across arbitrary write orders
-    /// and bulk sizes; the device timeline never runs backwards.
-    #[test]
-    fn read_your_writes(ops in proptest::collection::vec((0u32..64, 1usize..4, any::<u8>()), 1..60)) {
+/// Reads always return the latest write, across arbitrary write orders and
+/// bulk sizes; the device timeline never runs backwards.
+#[test]
+fn read_your_writes() {
+    for case in 0..64u64 {
+        let mut rng = SimRng::seed_from(0xD15C + case);
         let sim = Sim::new();
         let disk = Disk::new(sim.clone(), "$P", false);
         let mut model: HashMap<u32, u8> = HashMap::new();
         let mut last_busy = 0;
-        for (start, nblocks, fill) in ops {
+        let nops = 1 + rng.below(60) as usize;
+        for _ in 0..nops {
+            let start = rng.below(64) as u32;
+            let nblocks = 1 + rng.below(3) as usize;
+            let fill = rng.below(256) as u8;
             let blocks: Vec<Vec<u8>> = (0..nblocks)
                 .map(|i| vec![fill.wrapping_add(i as u8); 64])
                 .collect();
@@ -24,29 +26,37 @@ proptest! {
             for i in 0..nblocks {
                 model.insert(start + i as u32, fill.wrapping_add(i as u8));
             }
-            prop_assert!(disk.busy_until() >= last_busy, "device timeline went backwards");
+            assert!(
+                disk.busy_until() >= last_busy,
+                "device timeline went backwards"
+            );
             last_busy = disk.busy_until();
         }
         for (&block, &fill) in &model {
             let got = disk.read(block, 1).unwrap();
-            prop_assert_eq!(got[0][0], fill, "block {}", block);
+            assert_eq!(got[0][0], fill, "block {block}");
         }
     }
+}
 
-    /// Async reads return the same data as sync reads and complete no
-    /// earlier than they start.
-    #[test]
-    fn async_read_consistency(blocks in 1usize..7, fill in any::<u8>()) {
+/// Async reads return the same data as sync reads and complete no earlier
+/// than they start.
+#[test]
+fn async_read_consistency() {
+    for case in 0..64u64 {
+        let mut rng = SimRng::seed_from(0xA51C + case);
+        let blocks = 1 + rng.below(6) as usize;
+        let fill = rng.below(256) as u8;
         let sim = Sim::new();
         let disk = Disk::new(sim.clone(), "$P", false);
         let data: Vec<Vec<u8>> = (0..blocks).map(|i| vec![fill ^ i as u8; 32]).collect();
         disk.write(0, &data).unwrap();
         let now = sim.now();
         let (async_data, done) = disk.read_async(0, blocks).unwrap();
-        prop_assert!(done > now);
+        assert!(done > now);
         sim.clock.advance_to(done);
         let sync_data = disk.read(0, blocks).unwrap();
-        prop_assert_eq!(async_data, sync_data);
+        assert_eq!(async_data, sync_data);
     }
 }
 

@@ -38,11 +38,12 @@ use nsql_lock::{LockError, LockManager, LockMode, LockScope, TxnId};
 use nsql_msg::{Bus, CpuId, MsgKind, Response, Server};
 use nsql_records::row::{decode_row, encode_row, extract_field, RawRecord};
 use nsql_records::{Expr, OwnedBound, RecordDescriptor, SetList, Value};
+use nsql_sim::sync::Mutex;
+use nsql_sim::trace::TraceEventKind;
 use nsql_sim::{CpuLayer, Micros, Sim};
 use nsql_tmf::audit::FieldImage;
 use nsql_tmf::txn::{EndTxnReply, EndTxnRequest};
 use nsql_tmf::{AuditBody, Trail, TxnManager, VolumeAuditor};
-use parking_lot::Mutex;
 use std::any::Any;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -345,13 +346,27 @@ impl DiskProcess {
                 match self.locks.wait_for(txn, holder) {
                     Err(LockError::Deadlock { victim }) => {
                         self.sim.metrics.deadlocks.inc();
+                        self.sim.trace_emit(|| TraceEventKind::LockWait {
+                            txn: txn.0,
+                            deadlock: true,
+                        });
                         Err(DpError::Deadlock { victim })
                     }
-                    _ => Err(DpError::Locked { holder }),
+                    _ => {
+                        self.sim.trace_emit(|| TraceEventKind::LockWait {
+                            txn: txn.0,
+                            deadlock: false,
+                        });
+                        Err(DpError::Locked { holder })
+                    }
                 }
             }
             Err(LockError::Deadlock { victim }) => {
                 self.sim.metrics.deadlocks.inc();
+                self.sim.trace_emit(|| TraceEventKind::LockWait {
+                    txn: txn.0,
+                    deadlock: true,
+                });
                 Err(DpError::Deadlock { victim })
             }
         }

@@ -407,6 +407,40 @@ impl DpRequest {
         }
     }
 
+    /// Short verb name in the paper's style, used to label trace events.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DpRequest::CreateFile { .. } => "CREATE^FILE",
+            DpRequest::FlushCache => "FLUSH^CACHE",
+            DpRequest::Read { .. } => "READ",
+            DpRequest::ReadNext { .. } => "READ^NEXT",
+            DpRequest::ReadSeqBlock { .. } => "READ^SEQ^BLOCK",
+            DpRequest::Insert { .. } => "INSERT",
+            DpRequest::UpdateRecord { .. } => "WRITE",
+            DpRequest::DeleteRecord { .. } => "DELETE",
+            DpRequest::Lock { .. } => "LOCK",
+            DpRequest::GetSubsetFirst { mode, .. } => match mode {
+                SubsetMode::Vsbb => "GET^FIRST^VSBB",
+                SubsetMode::Rsbb => "GET^FIRST^RSBB",
+            },
+            DpRequest::GetSubsetNext { .. } => "GET^NEXT",
+            DpRequest::UpdateSubsetFirst { .. } => "UPDATE^SUBSET^FIRST",
+            DpRequest::UpdateSubsetNext { .. } => "UPDATE^SUBSET^NEXT",
+            DpRequest::DeleteSubsetFirst { .. } => "DELETE^SUBSET^FIRST",
+            DpRequest::DeleteSubsetNext { .. } => "DELETE^SUBSET^NEXT",
+            DpRequest::UpdatePoint { .. } => "UPDATE^POINT",
+            DpRequest::BlockedInsert { .. } => "BLOCKED^INSERT",
+            DpRequest::CloseSubset { .. } => "CLOSE^SUBSET",
+            DpRequest::BlockedUpdate { .. } => "BLOCKED^UPDATE",
+            DpRequest::BlockedDelete { .. } => "BLOCKED^DELETE",
+            DpRequest::RelativeWrite { .. } => "RELATIVE^WRITE",
+            DpRequest::RelativeRead { .. } => "RELATIVE^READ",
+            DpRequest::RelativeDelete { .. } => "RELATIVE^DELETE",
+            DpRequest::EntryAppend { .. } => "ENTRY^APPEND",
+            DpRequest::EntryRead { .. } => "ENTRY^READ",
+        }
+    }
+
     /// Is this a continuation re-drive (for message-kind attribution)?
     pub fn is_redrive(&self) -> bool {
         matches!(

@@ -12,7 +12,7 @@
 
 use nsql_btree::{BlockNo, BlockStore};
 use nsql_cache::{BufferPool, ScanOptions};
-use parking_lot::Mutex;
+use nsql_sim::sync::Mutex;
 use std::cell::Cell;
 
 /// Volume block allocator. Block 0 is reserved for the volume label.

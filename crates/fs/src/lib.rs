@@ -248,9 +248,10 @@ impl FileSystem {
             MsgKind::FsDp
         };
         let size = req.wire_size();
+        let label = req.name();
         let reply = self
             .bus
-            .request(self.cpu, to, kind, size, Box::new(req))?
+            .request_labeled(self.cpu, to, kind, size, Box::new(req), label)?
             .expect::<DpReply>();
         match reply {
             DpReply::Error(e) => Err(FsError::Dp(e)),

@@ -279,6 +279,7 @@ impl FileSystem {
                     lock,
                 },
             )?;
+            let mut chain = 1u64;
             loop {
                 let DpReply::Subset {
                     rows,
@@ -298,6 +299,7 @@ impl FileSystem {
                 if done {
                     break;
                 }
+                chain += 1;
                 reply = self.send(
                     &p.process,
                     DpRequest::GetSubsetNext {
@@ -306,6 +308,7 @@ impl FileSystem {
                     },
                 )?;
             }
+            self.sim.hist.redrive_chain.record(chain);
         }
         Ok(out)
     }
@@ -345,6 +348,7 @@ impl FileSystem {
                     constraint: constraint.cloned(),
                 },
             )?;
+            let mut chain = 1u64;
             loop {
                 let DpReply::Subset {
                     affected: a,
@@ -360,6 +364,7 @@ impl FileSystem {
                 if done {
                     break;
                 }
+                chain += 1;
                 reply = self.send(
                     &p.process,
                     DpRequest::UpdateSubsetNext {
@@ -368,6 +373,7 @@ impl FileSystem {
                     },
                 )?;
             }
+            self.sim.hist.redrive_chain.record(chain);
         }
         Ok(affected)
     }
@@ -440,6 +446,7 @@ impl FileSystem {
                     predicate: predicate.cloned(),
                 },
             )?;
+            let mut chain = 1u64;
             loop {
                 let DpReply::Subset {
                     affected: a,
@@ -455,6 +462,7 @@ impl FileSystem {
                 if done {
                     break;
                 }
+                chain += 1;
                 reply = self.send(
                     &p.process,
                     DpRequest::DeleteSubsetNext {
@@ -463,6 +471,7 @@ impl FileSystem {
                     },
                 )?;
             }
+            self.sim.hist.redrive_chain.record(chain);
         }
         Ok(affected)
     }
@@ -495,6 +504,7 @@ impl FileSystem {
                 lock,
             },
         )?;
+        let mut chain = 1u64;
         loop {
             let DpReply::Subset {
                 rows: batch,
@@ -512,6 +522,7 @@ impl FileSystem {
             if done {
                 break;
             }
+            chain += 1;
             reply = self.send(
                 &idx.process,
                 DpRequest::GetSubsetNext {
@@ -520,6 +531,7 @@ impl FileSystem {
                 },
             )?;
         }
+        self.sim.hist.redrive_chain.record(chain);
         Ok(rows)
     }
 

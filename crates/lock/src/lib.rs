@@ -19,7 +19,7 @@
 //! Locking is strict two-phase: transactions release everything at
 //! commit/abort via [`LockManager::release_all`].
 
-use parking_lot::Mutex;
+use nsql_sim::sync::Mutex;
 use std::collections::HashMap;
 use std::fmt;
 

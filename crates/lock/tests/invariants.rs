@@ -1,7 +1,8 @@
-//! Property-based invariants of the lock manager.
+//! Randomised invariants of the lock manager, driven by a seeded RNG so
+//! every run explores the same operation sequences.
 
 use nsql_lock::{LockManager, LockMode, LockScope, TxnId};
-use proptest::prelude::*;
+use nsql_sim::SimRng;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -20,24 +21,22 @@ enum Op {
     Release(u8),
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u8..6, 0u8..3, any::<u8>(), 0u8..16, any::<bool>()).prop_map(
-            |(txn, file, lo, len, exclusive)| Op::Acquire {
-                txn,
-                file,
-                lo,
-                len,
-                exclusive,
-            }
-        ),
-        (0u8..6, 0u8..3, any::<bool>()).prop_map(|(txn, file, exclusive)| Op::AcquireFile {
-            txn,
-            file,
-            exclusive
-        }),
-        (0u8..6).prop_map(Op::Release),
-    ]
+fn draw_op(rng: &mut SimRng) -> Op {
+    match rng.below(3) {
+        0 => Op::Acquire {
+            txn: rng.below(6) as u8,
+            file: rng.below(3) as u8,
+            lo: rng.below(256) as u8,
+            len: rng.below(16) as u8,
+            exclusive: rng.chance(0.5),
+        },
+        1 => Op::AcquireFile {
+            txn: rng.below(6) as u8,
+            file: rng.below(3) as u8,
+            exclusive: rng.chance(0.5),
+        },
+        _ => Op::Release(rng.below(6) as u8),
+    }
 }
 
 fn scope_of(lo: u8, len: u8) -> LockScope {
@@ -45,23 +44,41 @@ fn scope_of(lo: u8, len: u8) -> LockScope {
     LockScope::interval(vec![lo], vec![hi])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// After any sequence of acquires and releases, the set of held locks
-    /// is conflict-free: no two different transactions hold overlapping
-    /// locks in incompatible modes.
-    #[test]
-    fn held_locks_never_conflict(ops in proptest::collection::vec(arb_op(), 1..200)) {
+/// After any sequence of acquires and releases, the set of held locks is
+/// conflict-free: no two different transactions hold overlapping locks in
+/// incompatible modes.
+#[test]
+fn held_locks_never_conflict() {
+    for case in 0..128u64 {
+        let mut rng = SimRng::seed_from(0xA0 + case);
+        let nops = 1 + rng.below(200) as usize;
         let lm = LockManager::new();
-        for op in ops {
-            match op {
-                Op::Acquire { txn, file, lo, len, exclusive } => {
-                    let mode = if exclusive { LockMode::Exclusive } else { LockMode::Shared };
+        for _ in 0..nops {
+            match draw_op(&mut rng) {
+                Op::Acquire {
+                    txn,
+                    file,
+                    lo,
+                    len,
+                    exclusive,
+                } => {
+                    let mode = if exclusive {
+                        LockMode::Exclusive
+                    } else {
+                        LockMode::Shared
+                    };
                     let _ = lm.acquire(TxnId(txn as u64), file as u32, scope_of(lo, len), mode);
                 }
-                Op::AcquireFile { txn, file, exclusive } => {
-                    let mode = if exclusive { LockMode::Exclusive } else { LockMode::Shared };
+                Op::AcquireFile {
+                    txn,
+                    file,
+                    exclusive,
+                } => {
+                    let mode = if exclusive {
+                        LockMode::Exclusive
+                    } else {
+                        LockMode::Shared
+                    };
                     let _ = lm.acquire(TxnId(txn as u64), file as u32, LockScope::File, mode);
                 }
                 Op::Release(txn) => lm.release_all(TxnId(txn as u64)),
@@ -75,7 +92,7 @@ proptest! {
             for a in &all {
                 for b in &all {
                     if a.txn != b.txn && a.file == b.file && a.scope.overlaps(&b.scope) {
-                        prop_assert!(
+                        assert!(
                             a.mode.compatible(b.mode),
                             "conflicting locks held: {a:?} vs {b:?}"
                         );
@@ -84,31 +101,55 @@ proptest! {
             }
         }
     }
+}
 
-    /// Granted requests are exactly those `can_acquire` predicted.
-    #[test]
-    fn can_acquire_is_consistent(ops in proptest::collection::vec(arb_op(), 1..100)) {
+/// Granted requests are exactly those `can_acquire` predicted.
+#[test]
+fn can_acquire_is_consistent() {
+    for case in 0..128u64 {
+        let mut rng = SimRng::seed_from(0xB0 + case);
+        let nops = 1 + rng.below(100) as usize;
         let lm = LockManager::new();
-        for op in ops {
-            if let Op::Acquire { txn, file, lo, len, exclusive } = op {
-                let mode = if exclusive { LockMode::Exclusive } else { LockMode::Shared };
+        for _ in 0..nops {
+            if let Op::Acquire {
+                txn,
+                file,
+                lo,
+                len,
+                exclusive,
+            } = draw_op(&mut rng)
+            {
+                let mode = if exclusive {
+                    LockMode::Exclusive
+                } else {
+                    LockMode::Shared
+                };
                 let scope = scope_of(lo, len);
                 let predicted = lm.can_acquire(TxnId(txn as u64), file as u32, &scope, mode);
                 let granted = lm
                     .acquire(TxnId(txn as u64), file as u32, scope, mode)
                     .is_ok();
-                prop_assert_eq!(predicted, granted);
+                assert_eq!(predicted, granted);
             }
         }
     }
+}
 
-    /// Release makes everything re-acquirable by anyone.
-    #[test]
-    fn release_unblocks(lo in any::<u8>(), len in 0u8..16, exclusive in any::<bool>()) {
+/// Release makes everything re-acquirable by anyone.
+#[test]
+fn release_unblocks() {
+    for case in 0..64u64 {
+        let mut rng = SimRng::seed_from(0xC0 + case);
+        let (lo, len) = (rng.below(256) as u8, rng.below(16) as u8);
+        let mode = if rng.chance(0.5) {
+            LockMode::Exclusive
+        } else {
+            LockMode::Shared
+        };
         let lm = LockManager::new();
-        let mode = if exclusive { LockMode::Exclusive } else { LockMode::Shared };
         lm.acquire(TxnId(1), 0, scope_of(lo, len), mode).unwrap();
         lm.release_all(TxnId(1));
-        lm.acquire(TxnId(2), 0, scope_of(lo, len), LockMode::Exclusive).unwrap();
+        lm.acquire(TxnId(2), 0, scope_of(lo, len), LockMode::Exclusive)
+            .unwrap();
     }
 }

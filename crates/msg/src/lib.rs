@@ -17,8 +17,9 @@
 //! synchronous). Handlers may themselves send messages (e.g. a data-volume
 //! Disk Process sending audit to the audit-trail Disk Process).
 
+use nsql_sim::sync::RwLock;
+use nsql_sim::trace::{TraceEventKind, TraceMsgClass};
 use nsql_sim::{Micros, Sim};
-use parking_lot::RwLock;
 use std::any::Any;
 use std::collections::HashMap;
 use std::fmt;
@@ -205,6 +206,20 @@ impl Bus {
         req_size: usize,
         payload: Box<dyn Any + Send>,
     ) -> Result<Response, BusError> {
+        self.request_labeled(from, to, kind, req_size, payload, "")
+    }
+
+    /// [`Bus::request`] with a request name for the trace (e.g.
+    /// `"GetSubsetFirst"`). The label costs nothing unless tracing is on.
+    pub fn request_labeled(
+        &self,
+        from: CpuId,
+        to: &str,
+        kind: MsgKind,
+        req_size: usize,
+        payload: Box<dyn Any + Send>,
+        label: &str,
+    ) -> Result<Response, BusError> {
         let (cpu, server) = {
             let procs = self.processes.read();
             let entry = procs
@@ -240,6 +255,22 @@ impl Bus {
 
         let bytes = req_size + response.size;
         m.msg_bytes_total.add(bytes as u64);
+        self.sim.hist.msg_bytes.record(bytes as u64);
+        self.sim.trace_emit(|| TraceEventKind::Msg {
+            class: match kind {
+                MsgKind::FsDp => TraceMsgClass::FsDp,
+                MsgKind::Redrive => TraceMsgClass::Redrive,
+                MsgKind::Audit => TraceMsgClass::Audit,
+                MsgKind::Checkpoint => TraceMsgClass::Checkpoint,
+                MsgKind::Other => TraceMsgClass::Other,
+            },
+            label: label.to_string(),
+            from: from.to_string(),
+            to: to.to_string(),
+            req_bytes: req_size as u64,
+            reply_bytes: response.size as u64,
+            remote,
+        });
         self.sim
             .clock
             .advance(self.sim.cost.msg_cost(remote, bytes));

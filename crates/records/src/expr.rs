@@ -13,7 +13,7 @@ use crate::value::Value;
 use std::cmp::Ordering;
 
 /// Binary arithmetic operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ArithOp {
     /// `+`
     Add,
@@ -26,7 +26,7 @@ pub enum ArithOp {
 }
 
 /// Comparison operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CmpOp {
     /// `=`
     Eq,
@@ -68,7 +68,7 @@ impl CmpOp {
 }
 
 /// A bound expression over one record.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
     /// Literal value.
     Lit(Value),
@@ -442,7 +442,7 @@ pub fn like_match(s: &str, pattern: &str) -> bool {
 /// An update-expression list: `SET field = expr, ...` with expressions over
 /// the *old* record values (the paper's "new value for a field in terms of
 /// an expression involving only literals and fields of the record at hand").
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SetList {
     /// `(field number, new-value expression)` pairs.
     pub sets: Vec<(u16, Expr)>,

@@ -88,7 +88,7 @@ pub fn encode_key_prefix(parts: &[(FieldType, Value)]) -> Vec<u8> {
 }
 
 /// An owned bound on an encoded key.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum OwnedBound {
     /// No bound in this direction.
     Unbounded,
@@ -120,7 +120,7 @@ impl OwnedBound {
 /// An encoded-key range `[begin, end]` with open/closed/unbounded ends.
 ///
 /// The set-oriented FS-DP request messages carry exactly this.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct KeyRange {
     /// Lower end.
     pub begin: OwnedBound,

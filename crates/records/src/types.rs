@@ -8,7 +8,7 @@
 use crate::value::Value;
 
 /// Column data types of the 1988 SQL subset.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FieldType {
     /// 16-bit integer.
     SmallInt,
@@ -86,7 +86,7 @@ impl FieldType {
 }
 
 /// A single field (column) definition.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FieldDef {
     /// Column name (upper-cased by the SQL front end).
     pub name: String,
@@ -126,7 +126,7 @@ impl FieldDef {
 /// Fixed slots have precomputed offsets, so extracting field `i` from raw
 /// bytes is O(1) — this is what makes Disk-Process-side field operations
 /// cheap.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RecordDescriptor {
     /// Field definitions, in field-number order.
     pub fields: Vec<FieldDef>,
@@ -134,10 +134,8 @@ pub struct RecordDescriptor {
     pub key_fields: Vec<u16>,
     /// Precomputed offset of each fixed slot from the start of the fixed
     /// region.
-    #[serde(skip)]
     fixed_offsets: Vec<usize>,
     /// Total size of the fixed region.
-    #[serde(skip)]
     fixed_size: usize,
 }
 
@@ -166,8 +164,8 @@ impl RecordDescriptor {
         }
     }
 
-    /// Rebuild the precomputed layout (needed after serde deserialisation,
-    /// which skips the caches).
+    /// Rebuild the precomputed layout (needed after constructing a
+    /// descriptor whose cached offsets are stale).
     pub fn rebuild_layout(&mut self) {
         *self = RecordDescriptor::new(
             std::mem::take(&mut self.fields),

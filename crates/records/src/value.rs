@@ -7,7 +7,7 @@ use std::fmt;
 ///
 /// `Bool` never appears in stored records (there was no BOOLEAN column type
 /// in 1988 SQL); it exists as the result type of predicate evaluation.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Value {
     /// SQL NULL (unknown).
     Null,

@@ -11,11 +11,17 @@ pub mod clock;
 pub mod cost;
 pub mod metrics;
 pub mod rng;
+pub mod sync;
+pub mod trace;
 
 pub use clock::{Clock, Micros};
 pub use cost::CostModel;
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use rng::SimRng;
+pub use trace::{
+    format_sequence, Histogram, Histograms, TraceEvent, TraceEventKind, TraceMsgClass,
+    TraceRecorder,
+};
 
 use std::sync::Arc;
 
@@ -31,6 +37,10 @@ pub struct Sim {
     pub cost: Arc<CostModel>,
     /// The counter registry.
     pub metrics: Arc<Metrics>,
+    /// Event-level trace recorder (off by default; see [`trace`]).
+    pub trace: Arc<TraceRecorder>,
+    /// Always-on latency/size distributions (see [`trace::Histograms`]).
+    pub hist: Arc<Histograms>,
 }
 
 impl Sim {
@@ -45,7 +55,15 @@ impl Sim {
             clock: Arc::new(Clock::new()),
             cost: Arc::new(cost),
             metrics: Arc::new(Metrics::new()),
+            trace: Arc::new(TraceRecorder::new()),
+            hist: Arc::new(Histograms::new()),
         }
+    }
+
+    /// Record a trace event at the current virtual time. The closure runs
+    /// only when tracing is enabled, so callers pay one atomic load when off.
+    pub fn trace_emit(&self, make: impl FnOnce() -> TraceEventKind) {
+        self.trace.emit(self.clock.now(), make);
     }
 
     /// Current virtual time in microseconds.

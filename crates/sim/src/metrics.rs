@@ -56,11 +56,12 @@ macro_rules! metrics {
                 }
             }
 
-            /// Delta of every counter since `before`.
+            /// Delta of every counter since `before`. Saturates at zero so
+            /// out-of-order snapshots report 0 rather than panicking.
             pub fn since(&self, before: &MetricsSnapshot) -> MetricsSnapshot {
                 let now = self.snapshot();
                 MetricsSnapshot {
-                    $($name: now.$name - before.$name,)+
+                    $($name: now.$name.saturating_sub(before.$name),)+
                 }
             }
         }
@@ -76,7 +77,7 @@ macro_rules! metrics {
             type Output = MetricsSnapshot;
             fn sub(self, rhs: MetricsSnapshot) -> MetricsSnapshot {
                 MetricsSnapshot {
-                    $($name: self.$name - rhs.$name,)+
+                    $($name: self.$name.saturating_sub(rhs.$name),)+
                 }
             }
         }
@@ -165,6 +166,45 @@ metrics! {
     rows_returned,
 }
 
+impl MetricsSnapshot {
+    /// Fraction of buffer-pool lookups that hit, in `[0, 1]`.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / lookups as f64
+        }
+    }
+
+    /// FS-DP messages per row returned to the application.
+    pub fn msgs_per_returned_row(&self) -> f64 {
+        if self.rows_returned == 0 {
+            0.0
+        } else {
+            self.msgs_fs_dp as f64 / self.rows_returned as f64
+        }
+    }
+
+    /// Mean bytes carried per message exchange (request + reply).
+    pub fn mean_bytes_per_message(&self) -> f64 {
+        if self.msgs_total == 0 {
+            0.0
+        } else {
+            self.msg_bytes_total as f64 / self.msgs_total as f64
+        }
+    }
+
+    /// Audit bytes generated per committed transaction.
+    pub fn audit_bytes_per_txn(&self) -> f64 {
+        if self.txns_committed == 0 {
+            0.0
+        } else {
+            self.audit_bytes as f64 / self.txns_committed as f64
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,6 +230,43 @@ mod tests {
         let s1 = m.snapshot();
         assert_eq!((s1 - s0).cache_hits, 7);
         assert_eq!(m.since(&s0), s1 - s0);
+    }
+
+    #[test]
+    fn since_saturates_on_out_of_order_snapshots() {
+        let m = Metrics::new();
+        m.msgs_total.add(10);
+        let later = m.snapshot();
+        // A snapshot taken "before" counters advanced, subtracted the wrong
+        // way round, must clamp to zero instead of panicking.
+        let earlier = MetricsSnapshot::default();
+        assert_eq!((earlier - later).msgs_total, 0);
+        let delta = m.since(&MetricsSnapshot {
+            msgs_total: 99,
+            ..MetricsSnapshot::default()
+        });
+        assert_eq!(delta.msgs_total, 0);
+    }
+
+    #[test]
+    fn derived_ratios() {
+        let mut s = MetricsSnapshot::default();
+        assert_eq!(s.cache_hit_rate(), 0.0);
+        assert_eq!(s.msgs_per_returned_row(), 0.0);
+        assert_eq!(s.mean_bytes_per_message(), 0.0);
+        assert_eq!(s.audit_bytes_per_txn(), 0.0);
+        s.cache_hits = 3;
+        s.cache_misses = 1;
+        s.msgs_fs_dp = 10;
+        s.rows_returned = 5;
+        s.msgs_total = 4;
+        s.msg_bytes_total = 1000;
+        s.audit_bytes = 600;
+        s.txns_committed = 3;
+        assert_eq!(s.cache_hit_rate(), 0.75);
+        assert_eq!(s.msgs_per_returned_row(), 2.0);
+        assert_eq!(s.mean_bytes_per_message(), 250.0);
+        assert_eq!(s.audit_bytes_per_txn(), 200.0);
     }
 
     #[test]

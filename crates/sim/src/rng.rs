@@ -1,43 +1,54 @@
 //! Deterministic random number generation for workload builders.
 //!
-//! A thin wrapper over a seeded ChaCha-based `StdRng` so every workload and
-//! property test can be reproduced from a single `u64` seed.
-
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+//! A small self-contained generator (SplitMix64 seeding an xorshift-style
+//! mixer) so every workload and property test can be reproduced from a
+//! single `u64` seed with no external dependencies.
 
 /// Seeded RNG used by workload generators and failure injection.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    state: u64,
 }
 
 impl SimRng {
     /// Create from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
+        // One mixing round so nearby seeds land far apart in state space.
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            state: splitmix64(seed ^ 0x9E37_79B9_7F4A_7C15),
         }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        splitmix64(self.state)
     }
 
     /// Uniform integer in `[0, n)`.
     pub fn below(&mut self, n: u64) -> u64 {
-        self.inner.gen_range(0..n)
+        assert!(n > 0, "below(0)");
+        // Multiply-shift: maps the full 64-bit range onto [0, n) with
+        // negligible bias for the small ranges workloads use.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
     }
 
     /// Uniform integer in `[lo, hi]` inclusive.
     pub fn between(&mut self, lo: i64, hi: i64) -> i64 {
-        self.inner.gen_range(lo..=hi)
+        assert!(lo <= hi, "between({lo}, {hi})");
+        let span = (hi as i128 - lo as i128 + 1) as u64;
+        lo.wrapping_add(self.below(span) as i64)
     }
 
     /// Bernoulli trial with probability `p`.
     pub fn chance(&mut self, p: f64) -> bool {
-        self.inner.gen_bool(p.clamp(0.0, 1.0))
+        self.unit() < p.clamp(0.0, 1.0)
     }
 
     /// Uniform f64 in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high bits -> the unit interval.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Fisher-Yates shuffle.
@@ -56,19 +67,11 @@ impl SimRng {
     }
 }
 
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
-    }
+/// The SplitMix64 finalizer (Steele, Lea & Flood 2014).
+fn splitmix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]
@@ -110,5 +113,17 @@ mod tests {
         let s = rng.letters(32);
         assert_eq!(s.len(), 32);
         assert!(s.chars().all(|c| c.is_ascii_uppercase()));
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SimRng::seed_from(3);
+        for _ in 0..1000 {
+            let v = rng.between(-5, 5);
+            assert!((-5..=5).contains(&v));
+            assert!(rng.below(7) < 7);
+            let u = rng.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
     }
 }

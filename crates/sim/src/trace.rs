@@ -1,0 +1,601 @@
+//! Event-level observability on the virtual clock.
+//!
+//! The paper's argument is stated in observable quantities — FS-DP message
+//! counts, bytes per message, bulk-I/O lengths, audit volume. The counters in
+//! [`crate::metrics`] give totals; this module gives the *event stream*
+//! behind them:
+//!
+//! * [`TraceRecorder`] — a bounded ring buffer of typed [`TraceEvent`]s,
+//!   each stamped with virtual microseconds. Disabled by default; when
+//!   disabled, emission is a single relaxed atomic load and the event is
+//!   never even constructed, so tracing is zero-cost for experiments that do
+//!   not ask for it. Because everything runs on the virtual clock, two
+//!   identical runs produce byte-identical event streams.
+//! * [`Histogram`] — a log₂-bucketed distribution with p50/p95/p99/max
+//!   accessors. The standard set lives in [`Histograms`] (message sizes,
+//!   statement latencies, group-commit batch sizes, re-drive chain lengths).
+//!   Histograms never touch the clock or the counters, so they are always on.
+//! * [`format_sequence`] — renders a trace slice as the paper's
+//!   Figure-2-style FS ↔ DP message-sequence diagram, used by tests to
+//!   assert message *patterns* rather than just counts.
+
+use crate::clock::Micros;
+use crate::sync::Mutex;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Message category as seen by the tracer (mirrors the message system's
+/// accounting classes without depending on it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceMsgClass {
+    /// A request over the FS-DP interface.
+    FsDp,
+    /// A continuation re-drive of an earlier FS-DP request.
+    Redrive,
+    /// An audit-buffer send to the audit-trail process.
+    Audit,
+    /// A process-pair checkpoint message.
+    Checkpoint,
+    /// Anything else.
+    Other,
+}
+
+impl TraceMsgClass {
+    /// Short tag used by the sequence formatter.
+    pub fn tag(self) -> &'static str {
+        match self {
+            TraceMsgClass::FsDp => "FS-DP",
+            TraceMsgClass::Redrive => "FS-DP re-drive",
+            TraceMsgClass::Audit => "AUDIT",
+            TraceMsgClass::Checkpoint => "CHECKPOINT",
+            TraceMsgClass::Other => "MSG",
+        }
+    }
+}
+
+/// What happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// A request/reply message exchange completed.
+    Msg {
+        /// Accounting class.
+        class: TraceMsgClass,
+        /// Request name when known (e.g. `GetSubsetFirst`), else empty.
+        label: String,
+        /// Requesting CPU, rendered `\node.cpu`.
+        from: String,
+        /// Target process name (e.g. `$DATA1`).
+        to: String,
+        /// Request bytes on the wire.
+        req_bytes: u64,
+        /// Reply bytes on the wire.
+        reply_bytes: u64,
+        /// True when the exchange crossed a node boundary.
+        remote: bool,
+    },
+    /// A disk I/O was issued.
+    DiskIo {
+        /// Volume name.
+        volume: String,
+        /// True for writes.
+        write: bool,
+        /// Blocks transferred (>1 means bulk I/O).
+        blocks: u64,
+        /// False for asynchronous (write-behind / prefetch) transfers.
+        synchronous: bool,
+    },
+    /// A lock request had to wait (or deadlocked).
+    LockWait {
+        /// Waiting transaction.
+        txn: u64,
+        /// True when the wait was resolved by aborting a victim.
+        deadlock: bool,
+    },
+    /// A buffer was evicted from a Disk Process cache.
+    CacheEvict {
+        /// Number of frames reclaimed.
+        frames: u64,
+    },
+    /// The sequential pre-fetcher issued a bulk read.
+    Prefetch {
+        /// Blocks fetched ahead of the scan.
+        blocks: u64,
+    },
+    /// The audit trail flushed a group of records to disk.
+    AuditFlush {
+        /// Records in the flushed group.
+        records: u64,
+        /// Bytes in the flushed group.
+        bytes: u64,
+        /// Commits made durable by this flush (the commit group).
+        commits: u64,
+        /// True when forced by a full buffer rather than the commit timer.
+        buffer_full: bool,
+    },
+    /// A transaction committed.
+    TxnCommit {
+        /// The transaction.
+        txn: u64,
+    },
+    /// A transaction aborted.
+    TxnAbort {
+        /// The transaction.
+        txn: u64,
+    },
+}
+
+/// One timestamped trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Monotone sequence number (survives ring eviction; usable as cursor).
+    pub seq: u64,
+    /// Virtual time of the event.
+    pub at: Micros,
+    /// The event itself.
+    pub kind: TraceEventKind,
+}
+
+#[derive(Default)]
+struct Ring {
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+    events: VecDeque<TraceEvent>,
+}
+
+/// Default ring capacity when [`TraceRecorder::enable`] is called via
+/// [`TraceRecorder::enable_default`].
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+/// A bounded ring buffer of trace events.
+///
+/// Disabled by default. [`TraceRecorder::emit`] takes a closure so that when
+/// tracing is off the event is never constructed — the only cost is one
+/// relaxed atomic load.
+#[derive(Default)]
+pub struct TraceRecorder {
+    enabled: AtomicBool,
+    ring: Mutex<Ring>,
+}
+
+impl TraceRecorder {
+    /// A disabled recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start recording, keeping at most `capacity` events (oldest dropped).
+    pub fn enable(&self, capacity: usize) {
+        let mut r = self.ring.lock();
+        r.capacity = capacity.max(1);
+        self.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Start recording with [`DEFAULT_TRACE_CAPACITY`].
+    pub fn enable_default(&self) {
+        self.enable(DEFAULT_TRACE_CAPACITY);
+    }
+
+    /// Stop recording (already-captured events are kept).
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Relaxed);
+    }
+
+    /// Is the recorder currently capturing?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Record an event at virtual time `at`. The closure runs only when
+    /// recording is enabled.
+    pub fn emit(&self, at: Micros, make: impl FnOnce() -> TraceEventKind) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut r = self.ring.lock();
+        let seq = r.next_seq;
+        r.next_seq += 1;
+        if r.events.len() >= r.capacity {
+            r.events.pop_front();
+            r.dropped += 1;
+        }
+        r.events.push_back(TraceEvent {
+            seq,
+            at,
+            kind: make(),
+        });
+    }
+
+    /// Sequence number the *next* event will get. Capture before a workload
+    /// and pass to [`TraceRecorder::since`] for a per-statement slice.
+    pub fn cursor(&self) -> u64 {
+        self.ring.lock().next_seq
+    }
+
+    /// Events with `seq >= cursor` still present in the ring.
+    pub fn since(&self, cursor: u64) -> Vec<TraceEvent> {
+        self.ring
+            .lock()
+            .events
+            .iter()
+            .filter(|e| e.seq >= cursor)
+            .cloned()
+            .collect()
+    }
+
+    /// Every event currently in the ring.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.ring.lock().events.iter().cloned().collect()
+    }
+
+    /// Drop all captured events (sequence numbers keep counting up).
+    pub fn clear(&self) {
+        self.ring.lock().events.clear();
+    }
+
+    /// Events evicted by the ring bound since enabling.
+    pub fn dropped(&self) -> u64 {
+        self.ring.lock().dropped
+    }
+}
+
+// ----------------------------------------------------------------------
+// Histograms
+// ----------------------------------------------------------------------
+
+const BUCKETS: usize = 65; // bucket b holds values with bit-length b; 0 -> 0
+
+/// A log₂-bucketed histogram of `u64` samples.
+///
+/// Bucket `b` counts values `v` with `2^(b-1) <= v < 2^b` (bucket 0 counts
+/// zeros), so quantiles are exact to within a factor of two — plenty for
+/// "is the p95 message 100 bytes or 4 KB?" questions. Recording is lock-free
+/// and never touches the virtual clock or the metric counters.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `b` (the largest value it can hold).
+fn bucket_hi(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else if b >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile sample
+    /// (`q` in `[0, 1]`); the exact maximum for the last occupied bucket.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        let mut last = 0usize;
+        for (b, c) in self.buckets.iter().enumerate() {
+            let c = c.load(Ordering::Relaxed);
+            if c > 0 {
+                last = b;
+                seen += c;
+                if seen >= rank {
+                    // The max sample is a tighter bound for the top bucket.
+                    return if b == bucket_of(self.max()) {
+                        self.max()
+                    } else {
+                        bucket_hi(b)
+                    };
+                }
+            }
+        }
+        bucket_hi(last)
+    }
+
+    /// Median (bucket upper bound).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile (bucket upper bound).
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile (bucket upper bound).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Occupied buckets as `(lo, hi, count)` ranges, ascending.
+    pub fn buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(b, c)| {
+                let c = c.load(Ordering::Relaxed);
+                (c > 0).then(|| {
+                    let lo = if b == 0 { 0 } else { 1u64 << (b - 1) };
+                    (lo, bucket_hi(b), c)
+                })
+            })
+            .collect()
+    }
+}
+
+/// The standard distributions every cluster records (always on).
+#[derive(Debug, Default)]
+pub struct Histograms {
+    /// Bytes per message exchange (request + reply).
+    pub msg_bytes: Histogram,
+    /// Virtual microseconds per SQL statement.
+    pub stmt_latency_us: Histogram,
+    /// Commits made durable per audit flush (group-commit batch size).
+    pub commit_group: Histogram,
+    /// Messages per FS-DP continuation chain (1 = no re-drive).
+    pub redrive_chain: Histogram,
+}
+
+impl Histograms {
+    /// All-empty histograms.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+// ----------------------------------------------------------------------
+// Figure-2-style sequence formatter
+// ----------------------------------------------------------------------
+
+/// Render a trace slice as a message-sequence diagram in the style of the
+/// paper's Figure 2 (requester on the left, Disk Processes on the right).
+///
+/// Message exchanges render as one arrow line each; disk I/O, audit flushes
+/// and lock waits render as indented side notes under the exchange that
+/// caused them. Example:
+///
+/// ```text
+/// [     512 µs] \0.0 ──GetSubsetFirst(148 B)──▶ $DATA1   ◀──(4052 B reply)── [FS-DP]
+///                  · $DATA1 disk read, 8 block(s) (bulk)
+/// [    1536 µs] \0.0 ──GetSubsetNext(44 B)──▶ $DATA1   ◀──(4052 B reply)── [FS-DP re-drive]
+/// ```
+pub fn format_sequence(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        match &e.kind {
+            TraceEventKind::Msg {
+                class,
+                label,
+                from,
+                to,
+                req_bytes,
+                reply_bytes,
+                remote,
+            } => {
+                let name = if label.is_empty() { "request" } else { label };
+                let net = if *remote { ", remote" } else { "" };
+                let _ = writeln!(
+                    out,
+                    "[{:>8} µs] {from} ──{name}({req_bytes} B)──▶ {to}   ◀──({reply_bytes} B reply)── [{}{net}]",
+                    e.at,
+                    class.tag(),
+                );
+            }
+            TraceEventKind::DiskIo {
+                volume,
+                write,
+                blocks,
+                synchronous,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "               · {volume} disk {}, {blocks} block(s){}{}",
+                    if *write { "write" } else { "read" },
+                    if *blocks > 1 { " (bulk)" } else { "" },
+                    if *synchronous { "" } else { " (async)" },
+                );
+            }
+            TraceEventKind::LockWait { txn, deadlock } => {
+                let _ = writeln!(
+                    out,
+                    "               · txn {txn} lock wait{}",
+                    if *deadlock { " -> deadlock victim" } else { "" },
+                );
+            }
+            TraceEventKind::CacheEvict { frames } => {
+                let _ = writeln!(out, "               · cache evicted {frames} frame(s)");
+            }
+            TraceEventKind::Prefetch { blocks } => {
+                let _ = writeln!(out, "               · prefetch {blocks} block(s) ahead");
+            }
+            TraceEventKind::AuditFlush {
+                records,
+                bytes,
+                commits,
+                buffer_full,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "[{:>8} µs] AUDIT flush: {records} record(s), {bytes} B, {commits} commit(s){}",
+                    e.at,
+                    if *buffer_full { " (buffer full)" } else { "" },
+                );
+            }
+            TraceEventKind::TxnCommit { txn } => {
+                let _ = writeln!(out, "[{:>8} µs] txn {txn} COMMIT", e.at);
+            }
+            TraceEventKind::TxnAbort { txn } => {
+                let _ = writeln!(out, "[{:>8} µs] txn {txn} ABORT", e.at);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(label: &str) -> TraceEventKind {
+        TraceEventKind::Msg {
+            class: TraceMsgClass::FsDp,
+            label: label.into(),
+            from: "\\0.0".into(),
+            to: "$DATA1".into(),
+            req_bytes: 100,
+            reply_bytes: 4000,
+            remote: false,
+        }
+    }
+
+    #[test]
+    fn disabled_recorder_never_runs_the_closure() {
+        let t = TraceRecorder::new();
+        let mut ran = false;
+        t.emit(0, || {
+            ran = true;
+            msg("X")
+        });
+        assert!(!ran);
+        assert!(t.events().is_empty());
+        assert_eq!(t.cursor(), 0);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_seq_survives_eviction() {
+        let t = TraceRecorder::new();
+        t.enable(4);
+        for i in 0..10u64 {
+            t.emit(i, || msg("X"));
+        }
+        let evs = t.events();
+        assert_eq!(evs.len(), 4);
+        assert_eq!(evs.first().unwrap().seq, 6);
+        assert_eq!(evs.last().unwrap().seq, 9);
+        assert_eq!(t.dropped(), 6);
+        assert_eq!(t.cursor(), 10);
+        assert_eq!(t.since(8).len(), 2);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let h = Histogram::new();
+        assert_eq!(h.p50(), 0);
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 5050);
+        assert_eq!(h.max(), 100);
+        // p50 of 1..=100 lands in bucket [33, 64]; p99 and max in [65, 128],
+        // where the true max (100) is the reported bound.
+        assert_eq!(h.p50(), 63);
+        assert_eq!(h.p99(), 100);
+        assert_eq!(h.quantile(1.0), 100);
+        assert!(h.buckets().iter().map(|(_, _, c)| c).sum::<u64>() == 100);
+    }
+
+    #[test]
+    fn histogram_zero_bucket() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(0);
+        h.record(1);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.max(), 1);
+        assert_eq!(h.buckets()[0], (0, 0, 2));
+    }
+
+    #[test]
+    fn sequence_formatter_shapes() {
+        let events = vec![
+            TraceEvent {
+                seq: 0,
+                at: 512,
+                kind: msg("GetSubsetFirst"),
+            },
+            TraceEvent {
+                seq: 1,
+                at: 600,
+                kind: TraceEventKind::DiskIo {
+                    volume: "$DATA1".into(),
+                    write: false,
+                    blocks: 8,
+                    synchronous: true,
+                },
+            },
+            TraceEvent {
+                seq: 2,
+                at: 900,
+                kind: msg("GetSubsetNext"),
+            },
+        ];
+        let s = format_sequence(&events);
+        assert!(s.contains("──GetSubsetFirst(100 B)──▶ $DATA1"));
+        assert!(s.contains("disk read, 8 block(s) (bulk)"));
+        let first = s.find("GetSubsetFirst").unwrap();
+        let next = s.find("GetSubsetNext").unwrap();
+        assert!(first < next, "events render in order");
+    }
+}

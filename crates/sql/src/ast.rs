@@ -230,6 +230,9 @@ pub enum Statement {
     DropTable(String),
     /// EXPLAIN: describe the plan of the wrapped statement.
     Explain(Box<Statement>),
+    /// EXPLAIN ANALYZE: execute the wrapped statement and describe the plan
+    /// annotated with per-operator runtime statistics.
+    ExplainAnalyze(Box<Statement>),
     /// BEGIN WORK.
     Begin,
     /// COMMIT WORK.

@@ -13,7 +13,7 @@ use nsql_fs::{FileSystem, FsError, IndexInfo, OpenFile, Partition};
 use nsql_lock::TxnId;
 use nsql_records::key::encode_key_value;
 use nsql_records::{Expr, FieldDef, KeyRange, OwnedBound, RecordDescriptor};
-use parking_lot::RwLock;
+use nsql_sim::sync::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
 

@@ -14,15 +14,44 @@
 use crate::ast::AggFunc;
 use crate::catalog::Catalog;
 use crate::plan::{
-    AccessPath, AggOutput, AggPlan, DeletePlan, InsertPlan, SelectPlan, TableAccess, UpdatePlan,
+    describe_access, AccessPath, AggOutput, AggPlan, DeletePlan, InsertPlan, SelectPlan,
+    TableAccess, UpdatePlan,
 };
 use crate::sort::{fastsort, sort_cmp};
 use nsql_dp::{ReadLock, SubsetMode};
 use nsql_fs::{FileSystem, FsError};
 use nsql_lock::TxnId;
 use nsql_records::{EvalError, Expr, KeyRange, Row, RowAccessor, Value};
-use nsql_sim::CpuLayer;
+use nsql_sim::{CpuLayer, MetricsSnapshot, Micros};
 use std::collections::HashMap;
+
+/// Measured cost of one plan operator (the EXPLAIN ANALYZE row).
+///
+/// Operators are timed with contiguous metric snapshots: each operator's
+/// delta starts where the previous one ended, so the per-operator FS-DP
+/// message counts sum exactly to the statement's global delta.
+#[derive(Debug, Clone)]
+pub struct OpStats {
+    /// Operator description (same text as the EXPLAIN line).
+    pub label: String,
+    /// Rows the operator produced.
+    pub rows: u64,
+    /// FS-DP messages (including continuation re-drives) sent while the
+    /// operator ran.
+    pub msgs_fs_dp: u64,
+    /// Disk read operations issued while the operator ran.
+    pub disk_reads: u64,
+    /// Disk write operations issued while the operator ran.
+    pub disk_writes: u64,
+    /// Virtual time the operator took.
+    pub elapsed_us: Micros,
+}
+
+/// Snapshot marker opening one operator's measurement window.
+struct OpMark {
+    before: MetricsSnapshot,
+    t0: Micros,
+}
 
 /// Execution errors.
 #[derive(Debug, Clone, PartialEq)]
@@ -127,13 +156,60 @@ impl Executor<'_> {
     // SELECT
     // ------------------------------------------------------------------
 
+    fn mark(&self) -> OpMark {
+        OpMark {
+            before: self.sim().metrics.snapshot(),
+            t0: self.sim().clock.now(),
+        }
+    }
+
+    fn close_op(&self, label: String, rows: u64, mark: OpMark, stats: &mut Vec<OpStats>) {
+        let d = self.sim().metrics.snapshot() - mark.before;
+        stats.push(OpStats {
+            label,
+            rows,
+            msgs_fs_dp: d.msgs_fs_dp,
+            disk_reads: d.disk_reads,
+            disk_writes: d.disk_writes,
+            elapsed_us: self.sim().clock.now().saturating_sub(mark.t0),
+        });
+    }
+
     /// Execute a SELECT plan.
     pub fn select(&self, plan: &SelectPlan, txn: Option<TxnId>) -> Result<QueryResult, ExecError> {
+        self.select_impl(plan, txn, None)
+    }
+
+    /// Execute a SELECT plan, measuring each operator (EXPLAIN ANALYZE).
+    pub fn select_analyzed(
+        &self,
+        plan: &SelectPlan,
+        txn: Option<TxnId>,
+    ) -> Result<(QueryResult, Vec<OpStats>), ExecError> {
+        let mut stats = Vec::new();
+        let result = self.select_impl(plan, txn, Some(&mut stats))?;
+        Ok((result, stats))
+    }
+
+    fn select_impl(
+        &self,
+        plan: &SelectPlan,
+        txn: Option<TxnId>,
+        mut stats: Option<&mut Vec<OpStats>>,
+    ) -> Result<QueryResult, ExecError> {
         // Fetch each table's contribution.
         let mut per_table: Vec<Vec<Row>> = Vec::with_capacity(plan.tables.len());
-        for t in &plan.tables {
-            per_table.push(self.fetch_table(t, txn)?);
+        for (i, t) in plan.tables.iter().enumerate() {
+            let mark = stats.is_some().then(|| self.mark());
+            let rows = self.fetch_table(t, txn)?;
+            if let Some(s) = stats.as_deref_mut() {
+                let prefix = if i == 0 { "" } else { "NESTED-LOOP JOIN with " };
+                let label = format!("{prefix}{}", describe_access(t));
+                self.close_op(label, rows.len() as u64, mark.unwrap(), s);
+            }
+            per_table.push(rows);
         }
+        let mark = stats.is_some().then(|| self.mark());
 
         // Nested-loop join (cross product progressively filtered).
         let mut joined: Vec<Row> = per_table.first().cloned().unwrap_or_default();
@@ -160,6 +236,16 @@ impl Executor<'_> {
             }
             joined = kept;
         }
+        let mark = if plan.tables.len() > 1 || plan.join_filter.is_some() {
+            if let Some(s) = stats.as_deref_mut() {
+                self.close_op("JOIN".into(), joined.len() as u64, mark.unwrap(), s);
+                Some(self.mark())
+            } else {
+                None
+            }
+        } else {
+            mark
+        };
 
         // Aggregate or plain projection.
         let mut result = if let Some(agg) = &plan.aggregate {
@@ -189,6 +275,17 @@ impl Executor<'_> {
                 .map(|&(pos, desc)| (Expr::Field(pos as u16), desc))
                 .collect();
             result.rows = fastsort(self.sim(), result.rows, &keys, self.sort_parallelism)?;
+        }
+
+        if let Some(s) = stats {
+            let sorted = !plan.order_by.is_empty() || !plan.order_on_output.is_empty();
+            let label = match (&plan.aggregate, sorted) {
+                (Some(_), true) => "AGGREGATE + SORT + PROJECT",
+                (Some(_), false) => "AGGREGATE + PROJECT",
+                (None, true) => "SORT + PROJECT",
+                (None, false) => "PROJECT",
+            };
+            self.close_op(label.into(), result.rows.len() as u64, mark.unwrap(), s);
         }
 
         self.sim()

@@ -17,7 +17,7 @@ pub mod plan;
 pub mod sort;
 
 pub use catalog::{Catalog, CatalogError, TableInfo};
-pub use exec::{ExecError, Executor, QueryResult};
+pub use exec::{ExecError, Executor, OpStats, QueryResult};
 pub use parser::{parse, ParseError};
 pub use plan::{plan, Plan, PlanError, SelectPlan};
 

@@ -118,7 +118,11 @@ impl Parser {
             Some(Token::Ident(kw)) => match kw.as_str() {
                 "EXPLAIN" => {
                     self.keyword("EXPLAIN")?;
-                    Ok(Statement::Explain(Box::new(self.statement()?)))
+                    if self.kw_if("ANALYZE") {
+                        Ok(Statement::ExplainAnalyze(Box::new(self.statement()?)))
+                    } else {
+                        Ok(Statement::Explain(Box::new(self.statement()?)))
+                    }
                 }
                 "SELECT" => self.select().map(Statement::Select),
                 "INSERT" => self.insert().map(Statement::Insert),

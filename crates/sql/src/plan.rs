@@ -191,6 +191,9 @@ pub enum Plan {
     Delete(DeletePlan),
     /// EXPLAIN of a planned statement.
     Explain(Box<Plan>),
+    /// EXPLAIN ANALYZE: execute the planned statement, annotating each
+    /// operator with its measured cost.
+    ExplainAnalyze(Box<Plan>),
     /// DDL and transaction control execute directly in the session.
     Passthrough(Statement),
 }
@@ -203,76 +206,83 @@ pub fn plan(catalog: &Catalog, stmt: Statement) -> Result<Plan, PlanError> {
         Statement::Update(u) => plan_update(catalog, u).map(Plan::Update),
         Statement::Delete(d) => plan_delete(catalog, d).map(Plan::Delete),
         Statement::Explain(inner) => Ok(Plan::Explain(Box::new(plan(catalog, *inner)?))),
+        Statement::ExplainAnalyze(inner) => {
+            Ok(Plan::ExplainAnalyze(Box::new(plan(catalog, *inner)?)))
+        }
         other => Ok(Plan::Passthrough(other)),
+    }
+}
+
+fn range_str(r: &KeyRange) -> String {
+    match (&r.begin, &r.end) {
+        (OwnedBound::Unbounded, OwnedBound::Unbounded) => "full key space".into(),
+        (OwnedBound::Unbounded, _) => "upper-bounded key range".into(),
+        (_, OwnedBound::Unbounded) => "lower-bounded key range".into(),
+        _ => "bounded key range".into(),
+    }
+}
+
+/// One-line description of a table's access path, as shown by EXPLAIN and
+/// used as the operator label in EXPLAIN ANALYZE.
+pub fn describe_access(t: &TableAccess) -> String {
+    let name = &t.info.name;
+    match &t.access {
+        AccessPath::TableScan {
+            range,
+            pushdown,
+            browse: false,
+        } => {
+            let mode =
+                if pushdown.is_none() && t.fetch_fields.len() == t.info.open.desc.num_fields() {
+                    "RSBB"
+                } else {
+                    "VSBB"
+                };
+            let mut line = format!(
+                "SCAN {name} via {mode} over {} ({} partition(s))",
+                range_str(range),
+                t.info.open.partitions_for_range(range).len()
+            );
+            if let Some(p) = pushdown {
+                line.push_str(&format!("; pushdown predicate: {p}"));
+            }
+            line.push_str(&format!(
+                "; project {} field(s) at DP",
+                t.fetch_fields.len()
+            ));
+            line
+        }
+        AccessPath::TableScan { browse: true, .. } => {
+            format!("SCAN {name} record-at-a-time (BROWSE), filter at executor")
+        }
+        AccessPath::IndexScan {
+            index,
+            range,
+            index_pushdown,
+            index_only,
+        } => {
+            let idx = &t.info.open.indexes[*index];
+            let mut line = format!(
+                "INDEX SCAN {name} via {} over {}",
+                idx.name,
+                range_str(range)
+            );
+            if let Some(p) = index_pushdown {
+                line.push_str(&format!("; index pushdown: {p}"));
+            }
+            if *index_only {
+                line.push_str("; index-only (no base fetch)");
+            } else {
+                line.push_str("; fetch base rows by primary key (Figure 2)");
+            }
+            line
+        }
     }
 }
 
 /// Human-readable plan description (the EXPLAIN output), one line per step.
 pub fn describe(plan: &Plan) -> Vec<String> {
-    fn range_str(r: &KeyRange) -> String {
-        match (&r.begin, &r.end) {
-            (OwnedBound::Unbounded, OwnedBound::Unbounded) => "full key space".into(),
-            (OwnedBound::Unbounded, _) => "upper-bounded key range".into(),
-            (_, OwnedBound::Unbounded) => "lower-bounded key range".into(),
-            _ => "bounded key range".into(),
-        }
-    }
-    fn access_str(t: &TableAccess) -> String {
-        let name = &t.info.name;
-        match &t.access {
-            AccessPath::TableScan {
-                range,
-                pushdown,
-                browse: false,
-            } => {
-                let mode = if pushdown.is_none()
-                    && t.fetch_fields.len() == t.info.open.desc.num_fields()
-                {
-                    "RSBB"
-                } else {
-                    "VSBB"
-                };
-                let mut line = format!(
-                    "SCAN {name} via {mode} over {} ({} partition(s))",
-                    range_str(range),
-                    t.info.open.partitions_for_range(range).len()
-                );
-                if let Some(p) = pushdown {
-                    line.push_str(&format!("; pushdown predicate: {p}"));
-                }
-                line.push_str(&format!(
-                    "; project {} field(s) at DP",
-                    t.fetch_fields.len()
-                ));
-                line
-            }
-            AccessPath::TableScan { browse: true, .. } => {
-                format!("SCAN {name} record-at-a-time (BROWSE), filter at executor")
-            }
-            AccessPath::IndexScan {
-                index,
-                range,
-                index_pushdown,
-                index_only,
-            } => {
-                let idx = &t.info.open.indexes[*index];
-                let mut line = format!(
-                    "INDEX SCAN {name} via {} over {}",
-                    idx.name,
-                    range_str(range)
-                );
-                if let Some(p) = index_pushdown {
-                    line.push_str(&format!("; index pushdown: {p}"));
-                }
-                if *index_only {
-                    line.push_str("; index-only (no base fetch)");
-                } else {
-                    line.push_str("; fetch base rows by primary key (Figure 2)");
-                }
-                line
-            }
-        }
-    }
+    let access_str = describe_access;
     let mut out = Vec::new();
     match plan {
         Plan::Select(p) => {
@@ -339,7 +349,7 @@ pub fn describe(plan: &Plan) -> Vec<String> {
             }
             out.push(line);
         }
-        Plan::Explain(inner) => return describe(inner),
+        Plan::Explain(inner) | Plan::ExplainAnalyze(inner) => return describe(inner),
         Plan::Passthrough(stmt) => out.push(format!("{stmt:?}")),
     }
     out

@@ -100,7 +100,9 @@ impl World {
                 self.catalog.drop_table(&t).map_err(|e| e.to_string())?;
                 Ok(ExecOutcome::Count(0))
             }
-            Plan::Explain(_) => Err("EXPLAIN handled at the session layer".into()),
+            Plan::Explain(_) | Plan::ExplainAnalyze(_) => {
+                Err("EXPLAIN handled at the session layer".into())
+            }
             Plan::Passthrough(other) => Err(format!("not runnable here: {other:?}")),
         }
     }

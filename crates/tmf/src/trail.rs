@@ -28,8 +28,8 @@
 use crate::audit::{AuditBody, AuditRecord, Lsn, LsnSource};
 use nsql_lock::TxnId;
 use nsql_msg::{Bus, CpuId, MsgKind, Response, Server};
+use nsql_sim::sync::Mutex;
 use nsql_sim::{Micros, Sim};
-use parking_lot::Mutex;
 use std::any::Any;
 use std::sync::Arc;
 
@@ -230,6 +230,20 @@ impl Trail {
             m.group_commit_piggybacks
                 .add(inner.buffer_commits as u64 - 1);
         }
+        if inner.buffer_commits > 0 {
+            self.sim
+                .hist
+                .commit_group
+                .record(inner.buffer_commits as u64);
+        }
+        let (records, commits) = (inner.buffer.len() as u64, inner.buffer_commits as u64);
+        self.sim
+            .trace_emit(|| nsql_sim::trace::TraceEventKind::AuditFlush {
+                records,
+                bytes: bytes as u64,
+                commits,
+                buffer_full,
+            });
 
         let start = inner.disk_busy_until.max(at);
         let end = start + self.flush_duration(bytes);

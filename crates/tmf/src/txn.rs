@@ -21,8 +21,8 @@
 use crate::trail::{TrailReply, TrailRequest, AUDIT_PROCESS};
 use nsql_lock::TxnId;
 use nsql_msg::{Bus, CpuId, MsgKind};
+use nsql_sim::sync::Mutex;
 use nsql_sim::Sim;
-use parking_lot::Mutex;
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -187,6 +187,8 @@ impl TxnManager {
                 self.trail_abort(txn, from);
                 self.set_state(txn, TxnState::Aborted);
                 self.sim.metrics.txns_aborted.inc();
+                self.sim
+                    .trace_emit(|| nsql_sim::trace::TraceEventKind::TxnAbort { txn: txn.0 });
                 return Err(TxnError::ParticipantAborted(p.clone()));
             }
         }
@@ -213,6 +215,8 @@ impl TxnManager {
         self.finish_participants(txn, &participants, true, from);
         self.set_state(txn, TxnState::Committed);
         self.sim.metrics.txns_committed.inc();
+        self.sim
+            .trace_emit(|| nsql_sim::trace::TraceEventKind::TxnCommit { txn: txn.0 });
         Ok(())
     }
 
@@ -224,6 +228,8 @@ impl TxnManager {
         self.trail_abort(txn, from);
         self.set_state(txn, TxnState::Aborted);
         self.sim.metrics.txns_aborted.inc();
+        self.sim
+            .trace_emit(|| nsql_sim::trace::TraceEventKind::TxnAbort { txn: txn.0 });
         Ok(())
     }
 
@@ -261,7 +267,7 @@ mod tests {
     use crate::audit::LsnSource;
     use crate::trail::{CommitTimer, Trail};
     use nsql_msg::{Response, Server};
-    use parking_lot::Mutex as PMutex;
+    use nsql_sim::sync::Mutex as PMutex;
     use std::any::Any;
 
     /// A fake participant that records the protocol it sees.

@@ -1,10 +1,10 @@
-//! Property-based invariants of recovery classification and group commit.
+//! Randomised invariants of recovery classification and group commit,
+//! driven by a seeded RNG for reproducibility.
 
 use nsql_lock::TxnId;
-use nsql_sim::Sim;
+use nsql_sim::{Sim, SimRng};
 use nsql_tmf::audit::{AuditBody, AuditRecord};
 use nsql_tmf::{classify, CommitTimer, LsnSource, Trail, TrailReply, TrailRequest};
-use proptest::prelude::*;
 use std::collections::HashSet;
 
 #[derive(Debug, Clone)]
@@ -14,43 +14,50 @@ enum Event {
     Abort { txn: u8 },
 }
 
-fn arb_event() -> impl Strategy<Value = Event> {
-    prop_oneof![
-        (0u8..8, any::<bool>()).prop_map(|(txn, volume)| Event::Change { txn, volume }),
-        (0u8..8).prop_map(|txn| Event::Commit { txn }),
-        (0u8..8).prop_map(|txn| Event::Abort { txn }),
-    ]
+fn draw_event(rng: &mut SimRng) -> Event {
+    let txn = rng.below(8) as u8;
+    match rng.below(3) {
+        0 => Event::Change {
+            txn,
+            volume: rng.chance(0.5),
+        },
+        1 => Event::Commit { txn },
+        _ => Event::Abort { txn },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Classification invariants: redo only winners, undo never winners,
-    /// redo in LSN order, undo in reverse LSN order, volume filtering.
-    #[test]
-    fn classification_invariants(events in proptest::collection::vec(arb_event(), 1..120)) {
+/// Classification invariants: redo only winners, undo never winners, redo in
+/// LSN order, undo in reverse LSN order, volume filtering.
+#[test]
+fn classification_invariants() {
+    for case in 0..128u64 {
+        let mut rng = SimRng::seed_from(0x7AF + case);
+        let nevents = 1 + rng.below(120) as usize;
         let mut records = Vec::new();
         let mut lsn = 0u64;
-        for e in &events {
+        for _ in 0..nevents {
             lsn += 1;
-            records.push(match e {
+            records.push(match draw_event(&mut rng) {
                 Event::Change { txn, volume } => AuditRecord {
                     lsn,
-                    txn: TxnId(*txn as u64),
-                    volume: if *volume { "$A" } else { "$B" }.into(),
+                    txn: TxnId(txn as u64),
+                    volume: if volume { "$A" } else { "$B" }.into(),
                     file: 0,
-                    body: AuditBody::Insert { key: vec![lsn as u8], record: vec![1] },
+                    body: AuditBody::Insert {
+                        key: vec![lsn as u8],
+                        record: vec![1],
+                    },
                 },
                 Event::Commit { txn } => AuditRecord {
                     lsn,
-                    txn: TxnId(*txn as u64),
+                    txn: TxnId(txn as u64),
                     volume: String::new(),
                     file: 0,
                     body: AuditBody::Commit,
                 },
                 Event::Abort { txn } => AuditRecord {
                     lsn,
-                    txn: TxnId(*txn as u64),
+                    txn: TxnId(txn as u64),
                     volume: String::new(),
                     file: 0,
                     body: AuditBody::Abort,
@@ -65,41 +72,46 @@ proptest! {
 
         for vol in ["$A", "$B"] {
             let plan = classify(&records, vol);
-            prop_assert_eq!(&plan.winners, &committed);
+            assert_eq!(&plan.winners, &committed);
             for r in &plan.redo {
-                prop_assert!(committed.contains(&r.txn));
-                prop_assert_eq!(&r.volume, vol);
+                assert!(committed.contains(&r.txn));
+                assert_eq!(&r.volume, vol);
             }
             for r in &plan.undo {
-                prop_assert!(!committed.contains(&r.txn));
-                prop_assert_eq!(&r.volume, vol);
+                assert!(!committed.contains(&r.txn));
+                assert_eq!(&r.volume, vol);
             }
-            prop_assert!(plan.redo.windows(2).all(|w| w[0].lsn < w[1].lsn));
-            prop_assert!(plan.undo.windows(2).all(|w| w[0].lsn > w[1].lsn));
+            assert!(plan.redo.windows(2).all(|w| w[0].lsn < w[1].lsn));
+            assert!(plan.undo.windows(2).all(|w| w[0].lsn > w[1].lsn));
             // Every data record for this volume lands in exactly one bucket.
             let total = records
                 .iter()
                 .filter(|r| !r.body.is_outcome() && r.volume == vol)
                 .count();
-            prop_assert_eq!(plan.redo.len() + plan.undo.len(), total);
+            assert_eq!(plan.redo.len() + plan.undo.len(), total);
         }
     }
+}
 
-    /// Group commit: every commit's reported completion time is at or
-    /// after its submission, and the trail eventually flushes everything.
-    #[test]
-    fn commit_completions_are_causal(gaps in proptest::collection::vec(0u64..30_000, 1..60)) {
+/// Group commit: every commit's reported completion time is at or after its
+/// submission, and the trail eventually flushes everything.
+#[test]
+fn commit_completions_are_causal() {
+    for case in 0..64u64 {
+        let mut rng = SimRng::seed_from(0xC0117 + case);
+        let ncommits = 1 + rng.below(60) as usize;
+        let gaps: Vec<u64> = (0..ncommits).map(|_| rng.below(30_000)).collect();
         let sim = Sim::new();
         let trail = Trail::new(sim.clone(), LsnSource::new(), CommitTimer::Fixed(5_000));
         let mut max_completion = 0;
         for (i, gap) in gaps.iter().enumerate() {
             let submit = sim.now();
-            let TrailReply::Committed { completion } =
-                trail.apply(TrailRequest::Commit { txn: TxnId(i as u64) })
-            else {
+            let TrailReply::Committed { completion } = trail.apply(TrailRequest::Commit {
+                txn: TxnId(i as u64),
+            }) else {
                 panic!("commit must reply Committed");
             };
-            prop_assert!(completion >= submit, "completion before submission");
+            assert!(completion >= submit, "completion before submission");
             max_completion = max_completion.max(completion);
             sim.clock.advance(*gap);
         }
@@ -109,6 +121,6 @@ proptest! {
             .iter()
             .filter(|r| matches!(r.body, AuditBody::Commit))
             .count();
-        prop_assert_eq!(commits, gaps.len(), "every commit must reach the trail");
+        assert_eq!(commits, gaps.len(), "every commit must reach the trail");
     }
 }

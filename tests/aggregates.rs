@@ -23,7 +23,9 @@ fn count_ignores_nulls_count_star_does_not() {
     let db = Cluster::single_volume();
     table(&db);
     let mut s = db.session();
-    let r = s.query("SELECT COUNT(*), COUNT(X), COUNT(NAME) FROM M").unwrap();
+    let r = s
+        .query("SELECT COUNT(*), COUNT(X), COUNT(NAME) FROM M")
+        .unwrap();
     assert_eq!(r.rows[0].0[0], Value::LargeInt(5));
     assert_eq!(r.rows[0].0[1], Value::LargeInt(4), "NULL X ignored");
     assert_eq!(r.rows[0].0[2], Value::LargeInt(4), "NULL NAME ignored");
@@ -55,7 +57,11 @@ fn min_max_over_strings_and_sum_avg_over_nullable() {
     assert_eq!(r.rows[0].0[1], Value::Str("E".into()));
     let r = s.query("SELECT SUM(X), AVG(X) FROM M").unwrap();
     assert_eq!(r.rows[0].0[0], Value::LargeInt(130));
-    assert_eq!(r.rows[0].0[1], Value::Double(130.0 / 4.0), "AVG over non-NULLs");
+    assert_eq!(
+        r.rows[0].0[1],
+        Value::Double(130.0 / 4.0),
+        "AVG over non-NULLs"
+    );
 }
 
 #[test]
@@ -102,7 +108,8 @@ fn cursor_updater_spans_partitions() {
     .unwrap();
     s.execute("BEGIN WORK").unwrap();
     for k in 0..100 {
-        s.execute(&format!("INSERT INTO T VALUES ({k}, 0)")).unwrap();
+        s.execute(&format!("INSERT INTO T VALUES ({k}, 0)"))
+            .unwrap();
     }
     s.execute("COMMIT WORK").unwrap();
 
@@ -143,7 +150,8 @@ fn cursor_updater_spans_partitions() {
 fn abort_metrics_and_trail_abort_records() {
     let db = Cluster::single_volume();
     let mut s = db.session();
-    s.execute("CREATE TABLE T (K INT NOT NULL, PRIMARY KEY (K))").unwrap();
+    s.execute("CREATE TABLE T (K INT NOT NULL, PRIMARY KEY (K))")
+        .unwrap();
     s.execute("BEGIN WORK").unwrap();
     s.execute("INSERT INTO T VALUES (1)").unwrap();
     s.execute("ROLLBACK WORK").unwrap();

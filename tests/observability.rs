@@ -1,0 +1,203 @@
+//! Observability: EXPLAIN ANALYZE attribution, virtual-time tracing, and
+//! histogram determinism across the FS-DP stack.
+
+use nonstop_sql::ClusterBuilder;
+use nsql_records::Value;
+use nsql_sim::format_sequence;
+use nsql_workloads::Wisconsin;
+
+fn wisconsin_db(rows: u32) -> nonstop_sql::Cluster {
+    let db = ClusterBuilder::new().volume("$DATA1", 0, 1).build();
+    Wisconsin::create(&db, "WISC", rows, &["$DATA1"], 1).unwrap();
+    db
+}
+
+fn cell_i64(v: &Value) -> i64 {
+    match v {
+        Value::LargeInt(n) => *n,
+        other => panic!("expected LARGEINT, got {other:?}"),
+    }
+}
+
+/// The acceptance check: per-operator FS-DP message counts of an EXPLAIN
+/// ANALYZE sum exactly to the statement's global `msgs_fs_dp` delta.
+#[test]
+fn explain_analyze_messages_match_global_delta() {
+    let db = wisconsin_db(2_000);
+    let mut s = db.session();
+    let r = s
+        .query("EXPLAIN ANALYZE SELECT UNIQUE1, UNIQUE2 FROM WISC WHERE UNIQUE1 < 100")
+        .unwrap();
+    assert_eq!(
+        r.columns,
+        vec![
+            "OPERATOR",
+            "ROWS",
+            "MSGS FS-DP",
+            "DISK READS",
+            "DISK WRITES",
+            "ELAPSED US"
+        ]
+    );
+    // One scan operator, one project operator, one TOTAL row.
+    assert_eq!(r.rows.len(), 3);
+    let op = |i: usize| match &r.rows[i].0[0] {
+        Value::Str(s) => s.clone(),
+        other => panic!("expected operator name, got {other:?}"),
+    };
+    assert!(op(0).starts_with("SCAN WISC via VSBB"), "got {}", op(0));
+    assert_eq!(op(1), "PROJECT");
+    assert_eq!(op(2), "TOTAL");
+    // The selective scan returned 100 rows.
+    assert_eq!(cell_i64(&r.rows[0].0[1]), 100);
+    assert_eq!(cell_i64(&r.rows[2].0[1]), 100);
+
+    // Per-operator message counts sum to the TOTAL row ...
+    let msgs: i64 = (0..2).map(|i| cell_i64(&r.rows[i].0[2])).sum();
+    assert_eq!(msgs, cell_i64(&r.rows[2].0[2]));
+    // ... and the TOTAL matches the statement's global counter delta.
+    let stats = s.last_stats().unwrap();
+    assert_eq!(msgs as u64, stats.metrics.msgs_fs_dp);
+    assert!(stats.metrics.msgs_fs_dp > 0);
+    // Virtual elapsed time is the sum of the operator windows.
+    let elapsed: i64 = (0..2).map(|i| cell_i64(&r.rows[i].0[5])).sum();
+    assert_eq!(elapsed, cell_i64(&r.rows[2].0[5]));
+    assert_eq!(elapsed as u64, stats.elapsed_us);
+}
+
+/// EXPLAIN ANALYZE over DML: one operator for the statement plus a COMMIT
+/// operator (autocommit), summing to the global delta.
+#[test]
+fn explain_analyze_dml_measures_commit() {
+    let db = wisconsin_db(500);
+    let mut s = db.session();
+    let r = s
+        .query("EXPLAIN ANALYZE UPDATE WISC SET UNIQUE1 = UNIQUE1 + 0 WHERE UNIQUE2 < 50")
+        .unwrap();
+    assert_eq!(r.rows.len(), 3);
+    let op0 = match &r.rows[0].0[0] {
+        Value::Str(s) => s.clone(),
+        _ => panic!(),
+    };
+    assert!(op0.starts_with("UPDATE^SUBSET on WISC"), "got {op0}");
+    assert_eq!(
+        r.rows[1].0[0],
+        Value::Str("COMMIT".into()),
+        "autocommit DML must show its commit cost"
+    );
+    assert_eq!(cell_i64(&r.rows[0].0[1]), 50); // 50 rows updated
+    let msgs: i64 = (0..2).map(|i| cell_i64(&r.rows[i].0[2])).sum();
+    assert_eq!(msgs, cell_i64(&r.rows[2].0[2]));
+    let stats = s.last_stats().unwrap();
+    assert_eq!(msgs as u64, stats.metrics.msgs_fs_dp);
+}
+
+/// Plain EXPLAIN still renders the un-annotated plan.
+#[test]
+fn explain_without_analyze_unchanged() {
+    let db = wisconsin_db(100);
+    let mut s = db.session();
+    let r = s
+        .query("EXPLAIN SELECT UNIQUE1 FROM WISC WHERE UNIQUE1 < 10")
+        .unwrap();
+    assert_eq!(r.columns, vec!["PLAN"]);
+    match &r.rows[0].0[0] {
+        Value::Str(line) => assert!(line.starts_with("SCAN WISC via VSBB"), "got {line}"),
+        other => panic!("expected plan line, got {other:?}"),
+    }
+}
+
+/// A statement's captured trace slice contains its FS-DP conversation, and
+/// the formatter renders the paper's message-sequence shape.
+#[test]
+fn statement_trace_slice_renders_sequence() {
+    let db = wisconsin_db(2_000);
+    db.sim.trace.enable_default();
+    let mut s = db.session();
+    s.query("SELECT UNIQUE1 FROM WISC WHERE UNIQUE1 < 500")
+        .unwrap();
+    let stats = s.last_stats().unwrap();
+    assert!(!stats.trace.is_empty());
+    let rendered = format_sequence(&stats.trace);
+    // GET^FIRST opens the subset, then continuation re-drives follow.
+    let first = rendered
+        .lines()
+        .position(|l| l.contains("GET^FIRST^VSBB"))
+        .expect("sequence must open with GET^FIRST^VSBB");
+    let next = rendered
+        .lines()
+        .position(|l| l.contains("GET^NEXT"))
+        .expect("bounded reply buffer forces a re-drive");
+    assert!(first < next);
+    assert!(rendered.contains("$DATA1"));
+}
+
+/// Two identical runs produce byte-identical trace streams and identical
+/// histogram buckets — the simulation stays deterministic under tracing.
+#[test]
+fn tracing_is_deterministic() {
+    type Buckets = Vec<Vec<(u64, u64, u64)>>;
+    fn run() -> (String, Buckets) {
+        let db = wisconsin_db(1_000);
+        db.sim.trace.enable_default();
+        let mut s = db.session();
+        s.query("SELECT UNIQUE1 FROM WISC WHERE UNIQUE1 < 300")
+            .unwrap();
+        s.execute("UPDATE WISC SET UNIQUE1 = UNIQUE1 + 0 WHERE UNIQUE2 < 20")
+            .unwrap();
+        let rendered = format_sequence(&db.sim.trace.events());
+        let h = &db.sim.hist;
+        let buckets = vec![
+            h.msg_bytes.buckets(),
+            h.stmt_latency_us.buckets(),
+            h.commit_group.buckets(),
+            h.redrive_chain.buckets(),
+        ];
+        (rendered, buckets)
+    }
+    let (seq_a, hist_a) = run();
+    let (seq_b, hist_b) = run();
+    assert_eq!(seq_a, seq_b);
+    assert_eq!(hist_a, hist_b);
+    assert!(!seq_a.is_empty());
+}
+
+/// Tracing must not perturb the simulation: with tracing on, every counter
+/// and the virtual clock land exactly where they do with tracing off.
+#[test]
+fn tracing_is_zero_cost_when_disabled_and_invisible_when_enabled() {
+    fn run(traced: bool) -> (u64, u64, u64, u64) {
+        let db = wisconsin_db(1_000);
+        if traced {
+            db.sim.trace.enable_default();
+        }
+        let mut s = db.session();
+        s.query("SELECT UNIQUE1 FROM WISC WHERE UNIQUE1 < 300")
+            .unwrap();
+        s.execute("UPDATE WISC SET UNIQUE1 = UNIQUE1 + 0 WHERE UNIQUE2 < 20")
+            .unwrap();
+        let m = db.sim.metrics.snapshot();
+        (
+            db.sim.clock.now(),
+            m.msgs_total,
+            m.msgs_fs_dp,
+            m.disk_reads + m.disk_writes,
+        )
+    }
+    assert_eq!(run(false), run(true));
+}
+
+/// The per-statement histograms fill in as statements run.
+#[test]
+fn histograms_observe_statements() {
+    let db = wisconsin_db(2_000);
+    let mut s = db.session();
+    s.query("SELECT UNIQUE1 FROM WISC WHERE UNIQUE1 < 500")
+        .unwrap();
+    let h = &db.sim.hist;
+    assert!(h.stmt_latency_us.count() > 0);
+    assert!(h.msg_bytes.count() > 0);
+    // The 500-row VSBB scan needs several reply buffers: a chain > 1.
+    assert!(h.redrive_chain.max() > 1);
+    assert!(h.stmt_latency_us.p99() >= h.stmt_latency_us.p50());
+}

@@ -153,3 +153,95 @@ fn redrives_do_not_resend_predicate_bytes() {
         first.wire_size()
     );
 }
+
+#[test]
+fn example_1_message_sequence() {
+    // The Figure-2-style FS <-> DP conversation for example 1, asserted on
+    // the rendered trace: exactly one GET^FIRST^VSBB opens the subset and
+    // every subsequent FS-DP message is a GET^NEXT continuation re-drive.
+    use nsql_sim::{format_sequence, TraceEventKind, TraceMsgClass};
+
+    let db = emp_db(3000);
+    db.sim.trace.enable_default();
+    let mut s = db.session();
+    s.query("SELECT NAME, HIRE_DATE FROM EMP WHERE EMPNO <= 1000 AND SALARY > 32000")
+        .unwrap();
+    let events = s.last_stats().unwrap().trace.clone();
+
+    let labels: Vec<(String, TraceMsgClass)> = events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            TraceEventKind::Msg { label, class, .. }
+                if matches!(class, TraceMsgClass::FsDp | TraceMsgClass::Redrive) =>
+            {
+                Some((label.clone(), *class))
+            }
+            _ => None,
+        })
+        .collect();
+    assert!(labels.len() >= 2);
+    assert_eq!(labels[0].0, "GET^FIRST^VSBB");
+    assert_eq!(labels[0].1, TraceMsgClass::FsDp);
+    for (label, class) in &labels[1..] {
+        assert_eq!(label, "GET^NEXT");
+        assert_eq!(*class, TraceMsgClass::Redrive);
+    }
+
+    let rendered = format_sequence(&events);
+    assert!(rendered.contains("GET^FIRST^VSBB"));
+    assert!(rendered.contains("$DATA1"));
+}
+
+#[test]
+fn example_3_message_sequence() {
+    // The set-oriented update converses in UPDATE^SUBSET messages only; no
+    // record images flow back to the requester, and commit shows up as an
+    // audit flush followed by the transaction-commit event.
+    use nsql_sim::TraceEventKind;
+
+    let db = ClusterBuilder::new().volume("$DATA1", 0, 1).build();
+    let mut s = db.session();
+    s.execute(
+        "CREATE TABLE ACCOUNT (ACCTNO INT NOT NULL, BALANCE DOUBLE NOT NULL, \
+         PRIMARY KEY (ACCTNO))",
+    )
+    .unwrap();
+    s.execute("BEGIN WORK").unwrap();
+    for i in 0..1500 {
+        s.execute(&format!("INSERT INTO ACCOUNT VALUES ({i}, 100.0)"))
+            .unwrap();
+    }
+    s.execute("COMMIT WORK").unwrap();
+
+    db.sim.trace.enable_default();
+    s.execute("UPDATE ACCOUNT SET BALANCE = BALANCE * 1.07 WHERE BALANCE > 0")
+        .unwrap();
+    let events = s.last_stats().unwrap().trace.clone();
+
+    let mut saw_first = false;
+    let mut commit_at = None;
+    let mut flush_at = None;
+    for e in &events {
+        match &e.kind {
+            TraceEventKind::Msg { label, .. } => {
+                if label == "UPDATE^SUBSET^FIRST" {
+                    saw_first = true;
+                } else if label.starts_with("UPDATE^SUBSET") {
+                    assert_eq!(label, "UPDATE^SUBSET^NEXT");
+                }
+                assert!(
+                    !label.starts_with("GET^"),
+                    "pure pushdown update must not read records back"
+                );
+            }
+            TraceEventKind::AuditFlush { commits, .. } if *commits > 0 => {
+                flush_at.get_or_insert(e.seq);
+            }
+            TraceEventKind::TxnCommit { .. } => commit_at = Some(e.seq),
+            _ => {}
+        }
+    }
+    assert!(saw_first, "UPDATE^SUBSET^FIRST must open the subset");
+    let (flush, commit) = (flush_at.expect("group commit"), commit_at.expect("commit"));
+    assert!(flush < commit, "audit durable before the commit completes");
+}

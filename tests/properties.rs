@@ -1,27 +1,40 @@
-//! Property-based tests over the stack's core invariants.
+//! Randomised tests over the stack's core invariants, driven by a seeded
+//! RNG so every run checks the same cases.
 
 use nsql_records::key::{encode_key_value, encode_record_key};
 use nsql_records::row::{decode_row, encode_row};
 use nsql_records::{CmpOp, Expr, FieldDef, FieldType, RecordDescriptor, Row, Value};
-use proptest::prelude::*;
+use nsql_sim::SimRng;
 
-fn arb_value_for(ty: FieldType) -> BoxedStrategy<Value> {
+fn draw_value_for(rng: &mut SimRng, ty: FieldType) -> Value {
     match ty {
-        FieldType::SmallInt => any::<i16>().prop_map(Value::SmallInt).boxed(),
-        FieldType::Int => any::<i32>().prop_map(Value::Int).boxed(),
-        FieldType::LargeInt => any::<i64>().prop_map(Value::LargeInt).boxed(),
-        FieldType::Double => any::<f64>()
-            .prop_filter("NaN breaks ordering by design", |x| !x.is_nan())
-            .prop_map(Value::Double)
-            .boxed(),
-        FieldType::Char(n) => proptest::string::string_regex(&format!("[ -~]{{0,{n}}}"))
-            .unwrap()
-            .prop_map(|s| Value::Str(s.trim_end_matches(' ').to_string()))
-            .boxed(),
-        FieldType::Varchar(n) => proptest::string::string_regex(&format!("[ -~]{{0,{n}}}"))
-            .unwrap()
-            .prop_map(Value::Str)
-            .boxed(),
+        FieldType::SmallInt => {
+            Value::SmallInt(rng.between(i16::MIN as i64, i16::MAX as i64) as i16)
+        }
+        FieldType::Int => Value::Int(rng.between(i32::MIN as i64, i32::MAX as i64) as i32),
+        FieldType::LargeInt => Value::LargeInt(rng.next_u64() as i64),
+        FieldType::Double => loop {
+            let x = f64::from_bits(rng.next_u64());
+            if !x.is_nan() {
+                // NaN breaks ordering by design.
+                break Value::Double(x);
+            }
+        },
+        FieldType::Char(n) => {
+            let len = rng.below(n as u64 + 1) as usize;
+            let s: String = (0..len)
+                .map(|_| (b' ' + rng.below(95) as u8) as char)
+                .collect();
+            Value::Str(s.trim_end_matches(' ').to_string())
+        }
+        FieldType::Varchar(n) => {
+            let len = rng.below(n as u64 + 1) as usize;
+            Value::Str(
+                (0..len)
+                    .map(|_| (b' ' + rng.below(95) as u8) as char)
+                    .collect(),
+            )
+        }
     }
 }
 
@@ -38,123 +51,165 @@ fn test_desc() -> RecordDescriptor {
     )
 }
 
-fn arb_row() -> impl Strategy<Value = Vec<Value>> {
+fn draw_row(rng: &mut SimRng) -> Vec<Value> {
     let d = test_desc();
-    let fields: Vec<BoxedStrategy<Value>> = d
-        .fields
+    d.fields
         .iter()
         .enumerate()
         .map(|(i, f)| {
-            if i == 0 {
-                arb_value_for(f.ty)
+            if i > 0 && rng.chance(0.25) {
+                Value::Null
             } else {
-                prop_oneof![Just(Value::Null), arb_value_for(f.ty)].boxed()
+                draw_value_for(rng, f.ty)
             }
         })
-        .collect();
-    fields
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Row codec: encode/decode is the identity.
-    #[test]
-    fn row_codec_round_trips(row in arb_row()) {
-        let d = test_desc();
+/// Row codec: encode/decode is the identity.
+#[test]
+fn row_codec_round_trips() {
+    let mut rng = SimRng::seed_from(0x201);
+    let d = test_desc();
+    for _ in 0..256 {
+        let row = draw_row(&mut rng);
         let bytes = encode_row(&d, &row).unwrap();
         let decoded = decode_row(&d, &bytes).unwrap();
-        prop_assert_eq!(decoded.0, row);
+        assert_eq!(decoded.0, row);
     }
+}
 
-    /// Key encoding preserves SQL ordering for every scalar type.
-    #[test]
-    fn key_encoding_preserves_order(
-        a in any::<i32>(), b in any::<i32>(),
-        x in any::<f64>(), y in any::<f64>(),
-        s in "[ -~]{0,12}", t in "[ -~]{0,12}",
-    ) {
-        let enc = |ty: FieldType, v: &Value| {
-            let mut out = Vec::new();
-            encode_key_value(ty, v, &mut out);
-            out
-        };
+/// Key encoding preserves SQL ordering for every scalar type.
+#[test]
+fn key_encoding_preserves_order() {
+    let mut rng = SimRng::seed_from(0x202);
+    let enc = |ty: FieldType, v: &Value| {
+        let mut out = Vec::new();
+        encode_key_value(ty, v, &mut out);
+        out
+    };
+    for _ in 0..256 {
         // Integers.
-        let (ka, kb) = (enc(FieldType::Int, &Value::Int(a)), enc(FieldType::Int, &Value::Int(b)));
-        prop_assert_eq!(a.cmp(&b), ka.cmp(&kb));
+        let a = rng.between(i32::MIN as i64, i32::MAX as i64) as i32;
+        let b = rng.between(i32::MIN as i64, i32::MAX as i64) as i32;
+        let (ka, kb) = (
+            enc(FieldType::Int, &Value::Int(a)),
+            enc(FieldType::Int, &Value::Int(b)),
+        );
+        assert_eq!(a.cmp(&b), ka.cmp(&kb));
         // Doubles (excluding NaN).
-        prop_assume!(!x.is_nan() && !y.is_nan());
+        let (Value::Double(x), Value::Double(y)) = (
+            draw_value_for(&mut rng, FieldType::Double),
+            draw_value_for(&mut rng, FieldType::Double),
+        ) else {
+            unreachable!()
+        };
         let (kx, ky) = (
             enc(FieldType::Double, &Value::Double(x)),
             enc(FieldType::Double, &Value::Double(y)),
         );
-        if x < y { prop_assert!(kx < ky); }
-        if x > y { prop_assert!(kx > ky); }
+        if x < y {
+            assert!(kx < ky);
+        }
+        if x > y {
+            assert!(kx > ky);
+        }
         // Varchars order like byte strings.
+        let (Value::Str(s), Value::Str(t)) = (
+            draw_value_for(&mut rng, FieldType::Varchar(12)),
+            draw_value_for(&mut rng, FieldType::Varchar(12)),
+        ) else {
+            unreachable!()
+        };
         let (ks, kt) = (
             enc(FieldType::Varchar(16), &Value::Str(s.clone())),
             enc(FieldType::Varchar(16), &Value::Str(t.clone())),
         );
-        prop_assert_eq!(s.as_bytes().cmp(t.as_bytes()), ks.cmp(&kt));
+        assert_eq!(s.as_bytes().cmp(t.as_bytes()), ks.cmp(&kt));
     }
+}
 
-    /// Composite record keys order like tuples of their key values.
-    #[test]
-    fn record_keys_order_like_tuples(a1 in -1000i32..1000, a2 in -1000i32..1000,
-                                     b1 in -1000i32..1000, b2 in -1000i32..1000) {
-        let d = RecordDescriptor::new(
-            vec![
-                FieldDef::new("X", FieldType::Int),
-                FieldDef::new("Y", FieldType::Int),
-            ],
-            vec![0, 1],
+/// Composite record keys order like tuples of their key values.
+#[test]
+fn record_keys_order_like_tuples() {
+    let mut rng = SimRng::seed_from(0x203);
+    let d = RecordDescriptor::new(
+        vec![
+            FieldDef::new("X", FieldType::Int),
+            FieldDef::new("Y", FieldType::Int),
+        ],
+        vec![0, 1],
+    );
+    for _ in 0..256 {
+        let (a1, a2) = (
+            rng.between(-1000, 999) as i32,
+            rng.between(-1000, 999) as i32,
+        );
+        let (b1, b2) = (
+            rng.between(-1000, 999) as i32,
+            rng.between(-1000, 999) as i32,
         );
         let ka = encode_record_key(&d, &[Value::Int(a1), Value::Int(a2)]);
         let kb = encode_record_key(&d, &[Value::Int(b1), Value::Int(b2)]);
-        prop_assert_eq!((a1, a2).cmp(&(b1, b2)), ka.cmp(&kb));
+        assert_eq!((a1, a2).cmp(&(b1, b2)), ka.cmp(&kb));
     }
+}
 
-    /// The Disk Process's raw-record predicate evaluation agrees with
-    /// evaluation over the fully decoded row.
-    #[test]
-    fn raw_and_decoded_evaluation_agree(row in arb_row(), lit in any::<i16>()) {
-        let d = test_desc();
+/// The Disk Process's raw-record predicate evaluation agrees with
+/// evaluation over the fully decoded row.
+#[test]
+fn raw_and_decoded_evaluation_agree() {
+    let mut rng = SimRng::seed_from(0x204);
+    let d = test_desc();
+    for _ in 0..256 {
+        let row = draw_row(&mut rng);
+        let lit = rng.between(i16::MIN as i64, i16::MAX as i64) as i16;
         let bytes = encode_row(&d, &row).unwrap();
-        let raw = nsql_records::RawRecord { desc: &d, bytes: &bytes };
+        let raw = nsql_records::RawRecord {
+            desc: &d,
+            bytes: &bytes,
+        };
         let decoded = Row(row);
         for op in [CmpOp::Eq, CmpOp::Lt, CmpOp::Ge, CmpOp::Ne] {
             let pred = Expr::field_cmp(1, op, Value::SmallInt(lit));
-            prop_assert_eq!(pred.eval(&raw), pred.eval(&decoded));
+            assert_eq!(pred.eval(&raw), pred.eval(&decoded));
         }
-        // IS NULL and arithmetic too.
-        let isnull = Expr::IsNull { expr: Box::new(Expr::Field(2)), negated: false };
-        prop_assert_eq!(isnull.eval(&raw), isnull.eval(&decoded));
-    }
-
-    /// Three-valued logic: De Morgan holds under SQL NULL semantics.
-    #[test]
-    fn de_morgan_under_three_valued_logic(a in 0u8..3, b in 0u8..3) {
-        let v = |x: u8| match x {
-            0 => Expr::lit(Value::Bool(false)),
-            1 => Expr::lit(Value::Bool(true)),
-            _ => Expr::lit(Value::Null),
+        // IS NULL too.
+        let isnull = Expr::IsNull {
+            expr: Box::new(Expr::Field(2)),
+            negated: false,
         };
-        let row = Row(vec![]);
-        let lhs = Expr::Not(Box::new(Expr::and(v(a), v(b))));
-        let rhs = Expr::or(
-            Expr::Not(Box::new(v(a))),
-            Expr::Not(Box::new(v(b))),
-        );
-        prop_assert_eq!(lhs.eval(&row).unwrap(), rhs.eval(&row).unwrap());
+        assert_eq!(isnull.eval(&raw), isnull.eval(&decoded));
     }
+}
 
-    /// Descriptor byte-codec round-trips arbitrary schemas.
-    #[test]
-    fn descriptor_codec_round_trips(ncols in 1usize..12, seed in any::<u64>()) {
+/// Three-valued logic: De Morgan holds under SQL NULL semantics.
+#[test]
+fn de_morgan_under_three_valued_logic() {
+    let v = |x: u8| match x {
+        0 => Expr::lit(Value::Bool(false)),
+        1 => Expr::lit(Value::Bool(true)),
+        _ => Expr::lit(Value::Null),
+    };
+    let row = Row(vec![]);
+    for a in 0u8..3 {
+        for b in 0u8..3 {
+            let lhs = Expr::Not(Box::new(Expr::and(v(a), v(b))));
+            let rhs = Expr::or(Expr::Not(Box::new(v(a))), Expr::Not(Box::new(v(b))));
+            assert_eq!(lhs.eval(&row).unwrap(), rhs.eval(&row).unwrap());
+        }
+    }
+}
+
+/// Descriptor byte-codec round-trips arbitrary schemas.
+#[test]
+fn descriptor_codec_round_trips() {
+    let mut rng = SimRng::seed_from(0x205);
+    for _ in 0..256 {
+        let ncols = 1 + rng.below(11) as usize;
         let mut fields = Vec::new();
-        let mut s = seed;
         for i in 0..ncols {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let s = rng.next_u64();
             let ty = match s % 6 {
                 0 => FieldType::SmallInt,
                 1 => FieldType::Int,
@@ -172,68 +227,70 @@ proptest! {
         let d = RecordDescriptor::new(fields, vec![0]);
         let bytes = d.encode_bytes();
         let (decoded, used) = RecordDescriptor::decode_bytes(&bytes);
-        prop_assert_eq!(used, bytes.len());
-        prop_assert_eq!(decoded, d);
+        assert_eq!(used, bytes.len());
+        assert_eq!(decoded, d);
     }
 }
 
-/// End-to-end property: a batch of random rows inserted through SQL is
-/// exactly what range queries return (checked against a model).
+/// End-to-end: a batch of random rows inserted through SQL is exactly what
+/// range queries return (checked against a model).
 #[test]
 fn sql_matches_model_on_random_data() {
     use nonstop_sql::ClusterBuilder;
     use std::collections::BTreeMap;
 
-    let mut runner = proptest::test_runner::TestRunner::new(ProptestConfig {
-        cases: 12,
-        ..ProptestConfig::default()
-    });
-    let strategy = proptest::collection::btree_map(-500i32..500, -1000i32..1000, 1..120);
-    runner
-        .run(&strategy, |model: BTreeMap<i32, i32>| {
-            let db = ClusterBuilder::new().volume("$DATA1", 0, 1).build();
-            let mut s = db.session();
-            s.execute("CREATE TABLE M (K INT NOT NULL, V INT NOT NULL, PRIMARY KEY (K))")
-                .unwrap();
-            s.execute("BEGIN WORK").unwrap();
-            for (k, v) in &model {
-                s.execute(&format!("INSERT INTO M VALUES ({k}, {v})"))
-                    .unwrap();
-            }
-            s.execute("COMMIT WORK").unwrap();
+    for case in 0..12u64 {
+        let mut rng = SimRng::seed_from(0x300 + case);
+        let n = 1 + rng.below(119) as usize;
+        let mut model: BTreeMap<i32, i32> = BTreeMap::new();
+        while model.len() < n {
+            model.insert(
+                rng.between(-500, 499) as i32,
+                rng.between(-1000, 999) as i32,
+            );
+        }
 
-            // Full scan matches.
-            let r = s.query("SELECT K, V FROM M").unwrap();
-            let got: Vec<(i32, i32)> = r
-                .rows
-                .iter()
-                .map(|row| match (&row.0[0], &row.0[1]) {
-                    (Value::Int(k), Value::Int(v)) => (*k, *v),
-                    _ => panic!(),
-                })
-                .collect();
-            let want: Vec<(i32, i32)> = model.iter().map(|(k, v)| (*k, *v)).collect();
-            prop_assert_eq!(got, want);
-
-            // A range + predicate matches the model's filter.
-            let r = s
-                .query("SELECT K FROM M WHERE K BETWEEN -100 AND 100 AND V > 0")
+        let db = ClusterBuilder::new().volume("$DATA1", 0, 1).build();
+        let mut s = db.session();
+        s.execute("CREATE TABLE M (K INT NOT NULL, V INT NOT NULL, PRIMARY KEY (K))")
+            .unwrap();
+        s.execute("BEGIN WORK").unwrap();
+        for (k, v) in &model {
+            s.execute(&format!("INSERT INTO M VALUES ({k}, {v})"))
                 .unwrap();
-            let got: Vec<i32> = r
-                .rows
-                .iter()
-                .map(|row| match row.0[0] {
-                    Value::Int(k) => k,
-                    _ => panic!(),
-                })
-                .collect();
-            let want: Vec<i32> = model
-                .iter()
-                .filter(|(k, v)| (-100..=100).contains(*k) && **v > 0)
-                .map(|(k, _)| *k)
-                .collect();
-            prop_assert_eq!(got, want);
-            Ok(())
-        })
-        .unwrap();
+        }
+        s.execute("COMMIT WORK").unwrap();
+
+        // Full scan matches.
+        let r = s.query("SELECT K, V FROM M").unwrap();
+        let got: Vec<(i32, i32)> = r
+            .rows
+            .iter()
+            .map(|row| match (&row.0[0], &row.0[1]) {
+                (Value::Int(k), Value::Int(v)) => (*k, *v),
+                _ => panic!(),
+            })
+            .collect();
+        let want: Vec<(i32, i32)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(got, want);
+
+        // A range + predicate matches the model's filter.
+        let r = s
+            .query("SELECT K FROM M WHERE K BETWEEN -100 AND 100 AND V > 0")
+            .unwrap();
+        let got: Vec<i32> = r
+            .rows
+            .iter()
+            .map(|row| match row.0[0] {
+                Value::Int(k) => k,
+                _ => panic!(),
+            })
+            .collect();
+        let want: Vec<i32> = model
+            .iter()
+            .filter(|(k, v)| (-100..=100).contains(*k) && **v > 0)
+            .map(|(k, _)| *k)
+            .collect();
+        assert_eq!(got, want);
+    }
 }
