@@ -2,9 +2,12 @@
 //!
 //! `cargo run -p nsql-bench --bin experiments [--release] [-- e2 e9 ...]`
 //! prints the report tables recorded in EXPERIMENTS.md; `-- --json` writes
-//! machine-readable records to `BENCH_results.json`.
+//! machine-readable records to `BENCH_results.json`; `-- chaos` runs the
+//! seeded fault-injection matrix over the bank and Wisconsin workloads.
 
+pub mod chaos;
 pub mod experiments;
 pub mod report;
 
+pub use chaos::run_chaos;
 pub use experiments::{run, run_json};

@@ -38,6 +38,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 pub use nsql_dp::DpConfig as DiskProcessConfig;
+pub use nsql_msg::FaultConfig;
 pub use nsql_sim::CostModel as ClusterCostModel;
 pub use nsql_sql::QueryResult as Rows;
 pub use nsql_tmf::CommitTimer as GroupCommitTimer;
@@ -187,12 +188,14 @@ impl ClusterBuilder {
         };
         let mut dps = HashMap::new();
         let mut disks = HashMap::new();
+        let mut pair_cpus = HashMap::new();
         let mut default_volume = None;
         for spec in &self.volumes {
             let disk = Disk::new(sim.clone(), spec.name.clone(), spec.mirrored);
             let mut config = self.dp_config.clone();
             if let Some(bcpu) = spec.backup_cpu {
                 config.checkpointing = true;
+                pair_cpus.insert(spec.name.clone(), (spec.cpu, bcpu));
                 bus.register(format!("{}-B", spec.name), bcpu, Arc::new(BackupSink));
             }
             let dp = DiskProcess::format(&ctx, &spec.name, spec.cpu, Arc::clone(&disk), config);
@@ -201,6 +204,54 @@ impl ClusterBuilder {
             default_volume.get_or_insert_with(|| spec.name.clone());
         }
         let catalog = Catalog::new(default_volume.unwrap_or_else(|| "$DATA1".into()));
+        let dps = Arc::new(RwLock::new(dps));
+        // The File System's path-switch hook: when a retry hits a down CPU,
+        // the bus asks the cluster to re-resolve the volume's primary. If
+        // the volume was configured as a process pair, its backup takes
+        // over (crash + open on the backup CPU + recover from the audit
+        // trail) and the retry proceeds against the new primary.
+        {
+            let hook_dps = Arc::clone(&dps);
+            let hook_disks = disks.clone();
+            let hook_ctx = ctx.clone();
+            let hook_bus = Arc::clone(&bus);
+            bus.set_path_switch(Arc::new(move |name: &str| {
+                let old = match hook_dps.read().get(name) {
+                    Some(dp) => Arc::clone(dp),
+                    None => return false,
+                };
+                if !hook_bus.cpu_is_down(old.cpu()) {
+                    // Primary is healthy; nothing to switch.
+                    return false;
+                }
+                let Some(&(primary, backup)) = pair_cpus.get(name) else {
+                    return false;
+                };
+                // Fail over to the pair's other CPU. A CPU that failed
+                // earlier is assumed reloaded by the time the pair fails
+                // back to it (Tandem operations reload failed CPUs), so
+                // repeated crashes ping-pong within the pair.
+                let to = if old.cpu() == primary {
+                    backup
+                } else {
+                    primary
+                };
+                if hook_bus.cpu_is_down(to) {
+                    hook_bus.revive_cpu(to);
+                }
+                old.crash();
+                let new_dp = DiskProcess::open(
+                    &hook_ctx,
+                    name,
+                    to,
+                    Arc::clone(&hook_disks[name]),
+                    old.config.lock().clone(),
+                );
+                new_dp.recover();
+                hook_dps.write().insert(name.to_string(), new_dp);
+                true
+            }));
+        }
         Cluster {
             sim,
             bus,
@@ -208,7 +259,7 @@ impl ClusterBuilder {
             txnmgr,
             catalog,
             ctx,
-            dps: RwLock::new(dps),
+            dps,
             disks,
             sort_parallelism: std::sync::atomic::AtomicU32::new(1),
         }
@@ -234,7 +285,7 @@ pub struct Cluster {
     /// The SQL catalog.
     pub catalog: Arc<Catalog>,
     ctx: DpContext,
-    dps: RwLock<HashMap<String, Arc<DiskProcess>>>,
+    dps: Arc<RwLock<HashMap<String, Arc<DiskProcess>>>>,
     disks: HashMap<String, Arc<Disk>>,
     sort_parallelism: std::sync::atomic::AtomicU32,
 }
@@ -292,6 +343,17 @@ impl Cluster {
         let mut v: Vec<String> = self.dps.read().keys().cloned().collect();
         v.sort();
         v
+    }
+
+    /// Arm the deterministic fault plane: subsequent FS-DP exchanges are
+    /// subject to the seeded drop/duplicate/delay/error schedule in `cfg`.
+    pub fn enable_faults(&self, cfg: FaultConfig) {
+        self.bus.enable_faults(cfg);
+    }
+
+    /// Disarm the fault plane; message exchanges behave normally again.
+    pub fn disable_faults(&self) {
+        self.bus.disable_faults();
     }
 
     /// Fault injection: crash `volume`'s Disk Process (losing its cache and

@@ -28,6 +28,7 @@ pub mod store;
 pub use label::{FileLabel, VolumeLabel};
 pub use protocol::{
     AuditMode, DpError, DpReply, DpRequest, FileId, FileKind, ReadLock, SubsetId, SubsetMode,
+    SyncId, SyncRequest,
 };
 pub use store::{Allocator, DpStore};
 
@@ -45,7 +46,7 @@ use nsql_tmf::audit::FieldImage;
 use nsql_tmf::txn::{EndTxnReply, EndTxnRequest};
 use nsql_tmf::{AuditBody, Trail, TxnManager, VolumeAuditor};
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 /// Tunables of a Disk Process.
@@ -152,12 +153,20 @@ enum ScbOp {
     Delete,
 }
 
+/// Replies remembered per opener for duplicate suppression (Tandem kept a
+/// similar small "sync block" per opener).
+const REPLY_CACHE_PER_OPENER: usize = 8;
+
 #[derive(Default)]
 struct DpState {
     label: VolumeLabel,
     subsets: HashMap<SubsetId, Scb>,
     next_subset: SubsetId,
     undo: HashMap<TxnId, Vec<UndoOp>>,
+    /// Per-opener cache of the last few `(sync seq, reply)` pairs: a
+    /// retransmitted request (lost reply, duplicate delivery) is answered
+    /// from here instead of being re-executed.
+    replies: HashMap<u64, VecDeque<(u64, DpReply)>>,
 }
 
 /// One Disk Process: the server for one disk volume.
@@ -1479,9 +1488,19 @@ impl DiskProcess {
     pub fn crash(&self) {
         self.pool.crash();
         self.auditor.crash();
-        let mut st = self.state.lock();
-        st.subsets.clear();
-        st.undo.clear();
+        let doomed: Vec<TxnId> = {
+            let mut st = self.state.lock();
+            let doomed = st.undo.keys().copied().collect();
+            st.subsets.clear();
+            st.undo.clear();
+            st.replies.clear();
+            doomed
+        };
+        // Transactions whose uncommitted writes died with this process can
+        // no longer commit (recovery will undo them); tell TMF.
+        for txn in doomed {
+            self.txnmgr.doom(txn);
+        }
     }
 
     /// Recover the volume from the durable audit trail: redo winners' work,
@@ -1551,9 +1570,48 @@ impl DiskProcess {
     }
 }
 
+impl DiskProcess {
+    /// Handle a request carrying a sync ID: answer retransmissions from the
+    /// per-opener reply cache ("duplicate suppression"), execute fresh
+    /// requests and remember their reply.
+    fn handle_sync(&self, sync: protocol::SyncId, req: DpRequest) -> DpReply {
+        if let Some(cached) = self
+            .state
+            .lock()
+            .replies
+            .get(&sync.opener)
+            .and_then(|q| q.iter().find(|(seq, _)| *seq == sync.seq))
+            .map(|(_, reply)| reply.clone())
+        {
+            // The request already executed; only the reply was lost.
+            self.sim.metrics.dp_dup_suppressed.inc();
+            self.sim.cpu_work(CpuLayer::DiskProcess, 1);
+            return cached;
+        }
+        let reply = self.handle_request(req);
+        let mut st = self.state.lock();
+        let q = st.replies.entry(sync.opener).or_default();
+        if q.len() >= REPLY_CACHE_PER_OPENER {
+            q.pop_front();
+        }
+        q.push_back((sync.seq, reply.clone()));
+        reply
+    }
+}
+
 impl Server for DiskProcess {
     fn handle(&self, request: Box<dyn Any + Send>) -> Response {
-        // Two protocols arrive here: FS-DP requests and TMF end-txn calls.
+        // Three protocols arrive here: sync-ID-carrying FS-DP requests,
+        // bare FS-DP requests, and TMF end-txn calls.
+        let request = match request.downcast::<protocol::SyncRequest>() {
+            Ok(sreq) => {
+                let sreq = *sreq;
+                let reply = self.handle_sync(sreq.sync, sreq.req);
+                let size = reply.wire_size();
+                return Response::new(reply, size);
+            }
+            Err(original) => original,
+        };
         let request = match request.downcast::<DpRequest>() {
             Ok(req) => {
                 let reply = self.handle_request(*req);

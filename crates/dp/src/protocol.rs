@@ -23,6 +23,32 @@ pub type FileId = u32;
 /// Identifier of a Subset Control Block within a Disk Process.
 pub type SubsetId = u64;
 
+/// The duplicate-suppression identity every FS-DP request carries in its
+/// header: the requester's opener id plus a per-opener sequence number.
+/// Tandem's File System kept exactly this "sync ID" so a server could
+/// recognise a retransmission after a lost reply and answer it from saved
+/// state instead of re-executing it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SyncId {
+    /// The opener (one File System instance's session with the server).
+    pub opener: u64,
+    /// Monotone per-opener request number. Retries of one logical request
+    /// reuse the same sequence number.
+    pub seq: u64,
+}
+
+/// A [`DpRequest`] as it travels on the wire: the request plus its
+/// [`SyncId`]. The sync ID rides in the 16-byte request header that
+/// [`DpRequest::wire_size`] already accounts for, so carrying it costs no
+/// extra message bytes.
+#[derive(Debug, Clone)]
+pub struct SyncRequest {
+    /// Duplicate-suppression identity.
+    pub sync: SyncId,
+    /// The request itself.
+    pub req: DpRequest,
+}
+
 /// File structure kinds (the three ENSCRIBE/SQL access methods).
 #[derive(Debug, Clone, PartialEq)]
 pub enum FileKind {

@@ -30,6 +30,7 @@ use nsql_dp::{DpError, DpReply, DpRequest, FileId};
 use nsql_msg::{Bus, BusError, CpuId, MsgKind};
 use nsql_records::key::encode_key_value;
 use nsql_records::{KeyRange, RecordDescriptor, Row, Value};
+use nsql_sim::trace::TraceEventKind;
 use nsql_sim::{CpuLayer, Sim};
 use std::sync::Arc;
 
@@ -42,6 +43,13 @@ pub enum FsError {
     Bus(String),
     /// The row does not match the table's descriptor.
     BadRow(String),
+    /// The server stayed unreachable after bounded retries and (where
+    /// possible) a path switch; the statement is aborted cleanly.
+    Unavailable(String),
+    /// The FS-DP conversation violated the re-drive protocol (e.g. a
+    /// continuation reply without a Subset Control Block or last key); the
+    /// statement is aborted instead of panicking the requester.
+    Protocol(String),
 }
 
 impl From<DpError> for FsError {
@@ -62,11 +70,35 @@ impl std::fmt::Display for FsError {
             FsError::Dp(e) => write!(f, "disk process error: {e}"),
             FsError::Bus(e) => write!(f, "message system error: {e}"),
             FsError::BadRow(e) => write!(f, "bad row: {e}"),
+            FsError::Unavailable(e) => write!(f, "server unavailable: {e}"),
+            FsError::Protocol(e) => write!(f, "FS-DP protocol violation: {e}"),
         }
     }
 }
 
 impl std::error::Error for FsError {}
+
+/// Bounded virtual-time retry policy the File System applies to FS-DP
+/// requests that time out or find their path down.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Give up (and fail the statement) after this many retries.
+    pub max_retries: u32,
+    /// Initial backoff charged to the virtual clock before a retry.
+    pub backoff_us: u64,
+    /// Backoff doubles per retry up to this cap.
+    pub max_backoff_us: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 6,
+            backoff_us: 500,
+            max_backoff_us: 8_000,
+        }
+    }
+}
 
 /// One horizontal partition of a file: a Disk Process and the primary-key
 /// range it owns.
@@ -218,18 +250,36 @@ impl OpenFile {
     }
 }
 
+/// Source of unique opener ids for sync-ID duplicate suppression. The
+/// values only need to be distinct per File System instance within one
+/// process; they never influence timing, metrics or traces.
+static NEXT_OPENER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
 /// The File System library instance of one requester (application process).
 pub struct FileSystem {
     pub(crate) sim: Sim,
     pub(crate) bus: Arc<Bus>,
     /// The CPU the requester runs on (message locality depends on it).
     pub cpu: CpuId,
+    /// Retry/backoff policy for timed-out or path-down requests.
+    pub retry: RetryPolicy,
+    /// This opener's identity in every sync ID it issues.
+    opener: u64,
+    /// Per-opener sync sequence (retries of one request reuse one value).
+    sync_seq: std::sync::atomic::AtomicU64,
 }
 
 impl FileSystem {
     /// A File System bound to a requester CPU.
     pub fn new(sim: Sim, bus: Arc<Bus>, cpu: CpuId) -> FileSystem {
-        FileSystem { sim, bus, cpu }
+        FileSystem {
+            sim,
+            bus,
+            cpu,
+            retry: RetryPolicy::default(),
+            opener: NEXT_OPENER.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            sync_seq: std::sync::atomic::AtomicU64::new(0),
+        }
     }
 
     /// The simulation context (experiments).
@@ -240,6 +290,14 @@ impl FileSystem {
     /// Send one FS-DP request and unwrap the reply. Public for the SQL
     /// catalog (DDL) and the experiment harness; regular data access goes
     /// through the typed methods.
+    ///
+    /// Every request carries a sync ID, and this is the File System's
+    /// recovery chokepoint: on a timeout or a down path it backs off
+    /// (bounded, virtual-time), asks the cluster to re-resolve the
+    /// volume's primary (backup takeover), and retries the *same* sync ID
+    /// so the Disk Process can suppress a duplicate execution. Retries
+    /// exhausted surface as [`FsError::Unavailable`] — a statement error,
+    /// not a panic.
     pub fn send(&self, to: &str, req: DpRequest) -> Result<DpReply, FsError> {
         self.sim.cpu_work(CpuLayer::FileSystem, 2);
         let kind = if req.is_redrive() {
@@ -249,13 +307,53 @@ impl FileSystem {
         };
         let size = req.wire_size();
         let label = req.name();
-        let reply = self
-            .bus
-            .request_labeled(self.cpu, to, kind, size, Box::new(req), label)?
-            .expect::<DpReply>();
-        match reply {
-            DpReply::Error(e) => Err(FsError::Dp(e)),
-            ok => Ok(ok),
+        let env = nsql_dp::SyncRequest {
+            sync: nsql_dp::SyncId {
+                opener: self.opener,
+                seq: self
+                    .sync_seq
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            },
+            req,
+        };
+        let make = move || -> Box<dyn std::any::Any + Send> { Box::new(env.clone()) };
+        let mut attempt = 0u32;
+        let mut backoff = self.retry.backoff_us;
+        loop {
+            match self
+                .bus
+                .request_replayable(self.cpu, to, kind, size, &make, label)
+            {
+                Ok(resp) => {
+                    return match resp.expect::<DpReply>() {
+                        DpReply::Error(e) => Err(FsError::Dp(e)),
+                        ok => Ok(ok),
+                    };
+                }
+                Err(e) if e.is_retriable() && attempt < self.retry.max_retries => {
+                    attempt += 1;
+                    self.sim.metrics.fs_retries.inc();
+                    if matches!(e, BusError::CpuDown(_)) && self.bus.try_path_switch(to) {
+                        self.sim.metrics.path_switches.inc();
+                        self.sim.trace_emit(|| TraceEventKind::PathSwitch {
+                            to: to.to_string(),
+                            resumed: false,
+                        });
+                    }
+                    self.sim.clock.advance(backoff);
+                    self.sim.trace_emit(|| TraceEventKind::Retry {
+                        label: label.to_string(),
+                        to: to.to_string(),
+                        attempt,
+                        backoff_us: backoff,
+                    });
+                    backoff = (backoff * 2).min(self.retry.max_backoff_us);
+                }
+                Err(e) if e.is_retriable() => {
+                    return Err(FsError::Unavailable(e.to_string()));
+                }
+                Err(e) => return Err(FsError::Bus(e.to_string())),
+            }
         }
     }
 

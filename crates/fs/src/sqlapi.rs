@@ -13,8 +13,8 @@ use nsql_dp::{DpReply, DpRequest, ReadLock, SubsetMode};
 use nsql_lock::{LockMode, TxnId};
 use nsql_records::key::encode_record_key;
 use nsql_records::row::encode_row;
-use nsql_records::{Expr, KeyRange, Row, SetList, Value};
-use nsql_sim::CpuLayer;
+use nsql_records::{Expr, KeyRange, OwnedBound, Row, SetList, Value};
+use nsql_sim::{CpuLayer, TraceEventKind};
 use std::collections::HashMap;
 
 /// Result of a set-oriented read.
@@ -132,7 +132,33 @@ impl FileSystem {
         match reply {
             DpReply::Record(Some(bytes)) => Ok(Some(self.decode(&of.desc, &bytes)?)),
             DpReply::Record(None) => Ok(None),
-            other => panic!("protocol violation: {other:?}"),
+            other => Err(FsError::Protocol(format!(
+                "unexpected reply to READ: {other:?}"
+            ))),
+        }
+    }
+
+    /// Issue a re-drive (`*SUBSET^NEXT`) request, transparently rebuilding
+    /// the Subset Control Block when the Disk Process no longer knows it —
+    /// the SCB is volatile state, lost when the process crashes and its
+    /// backup takes over. `rebuild` produces a fresh `*SUBSET^FIRST`
+    /// resuming after the last confirmed key, so mid-scan takeover is
+    /// invisible to SQL callers.
+    fn send_redrive(
+        &self,
+        process: &str,
+        next: DpRequest,
+        rebuild: &dyn Fn() -> DpRequest,
+    ) -> Result<DpReply, FsError> {
+        match self.send(process, next) {
+            Err(FsError::Dp(nsql_dp::DpError::BadSubset(_))) => {
+                self.sim.trace_emit(|| TraceEventKind::PathSwitch {
+                    to: process.to_string(),
+                    resumed: true,
+                });
+                self.send(process, rebuild())
+            }
+            other => other,
         }
     }
 
@@ -272,7 +298,7 @@ impl FileSystem {
                 DpRequest::GetSubsetFirst {
                     txn,
                     file: p.file,
-                    range: clipped,
+                    range: clipped.clone(),
                     predicate: predicate.cloned(),
                     projection: projection.map(|f| f.to_vec()),
                     mode,
@@ -290,7 +316,9 @@ impl FileSystem {
                     ..
                 } = reply
                 else {
-                    panic!("protocol violation")
+                    return Err(FsError::Protocol(
+                        "unexpected reply to GET^SUBSET".to_string(),
+                    ));
                 };
                 out.examined += examined as u64;
                 for bytes in rows {
@@ -300,11 +328,25 @@ impl FileSystem {
                     break;
                 }
                 chain += 1;
-                reply = self.send(
+                let subset = subset
+                    .ok_or_else(|| FsError::Protocol("re-drive without an SCB".to_string()))?;
+                let after = last_key
+                    .ok_or_else(|| FsError::Protocol("re-drive without a last key".to_string()))?;
+                let resume = KeyRange {
+                    begin: OwnedBound::Excluded(after.clone()),
+                    end: clipped.end.clone(),
+                };
+                reply = self.send_redrive(
                     &p.process,
-                    DpRequest::GetSubsetNext {
-                        subset: subset.expect("re-drive without an SCB"),
-                        after: last_key.expect("re-drive without a last key"),
+                    DpRequest::GetSubsetNext { subset, after },
+                    &|| DpRequest::GetSubsetFirst {
+                        txn,
+                        file: p.file,
+                        range: resume.clone(),
+                        predicate: predicate.cloned(),
+                        projection: projection.map(|f| f.to_vec()),
+                        mode,
+                        lock,
                     },
                 )?;
             }
@@ -342,7 +384,7 @@ impl FileSystem {
                 DpRequest::UpdateSubsetFirst {
                     txn,
                     file: p.file,
-                    range: clipped,
+                    range: clipped.clone(),
                     predicate: predicate.cloned(),
                     sets: sets.clone(),
                     constraint: constraint.cloned(),
@@ -358,18 +400,33 @@ impl FileSystem {
                     ..
                 } = reply
                 else {
-                    panic!("protocol violation")
+                    return Err(FsError::Protocol(
+                        "unexpected reply to UPDATE^SUBSET".to_string(),
+                    ));
                 };
                 affected += a as u64;
                 if done {
                     break;
                 }
                 chain += 1;
-                reply = self.send(
+                let subset = subset
+                    .ok_or_else(|| FsError::Protocol("re-drive without an SCB".to_string()))?;
+                let after = last_key
+                    .ok_or_else(|| FsError::Protocol("re-drive without a last key".to_string()))?;
+                let resume = KeyRange {
+                    begin: OwnedBound::Excluded(after.clone()),
+                    end: clipped.end.clone(),
+                };
+                reply = self.send_redrive(
                     &p.process,
-                    DpRequest::UpdateSubsetNext {
-                        subset: subset.expect("re-drive without an SCB"),
-                        after: last_key.expect("re-drive without a last key"),
+                    DpRequest::UpdateSubsetNext { subset, after },
+                    &|| DpRequest::UpdateSubsetFirst {
+                        txn,
+                        file: p.file,
+                        range: resume.clone(),
+                        predicate: predicate.cloned(),
+                        sets: sets.clone(),
+                        constraint: constraint.cloned(),
                     },
                 )?;
             }
@@ -442,7 +499,7 @@ impl FileSystem {
                 DpRequest::DeleteSubsetFirst {
                     txn,
                     file: p.file,
-                    range: clipped,
+                    range: clipped.clone(),
                     predicate: predicate.cloned(),
                 },
             )?;
@@ -456,18 +513,31 @@ impl FileSystem {
                     ..
                 } = reply
                 else {
-                    panic!("protocol violation")
+                    return Err(FsError::Protocol(
+                        "unexpected reply to DELETE^SUBSET".to_string(),
+                    ));
                 };
                 affected += a as u64;
                 if done {
                     break;
                 }
                 chain += 1;
-                reply = self.send(
+                let subset = subset
+                    .ok_or_else(|| FsError::Protocol("re-drive without an SCB".to_string()))?;
+                let after = last_key
+                    .ok_or_else(|| FsError::Protocol("re-drive without a last key".to_string()))?;
+                let resume = KeyRange {
+                    begin: OwnedBound::Excluded(after.clone()),
+                    end: clipped.end.clone(),
+                };
+                reply = self.send_redrive(
                     &p.process,
-                    DpRequest::DeleteSubsetNext {
-                        subset: subset.expect("re-drive without an SCB"),
-                        after: last_key.expect("re-drive without a last key"),
+                    DpRequest::DeleteSubsetNext { subset, after },
+                    &|| DpRequest::DeleteSubsetFirst {
+                        txn,
+                        file: p.file,
+                        range: resume.clone(),
+                        predicate: predicate.cloned(),
                     },
                 )?;
             }
@@ -514,7 +584,9 @@ impl FileSystem {
                 ..
             } = reply
             else {
-                panic!("protocol violation")
+                return Err(FsError::Protocol(
+                    "unexpected reply to GET^SUBSET (index)".to_string(),
+                ));
             };
             for bytes in batch {
                 rows.push(self.decode(&idx.desc, &bytes)?);
@@ -523,11 +595,25 @@ impl FileSystem {
                 break;
             }
             chain += 1;
-            reply = self.send(
+            let subset =
+                subset.ok_or_else(|| FsError::Protocol("re-drive without an SCB".to_string()))?;
+            let after = last_key
+                .ok_or_else(|| FsError::Protocol("re-drive without a last key".to_string()))?;
+            let resume = KeyRange {
+                begin: OwnedBound::Excluded(after.clone()),
+                end: range.end.clone(),
+            };
+            reply = self.send_redrive(
                 &idx.process,
-                DpRequest::GetSubsetNext {
-                    subset: subset.expect("re-drive without an SCB"),
-                    after: last_key.expect("re-drive without a last key"),
+                DpRequest::GetSubsetNext { subset, after },
+                &|| DpRequest::GetSubsetFirst {
+                    txn,
+                    file: idx.file,
+                    range: resume.clone(),
+                    predicate: predicate.cloned(),
+                    projection: None,
+                    mode: SubsetMode::Vsbb,
+                    lock,
                 },
             )?;
         }

@@ -17,12 +17,13 @@
 //! synchronous). Handlers may themselves send messages (e.g. a data-volume
 //! Disk Process sending audit to the audit-trail Disk Process).
 
-use nsql_sim::sync::RwLock;
-use nsql_sim::trace::{TraceEventKind, TraceMsgClass};
-use nsql_sim::{Micros, Sim};
+use nsql_sim::sync::{Mutex, RwLock};
+use nsql_sim::trace::{FaultAction, TraceEventKind, TraceMsgClass};
+use nsql_sim::{Micros, Sim, SimRng};
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A node (one Tandem system of up to 16 CPUs) in the network.
@@ -115,17 +116,40 @@ pub trait Server: Send + Sync {
 /// Errors from message sends.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BusError {
-    /// No process registered under that name.
+    /// No process was ever registered under that name.
     UnknownProcess(String),
+    /// The process was registered once but has since been deregistered
+    /// (stopped); distinct from a name that never existed.
+    Deregistered(String),
     /// The process's CPU has been failed by fault injection.
     CpuDown(String),
+    /// The request (or its reply) was lost and the virtual-time request
+    /// timer expired before an answer arrived.
+    Timeout(String),
+    /// The fault plane failed the exchange with a transport error.
+    Injected(String),
+}
+
+impl BusError {
+    /// Would a Tandem requester retry this send (possibly on the alternate
+    /// path)? Timeouts, down CPUs and transient transport errors are
+    /// retriable; addressing errors are not.
+    pub fn is_retriable(&self) -> bool {
+        matches!(
+            self,
+            BusError::CpuDown(_) | BusError::Timeout(_) | BusError::Injected(_)
+        )
+    }
 }
 
 impl fmt::Display for BusError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BusError::UnknownProcess(name) => write!(f, "no process named {name}"),
+            BusError::Deregistered(name) => write!(f, "process {name} has stopped"),
             BusError::CpuDown(name) => write!(f, "path down to {name} (CPU failed)"),
+            BusError::Timeout(name) => write!(f, "request to {name} timed out"),
+            BusError::Injected(name) => write!(f, "transport error on path to {name}"),
         }
     }
 }
@@ -137,11 +161,167 @@ struct Entry {
     server: Arc<dyn Server>,
 }
 
+// ----------------------------------------------------------------------
+// Fault plane
+// ----------------------------------------------------------------------
+
+/// Configuration of the deterministic fault plane.
+///
+/// Every field is drawn against a [`SimRng`] seeded with `seed`, so the
+/// same seed over the same workload produces the same fault schedule —
+/// byte-identical traces included. Probabilities apply independently per
+/// eligible exchange, in the order drop, duplicate, delay, error.
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// Seed for the fault schedule.
+    pub seed: u64,
+    /// Probability the request or its reply is lost (requester times out).
+    pub drop: f64,
+    /// Probability the request is delivered twice.
+    pub duplicate: f64,
+    /// Probability delivery is delayed by extra virtual time.
+    pub delay: f64,
+    /// Probability the exchange fails with a transport error.
+    pub error: f64,
+    /// Uniform range (inclusive lo, exclusive hi) of injected delay, µs.
+    pub delay_us: (u64, u64),
+    /// Virtual-time request timeout charged when a message is lost.
+    pub timeout_us: u64,
+    /// Message kinds eligible for injection. Defaults to the FS-DP
+    /// interface (requests and re-drives); TMF coordination and audit
+    /// traffic are left alone unless asked for.
+    pub kinds: Vec<MsgKind>,
+    /// Restrict injection to these target processes (None = all).
+    pub targets: Option<Vec<String>>,
+    /// Eligible-exchange sequence numbers at which the *target's CPU is
+    /// failed* (server crash mid-workload). Takeover must be arranged by
+    /// the path-switch hook (see [`Bus::set_path_switch`]).
+    pub down_at: Vec<u64>,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            seed: 1,
+            drop: 0.0,
+            duplicate: 0.0,
+            delay: 0.0,
+            error: 0.0,
+            delay_us: (200, 2_000),
+            timeout_us: 10_000,
+            kinds: vec![MsgKind::FsDp, MsgKind::Redrive],
+            targets: None,
+            down_at: Vec::new(),
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A config with the given seed and everything else default (no faults
+    /// until probabilities are raised).
+    pub fn with_seed(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            ..FaultConfig::default()
+        }
+    }
+}
+
+/// One decision of the fault plane for an eligible exchange.
+enum Fault {
+    /// Request lost before the server saw it.
+    DropRequest,
+    /// Server executed the request but the reply was lost.
+    DropReply,
+    /// Request delivered twice (the server sees it twice).
+    Duplicate,
+    /// Delivery delayed by this much extra virtual time.
+    Delay(u64),
+    /// Transport error.
+    Error,
+    /// Fail the target's CPU (one-shot crash from `down_at`).
+    DownTarget,
+}
+
+/// The seeded fault-injection plane: decides, per eligible exchange,
+/// whether and how to perturb it.
+struct FaultPlane {
+    cfg: FaultConfig,
+    rng: Mutex<SimRng>,
+    /// Count of eligible exchanges seen (the `down_at` sequence space).
+    seq: AtomicU64,
+}
+
+impl FaultPlane {
+    fn new(cfg: FaultConfig) -> Self {
+        let rng = SimRng::seed_from(cfg.seed);
+        FaultPlane {
+            cfg,
+            rng: Mutex::new(rng),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    fn eligible(&self, kind: MsgKind, to: &str) -> bool {
+        self.cfg.kinds.contains(&kind)
+            && self
+                .cfg
+                .targets
+                .as_ref()
+                .is_none_or(|ts| ts.iter().any(|t| t == to))
+    }
+
+    fn decide(&self, kind: MsgKind, to: &str) -> Option<Fault> {
+        if !self.eligible(kind, to) {
+            return None;
+        }
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        if self.cfg.down_at.contains(&seq) {
+            return Some(Fault::DownTarget);
+        }
+        let mut rng = self.rng.lock();
+        let u = rng.unit();
+        let mut edge = self.cfg.drop;
+        if u < edge {
+            return Some(if rng.chance(0.5) {
+                Fault::DropRequest
+            } else {
+                Fault::DropReply
+            });
+        }
+        edge += self.cfg.duplicate;
+        if u < edge {
+            return Some(Fault::Duplicate);
+        }
+        edge += self.cfg.delay;
+        if u < edge {
+            let (lo, hi) = self.cfg.delay_us;
+            return Some(Fault::Delay(lo + rng.below((hi.saturating_sub(lo)).max(1))));
+        }
+        edge += self.cfg.error;
+        if u < edge {
+            return Some(Fault::Error);
+        }
+        None
+    }
+}
+
+/// Cluster-level hook invoked when a requester finds the path to a process
+/// down: perform a backup takeover and return true when a new primary has
+/// been registered (the requester then retries the same `$NAME`).
+pub type PathSwitchFn = dyn Fn(&str) -> bool + Send + Sync;
+
 /// The message system: process registry plus accounting.
 pub struct Bus {
     sim: Sim,
     processes: RwLock<HashMap<String, Entry>>,
     dead_cpus: RwLock<Vec<CpuId>>,
+    /// Names that were registered once and later deregistered.
+    stopped: RwLock<HashSet<String>>,
+    /// One relaxed load when faults are off (the zero-overhead gate).
+    faults_on: AtomicBool,
+    fault: RwLock<Option<FaultPlane>>,
+    path_switch: RwLock<Option<Arc<PathSwitchFn>>>,
 }
 
 impl Bus {
@@ -151,6 +331,10 @@ impl Bus {
             sim,
             processes: RwLock::new(HashMap::new()),
             dead_cpus: RwLock::new(Vec::new()),
+            stopped: RwLock::new(HashSet::new()),
+            faults_on: AtomicBool::new(false),
+            fault: RwLock::new(None),
+            path_switch: RwLock::new(None),
         })
     }
 
@@ -161,14 +345,51 @@ impl Bus {
 
     /// Register (or replace) a named process on a CPU.
     pub fn register(&self, name: impl Into<String>, cpu: CpuId, server: Arc<dyn Server>) {
-        self.processes
-            .write()
-            .insert(name.into(), Entry { cpu, server });
+        let name = name.into();
+        self.stopped.write().remove(&name);
+        self.processes.write().insert(name, Entry { cpu, server });
     }
 
-    /// Remove a process registration.
+    /// Remove a process registration. Subsequent sends to the name return
+    /// [`BusError::Deregistered`] (not [`BusError::UnknownProcess`]); a
+    /// later [`Bus::register`] under the same name works normally.
     pub fn deregister(&self, name: &str) {
-        self.processes.write().remove(name);
+        if self.processes.write().remove(name).is_some() {
+            self.stopped.write().insert(name.to_string());
+        }
+    }
+
+    /// Arm the fault plane. Exchanges matching the config's kind/target
+    /// filters may be dropped, duplicated, delayed or errored from now on.
+    pub fn enable_faults(&self, cfg: FaultConfig) {
+        *self.fault.write() = Some(FaultPlane::new(cfg));
+        self.faults_on.store(true, Ordering::Relaxed);
+    }
+
+    /// Disarm the fault plane (sends behave normally again).
+    pub fn disable_faults(&self) {
+        self.faults_on.store(false, Ordering::Relaxed);
+        *self.fault.write() = None;
+    }
+
+    /// Is the fault plane currently armed?
+    pub fn faults_enabled(&self) -> bool {
+        self.faults_on.load(Ordering::Relaxed)
+    }
+
+    /// Install the cluster's backup-takeover hook (see [`PathSwitchFn`]).
+    pub fn set_path_switch(&self, f: Arc<PathSwitchFn>) {
+        *self.path_switch.write() = Some(f);
+    }
+
+    /// Ask the cluster to re-resolve the primary for `name` (backup
+    /// takeover). Returns true when a new primary is available.
+    pub fn try_path_switch(&self, name: &str) -> bool {
+        let hook = self.path_switch.read().clone();
+        match hook {
+            Some(f) => f(name),
+            None => false,
+        }
     }
 
     /// The CPU a process currently runs on.
@@ -220,12 +441,54 @@ impl Bus {
         payload: Box<dyn Any + Send>,
         label: &str,
     ) -> Result<Response, BusError> {
+        self.request_inner(from, to, kind, req_size, payload, None, label)
+    }
+
+    /// [`Bus::request_labeled`] with a payload *factory*, so the fault plane
+    /// can deliver true duplicates (two handler executions of the same
+    /// request). The File System uses this for every FS-DP request; callers
+    /// whose payloads cannot be re-materialized use [`Bus::request`] and
+    /// never see duplicate delivery.
+    pub fn request_replayable(
+        &self,
+        from: CpuId,
+        to: &str,
+        kind: MsgKind,
+        req_size: usize,
+        make_payload: &dyn Fn() -> Box<dyn Any + Send>,
+        label: &str,
+    ) -> Result<Response, BusError> {
+        self.request_inner(
+            from,
+            to,
+            kind,
+            req_size,
+            make_payload(),
+            Some(make_payload),
+            label,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn request_inner(
+        &self,
+        from: CpuId,
+        to: &str,
+        kind: MsgKind,
+        req_size: usize,
+        payload: Box<dyn Any + Send>,
+        replay: Option<&dyn Fn() -> Box<dyn Any + Send>>,
+        label: &str,
+    ) -> Result<Response, BusError> {
         let (cpu, server) = {
             let procs = self.processes.read();
-            let entry = procs
-                .get(to)
-                .ok_or_else(|| BusError::UnknownProcess(to.to_string()))?;
-            (entry.cpu, Arc::clone(&entry.server))
+            match procs.get(to) {
+                Some(entry) => (entry.cpu, Arc::clone(&entry.server)),
+                None if self.stopped.read().contains(to) => {
+                    return Err(BusError::Deregistered(to.to_string()))
+                }
+                None => return Err(BusError::UnknownProcess(to.to_string())),
+            }
         };
         if self.cpu_is_down(cpu) {
             return Err(BusError::CpuDown(to.to_string()));
@@ -234,6 +497,32 @@ impl Bus {
             return Err(BusError::CpuDown(format!("requester cpu {from}")));
         }
 
+        if self.faults_on.load(Ordering::Relaxed) {
+            let fault = self.fault.read().as_ref().and_then(|p| p.decide(kind, to));
+            if let Some(fault) = fault {
+                return self.apply_fault(
+                    fault, from, to, cpu, kind, req_size, payload, replay, label, server,
+                );
+            }
+        }
+
+        self.deliver(from, to, cpu, kind, req_size, payload, label, server)
+    }
+
+    /// The unperturbed exchange: accounting, in-line handling, tracing,
+    /// clock advance.
+    #[allow(clippy::too_many_arguments)]
+    fn deliver(
+        &self,
+        from: CpuId,
+        to: &str,
+        cpu: CpuId,
+        kind: MsgKind,
+        req_size: usize,
+        payload: Box<dyn Any + Send>,
+        label: &str,
+        server: Arc<dyn Server>,
+    ) -> Result<Response, BusError> {
         let m = &self.sim.metrics;
         m.msgs_total.inc();
         let remote = from.node != cpu.node;
@@ -275,6 +564,116 @@ impl Bus {
             .clock
             .advance(self.sim.cost.msg_cost(remote, bytes));
         Ok(response)
+    }
+
+    /// Execute one fault decision. Dropped messages still account for the
+    /// request on the wire and charge the requester's virtual-time timeout;
+    /// a dropped *reply* executes the server's side effects first (that is
+    /// what the sync-ID duplicate-suppression cache exists for).
+    #[allow(clippy::too_many_arguments)]
+    fn apply_fault(
+        &self,
+        fault: Fault,
+        from: CpuId,
+        to: &str,
+        cpu: CpuId,
+        kind: MsgKind,
+        req_size: usize,
+        payload: Box<dyn Any + Send>,
+        replay: Option<&dyn Fn() -> Box<dyn Any + Send>>,
+        label: &str,
+        server: Arc<dyn Server>,
+    ) -> Result<Response, BusError> {
+        let m = &self.sim.metrics;
+        let timeout = self
+            .fault
+            .read()
+            .as_ref()
+            .map_or(10_000, |p| p.cfg.timeout_us);
+        let emit_fault = |action: FaultAction| {
+            m.faults_injected.inc();
+            self.sim.trace_emit(|| TraceEventKind::FaultInject {
+                action,
+                label: label.to_string(),
+                to: to.to_string(),
+            });
+        };
+        match fault {
+            Fault::DownTarget => {
+                emit_fault(FaultAction::Crash);
+                self.fail_cpu(cpu);
+                Err(BusError::CpuDown(to.to_string()))
+            }
+            Fault::DropRequest => {
+                emit_fault(FaultAction::Drop);
+                self.account_lost_request(from, cpu, kind, req_size);
+                m.msgs_timed_out.inc();
+                self.sim.clock.advance(timeout);
+                Err(BusError::Timeout(to.to_string()))
+            }
+            Fault::DropReply => {
+                emit_fault(FaultAction::Drop);
+                self.account_lost_request(from, cpu, kind, req_size);
+                // The server executed the request; only the answer is lost.
+                let _ = server.handle(payload);
+                m.msgs_timed_out.inc();
+                self.sim.clock.advance(timeout);
+                Err(BusError::Timeout(to.to_string()))
+            }
+            Fault::Duplicate => {
+                emit_fault(FaultAction::Duplicate);
+                // First delivery's reply is superseded by the second's; the
+                // server must suppress the duplicate itself (sync IDs).
+                // Non-replayable payloads degrade to a single delivery.
+                if let Some(make) = replay {
+                    let _ = self.deliver(
+                        from,
+                        to,
+                        cpu,
+                        kind,
+                        req_size,
+                        make(),
+                        label,
+                        Arc::clone(&server),
+                    )?;
+                }
+                self.deliver(from, to, cpu, kind, req_size, payload, label, server)
+            }
+            Fault::Delay(us) => {
+                emit_fault(FaultAction::Delay);
+                self.sim.clock.advance(us);
+                self.deliver(from, to, cpu, kind, req_size, payload, label, server)
+            }
+            Fault::Error => {
+                emit_fault(FaultAction::Error);
+                self.account_lost_request(from, cpu, kind, req_size);
+                Err(BusError::Injected(to.to_string()))
+            }
+        }
+    }
+
+    /// Account a request that went on the wire but produced no reply.
+    fn account_lost_request(&self, from: CpuId, cpu: CpuId, kind: MsgKind, req_size: usize) {
+        let m = &self.sim.metrics;
+        m.msgs_total.inc();
+        let remote = from.node != cpu.node;
+        if remote {
+            m.msgs_remote.inc();
+        }
+        match kind {
+            MsgKind::FsDp => m.msgs_fs_dp.inc(),
+            MsgKind::Redrive => {
+                m.msgs_fs_dp.inc();
+                m.msgs_redrive.inc();
+            }
+            MsgKind::Audit => m.msgs_audit.inc(),
+            MsgKind::Checkpoint => m.msgs_checkpoint.inc(),
+            MsgKind::Other => {}
+        }
+        m.msg_bytes_total.add(req_size as u64);
+        self.sim
+            .clock
+            .advance(self.sim.cost.msg_cost(remote, req_size));
     }
 
     /// Cost (without sending) of an exchange to `to` carrying `bytes` — used
@@ -424,5 +823,184 @@ mod tests {
         let s = sim.metrics.snapshot();
         assert_eq!(s.msgs_total, 2);
         assert_eq!(s.msgs_audit, 1);
+    }
+
+    /// Server that counts how many times it ran (duplicate-delivery probe).
+    struct Counting(AtomicU64);
+    impl Server for Counting {
+        fn handle(&self, _request: Box<dyn Any + Send>) -> Response {
+            self.0.fetch_add(1, Ordering::Relaxed);
+            Response::new(0u64, 8)
+        }
+    }
+
+    #[test]
+    fn deregistered_is_distinct_from_unknown() {
+        let (_sim, bus) = setup();
+        let from = CpuId::new(0, 0);
+        bus.register("$DATA", CpuId::new(0, 1), Arc::new(Echo));
+        bus.deregister("$DATA");
+        let err = bus
+            .request(from, "$DATA", MsgKind::FsDp, 0, Box::new(0u64))
+            .unwrap_err();
+        assert_eq!(err, BusError::Deregistered("$DATA".into()));
+        assert!(!err.is_retriable());
+        // A name that never existed stays UnknownProcess.
+        let err = bus
+            .request(from, "$NOPE", MsgKind::FsDp, 0, Box::new(0u64))
+            .unwrap_err();
+        assert_eq!(err, BusError::UnknownProcess("$NOPE".into()));
+        // Deregistering an unknown name must not poison the registry.
+        bus.deregister("$NOPE");
+        let err = bus
+            .request(from, "$NOPE", MsgKind::FsDp, 0, Box::new(0u64))
+            .unwrap_err();
+        assert_eq!(err, BusError::UnknownProcess("$NOPE".into()));
+        // Re-registering the stopped name clears the tombstone.
+        bus.register("$DATA", CpuId::new(0, 2), Arc::new(Echo));
+        assert!(bus
+            .request(from, "$DATA", MsgKind::FsDp, 0, Box::new(1u64))
+            .is_ok());
+    }
+
+    #[test]
+    fn dropped_messages_time_out_with_virtual_time_charge() {
+        let (sim, bus) = setup();
+        bus.register("$DATA", CpuId::new(0, 1), Arc::new(Echo));
+        let cfg = FaultConfig {
+            drop: 1.0,
+            timeout_us: 7_500,
+            ..FaultConfig::with_seed(42)
+        };
+        bus.enable_faults(cfg);
+        let t0 = sim.now();
+        let err = bus
+            .request(CpuId::new(0, 0), "$DATA", MsgKind::FsDp, 16, Box::new(1u64))
+            .unwrap_err();
+        assert_eq!(err, BusError::Timeout("$DATA".into()));
+        assert!(err.is_retriable());
+        // The lost request went on the wire and the requester waited out
+        // its timer: at least timeout_us of virtual time passed.
+        assert!(sim.now() - t0 >= 7_500);
+        let s = sim.metrics.snapshot();
+        assert_eq!(s.faults_injected, 1);
+        assert_eq!(s.msgs_timed_out, 1);
+        assert_eq!(s.msgs_fs_dp, 1);
+    }
+
+    #[test]
+    fn fault_schedule_is_deterministic_per_seed() {
+        let run = |seed: u64| -> Vec<bool> {
+            let (_sim, bus) = setup();
+            bus.register("$DATA", CpuId::new(0, 1), Arc::new(Echo));
+            bus.enable_faults(FaultConfig {
+                drop: 0.3,
+                error: 0.2,
+                ..FaultConfig::with_seed(seed)
+            });
+            (0..64)
+                .map(|_| {
+                    bus.request(CpuId::new(0, 0), "$DATA", MsgKind::FsDp, 8, Box::new(1u64))
+                        .is_ok()
+                })
+                .collect()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds should differ");
+    }
+
+    #[test]
+    fn duplicate_delivery_runs_replayable_handler_twice() {
+        let (_sim, bus) = setup();
+        let counter = Arc::new(Counting(AtomicU64::new(0)));
+        bus.register("$DATA", CpuId::new(0, 1), Arc::clone(&counter) as _);
+        bus.enable_faults(FaultConfig {
+            duplicate: 1.0,
+            ..FaultConfig::with_seed(3)
+        });
+        let make = || -> Box<dyn Any + Send> { Box::new(9u64) };
+        bus.request_replayable(CpuId::new(0, 0), "$DATA", MsgKind::FsDp, 8, &make, "dup")
+            .unwrap();
+        assert_eq!(counter.0.load(Ordering::Relaxed), 2);
+        // Non-replayable payloads degrade to a single delivery.
+        bus.request(CpuId::new(0, 0), "$DATA", MsgKind::FsDp, 8, Box::new(9u64))
+            .unwrap();
+        assert_eq!(counter.0.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn fault_kind_filter_spares_other_traffic() {
+        let (_sim, bus) = setup();
+        bus.register("$DATA", CpuId::new(0, 1), Arc::new(Echo));
+        bus.enable_faults(FaultConfig {
+            error: 1.0,
+            ..FaultConfig::with_seed(1)
+        });
+        // Default kinds: FS-DP and re-drive only.
+        let err = bus
+            .request(CpuId::new(0, 0), "$DATA", MsgKind::FsDp, 8, Box::new(1u64))
+            .unwrap_err();
+        assert_eq!(err, BusError::Injected("$DATA".into()));
+        assert!(bus
+            .request(CpuId::new(0, 0), "$DATA", MsgKind::Other, 8, Box::new(1u64))
+            .is_ok());
+        assert!(bus
+            .request(CpuId::new(0, 0), "$DATA", MsgKind::Audit, 8, Box::new(1u64))
+            .is_ok());
+    }
+
+    #[test]
+    fn down_at_fails_the_target_cpu_once() {
+        let (_sim, bus) = setup();
+        let primary = CpuId::new(0, 1);
+        bus.register("$DATA", primary, Arc::new(Echo));
+        bus.enable_faults(FaultConfig {
+            down_at: vec![1],
+            ..FaultConfig::with_seed(1)
+        });
+        let from = CpuId::new(0, 0);
+        assert!(bus
+            .request(from, "$DATA", MsgKind::FsDp, 8, Box::new(1u64))
+            .is_ok());
+        let err = bus
+            .request(from, "$DATA", MsgKind::FsDp, 8, Box::new(1u64))
+            .unwrap_err();
+        assert_eq!(err, BusError::CpuDown("$DATA".into()));
+        assert!(bus.cpu_is_down(primary));
+        // Takeover (re-register elsewhere) restores service.
+        bus.register("$DATA", CpuId::new(0, 2), Arc::new(Echo));
+        assert!(bus
+            .request(from, "$DATA", MsgKind::FsDp, 8, Box::new(1u64))
+            .is_ok());
+    }
+
+    #[test]
+    fn disabled_fault_plane_costs_nothing() {
+        let exercise = |bus: &Bus, sim: &Sim| -> (u64, u64) {
+            let t0 = sim.now();
+            for _ in 0..32 {
+                bus.request(CpuId::new(0, 0), "$DATA", MsgKind::FsDp, 64, Box::new(1u64))
+                    .unwrap();
+            }
+            (sim.now() - t0, sim.metrics.snapshot().msgs_total)
+        };
+        // Plane never armed.
+        let (sim_a, bus_a) = setup();
+        bus_a.register("$DATA", CpuId::new(0, 1), Arc::new(Echo));
+        let base = exercise(&bus_a, &sim_a);
+        // Plane armed with an aggressive config, then disarmed.
+        let (sim_b, bus_b) = setup();
+        bus_b.register("$DATA", CpuId::new(0, 1), Arc::new(Echo));
+        bus_b.enable_faults(FaultConfig {
+            drop: 0.5,
+            error: 0.5,
+            ..FaultConfig::with_seed(11)
+        });
+        assert!(bus_b.faults_enabled());
+        bus_b.disable_faults();
+        assert!(!bus_b.faults_enabled());
+        let after = exercise(&bus_b, &sim_b);
+        assert_eq!(base, after, "disabled plane must not perturb cost");
+        assert_eq!(sim_b.metrics.snapshot().faults_injected, 0);
     }
 }

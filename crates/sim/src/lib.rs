@@ -19,7 +19,7 @@ pub use cost::CostModel;
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use rng::SimRng;
 pub use trace::{
-    format_sequence, Histogram, Histograms, TraceEvent, TraceEventKind, TraceMsgClass,
+    format_sequence, FaultAction, Histogram, Histograms, TraceEvent, TraceEventKind, TraceMsgClass,
     TraceRecorder,
 };
 

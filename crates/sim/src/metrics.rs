@@ -164,6 +164,16 @@ metrics! {
     subset_control_blocks,
     /// Rows returned to the application.
     rows_returned,
+    /// Message faults injected by the fault plane (drop/dup/delay/error).
+    faults_injected,
+    /// Requests that surfaced a virtual-time timeout to the requester.
+    msgs_timed_out,
+    /// File System retries after a timeout or down path.
+    fs_retries,
+    /// Primary re-resolutions (backup takeover observed by a requester).
+    path_switches,
+    /// Duplicate requests suppressed by the Disk Process sync-ID cache.
+    dp_dup_suppressed,
 }
 
 impl MetricsSnapshot {

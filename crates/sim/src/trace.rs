@@ -123,6 +123,63 @@ pub enum TraceEventKind {
         /// The transaction.
         txn: u64,
     },
+    /// The fault plane perturbed a message exchange.
+    FaultInject {
+        /// What was injected.
+        action: FaultAction,
+        /// Request name when known (e.g. `GetSubsetNext`), else empty.
+        label: String,
+        /// Target process name.
+        to: String,
+    },
+    /// A requester retried a request after a timeout or down server.
+    Retry {
+        /// Request name being retried.
+        label: String,
+        /// Target process name.
+        to: String,
+        /// Retry attempt number (1 = first retry).
+        attempt: u32,
+        /// Virtual-time backoff charged before this attempt.
+        backoff_us: u64,
+    },
+    /// The file system re-resolved a volume's primary and rebuilt its
+    /// Subset Control Block, resuming a set operation mid-flight.
+    PathSwitch {
+        /// The volume whose primary was re-resolved.
+        to: String,
+        /// True when the re-drive resumed after the last confirmed key
+        /// (mid-scan); false when the statement restarted from the top.
+        resumed: bool,
+    },
+}
+
+/// The perturbation a [`TraceEventKind::FaultInject`] event records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// The message (or its reply) was lost; the requester saw a timeout.
+    Drop,
+    /// The request was delivered twice (duplicate suppression territory).
+    Duplicate,
+    /// Delivery was delayed by extra virtual time.
+    Delay,
+    /// The exchange was failed with an injected transport error.
+    Error,
+    /// The target's CPU was failed (server crash mid-request).
+    Crash,
+}
+
+impl FaultAction {
+    /// Short tag used by the sequence formatter.
+    pub fn tag(self) -> &'static str {
+        match self {
+            FaultAction::Drop => "drop",
+            FaultAction::Duplicate => "duplicate",
+            FaultAction::Delay => "delay",
+            FaultAction::Error => "error",
+            FaultAction::Crash => "crash",
+        }
+    }
 }
 
 /// One timestamped trace event.
@@ -487,6 +544,40 @@ pub fn format_sequence(events: &[TraceEvent]) -> String {
             }
             TraceEventKind::TxnAbort { txn } => {
                 let _ = writeln!(out, "[{:>8} µs] txn {txn} ABORT", e.at);
+            }
+            TraceEventKind::FaultInject { action, label, to } => {
+                let name = if label.is_empty() { "request" } else { label };
+                let _ = writeln!(
+                    out,
+                    "[{:>8} µs]      ✕ fault: {} {name} ──▶ {to}",
+                    e.at,
+                    action.tag(),
+                );
+            }
+            TraceEventKind::Retry {
+                label,
+                to,
+                attempt,
+                backoff_us,
+            } => {
+                let name = if label.is_empty() { "request" } else { label };
+                let _ = writeln!(
+                    out,
+                    "[{:>8} µs]      ↻ retry #{attempt}: {name} ──▶ {to} (backoff {backoff_us} µs)",
+                    e.at,
+                );
+            }
+            TraceEventKind::PathSwitch { to, resumed } => {
+                let _ = writeln!(
+                    out,
+                    "[{:>8} µs]      ⇄ path switch: {to} SCB rebuilt{}",
+                    e.at,
+                    if *resumed {
+                        ", resumed after last confirmed key"
+                    } else {
+                        ""
+                    },
+                );
             }
         }
     }

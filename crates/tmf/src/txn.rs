@@ -80,6 +80,9 @@ pub enum TxnError {
     ParticipantAborted(String),
     /// Message-system failure talking to a participant or the trail.
     Unreachable(String),
+    /// A participant holding the transaction's uncommitted writes crashed;
+    /// the transaction can only abort (TMF's CPU-failure rule).
+    Doomed(TxnId),
 }
 
 impl std::fmt::Display for TxnError {
@@ -88,6 +91,7 @@ impl std::fmt::Display for TxnError {
             TxnError::BadTxn(t) => write!(f, "transaction {t} is not active"),
             TxnError::ParticipantAborted(p) => write!(f, "participant {p} voted abort"),
             TxnError::Unreachable(p) => write!(f, "cannot reach {p}"),
+            TxnError::Doomed(t) => write!(f, "transaction {t} doomed by participant crash"),
         }
     }
 }
@@ -97,6 +101,9 @@ impl std::error::Error for TxnError {}
 struct TxnInfo {
     state: TxnState,
     participants: BTreeSet<String>,
+    /// Set when a participant crashed while holding this transaction's
+    /// uncommitted writes: commit must fail, only abort is possible.
+    doomed: bool,
 }
 
 /// The transaction manager (the TMF library side).
@@ -126,9 +133,27 @@ impl TxnManager {
             TxnInfo {
                 state: TxnState::Active,
                 participants: BTreeSet::new(),
+                doomed: false,
             },
         );
         id
+    }
+
+    /// Doom a transaction: a Disk Process crashed while holding its
+    /// uncommitted writes (they were lost with the process's volatile
+    /// state, and recovery undid anything on disk). A later commit attempt
+    /// is turned into an abort; explicit rollback proceeds normally.
+    pub fn doom(&self, txn: TxnId) {
+        if let Some(info) = self.txns.lock().get_mut(&txn) {
+            if info.state == TxnState::Active {
+                info.doomed = true;
+            }
+        }
+    }
+
+    /// Has a participant crash doomed this transaction?
+    pub fn is_doomed(&self, txn: TxnId) -> bool {
+        self.txns.lock().get(&txn).is_some_and(|i| i.doomed)
     }
 
     /// Record that `process` (a Disk Process name) did work for `txn`.
@@ -172,6 +197,19 @@ impl TxnManager {
     /// the commit's durability point.
     pub fn commit(&self, txn: TxnId, from: CpuId) -> Result<(), TxnError> {
         let participants = self.take_active(txn)?;
+
+        // A doomed transaction (participant crash while it held uncommitted
+        // writes) cannot commit: its effects were already rolled back by
+        // recovery. Turn the commit into an abort.
+        if self.is_doomed(txn) {
+            self.finish_participants(txn, &participants, false, from);
+            self.trail_abort(txn, from);
+            self.set_state(txn, TxnState::Aborted);
+            self.sim.metrics.txns_aborted.inc();
+            self.sim
+                .trace_emit(|| nsql_sim::trace::TraceEventKind::TxnAbort { txn: txn.0 });
+            return Err(TxnError::Doomed(txn));
+        }
 
         // Phase 1: prepare (flush audit) and collect votes.
         for p in &participants {

@@ -187,6 +187,49 @@ fn tracing_is_zero_cost_when_disabled_and_invisible_when_enabled() {
     assert_eq!(run(false), run(true));
 }
 
+/// Fault-plane events (drop / duplicate / delay / retry) appear in the
+/// trace, render in the sequence diagram, and are fully deterministic:
+/// identical seeds over identical workloads give byte-identical traces.
+#[test]
+fn fault_tracing_is_deterministic() {
+    use nonstop_sql::FaultConfig;
+    fn run(seed: u64) -> (String, u64, u64) {
+        let db = wisconsin_db(1_000);
+        db.sim.trace.enable_default();
+        db.enable_faults(FaultConfig {
+            drop: 0.15,
+            duplicate: 0.1,
+            delay: 0.1,
+            ..FaultConfig::with_seed(seed)
+        });
+        let mut s = db.session();
+        s.query("SELECT UNIQUE1 FROM WISC WHERE UNIQUE1 < 300")
+            .unwrap();
+        s.execute("UPDATE WISC SET UNIQUE1 = UNIQUE1 + 0 WHERE UNIQUE2 < 20")
+            .unwrap();
+        db.disable_faults();
+        let m = db.sim.metrics.snapshot();
+        (
+            format_sequence(&db.sim.trace.events()),
+            m.faults_injected,
+            m.fs_retries,
+        )
+    }
+    let (seq_a, faults_a, retries_a) = run(5);
+    let (seq_b, faults_b, retries_b) = run(5);
+    assert_eq!(seq_a, seq_b, "same seed must give byte-identical traces");
+    assert_eq!((faults_a, retries_a), (faults_b, retries_b));
+    assert!(faults_a > 0, "aggressive config must inject something");
+    assert!(retries_a > 0, "drops must surface as FS retries");
+    assert!(
+        seq_a.contains("fault:"),
+        "injections render in the sequence"
+    );
+    assert!(seq_a.contains("retry #"), "retries render in the sequence");
+    let (seq_c, ..) = run(6);
+    assert_ne!(seq_a, seq_c, "different seeds must differ");
+}
+
 /// The per-statement histograms fill in as statements run.
 #[test]
 fn histograms_observe_statements() {

@@ -1,6 +1,7 @@
 //! Crash-recovery and fault-tolerance scenarios across the whole stack.
 
-use nonstop_sql::{Cluster, ClusterBuilder};
+use nonstop_sql::sim::{format_sequence, TraceEventKind};
+use nonstop_sql::{Cluster, ClusterBuilder, DiskProcessConfig, FaultConfig};
 use nsql_records::Value;
 
 fn db_with_table() -> Cluster {
@@ -130,6 +131,106 @@ fn commit_is_durable_exactly_at_group_commit() {
         Value::LargeInt(1),
         "committed insert must be redone from the trail"
     );
+}
+
+#[test]
+fn takeover_mid_transaction_dooms_the_in_flight_txn() {
+    // TMF's CPU-failure rule: a transaction whose uncommitted writes died
+    // with a crashed Disk Process cannot commit — recovery already undid
+    // them. Commit turns into an abort; the database stays consistent and
+    // new work proceeds on the backup.
+    let db = ClusterBuilder::new()
+        .volume_with_backup("$DATA1", 0, 1, 0, 3)
+        .build();
+    let mut s = db.session();
+    s.execute("CREATE TABLE T (K INT NOT NULL, V INT NOT NULL, PRIMARY KEY (K))")
+        .unwrap();
+    s.execute("BEGIN WORK").unwrap();
+    for k in 0..20 {
+        s.execute(&format!("INSERT INTO T VALUES ({k}, {k})"))
+            .unwrap();
+    }
+    s.execute("COMMIT WORK").unwrap();
+
+    s.execute("BEGIN WORK").unwrap();
+    s.execute("UPDATE T SET V = -1 WHERE K = 5").unwrap();
+    db.takeover("$DATA1", 0, 3);
+    let err = s.execute("COMMIT WORK").unwrap_err();
+    assert!(
+        err.to_string().contains("doomed"),
+        "commit after mid-txn takeover must fail, got: {err}"
+    );
+
+    // The update never became visible and the volume serves new work.
+    let mut s2 = db.session();
+    let r = s2.query("SELECT V FROM T WHERE K = 5").unwrap();
+    assert_eq!(r.rows[0].0[0], Value::Int(5));
+    s2.execute("UPDATE T SET V = 77 WHERE K = 5").unwrap();
+    let r = s2.query("SELECT V FROM T WHERE K = 5").unwrap();
+    assert_eq!(r.rows[0].0[0], Value::Int(77));
+}
+
+#[test]
+fn takeover_mid_scan_completes_with_correct_rows() {
+    // A Disk Process CPU fails in the middle of a VSBB scan's re-drive
+    // chain. The File System retries, the path-switch hook brings the
+    // backup up, the rebuilt Subset Control Block resumes after the last
+    // confirmed key — and the SQL caller sees exactly the committed rows.
+    let db = ClusterBuilder::new()
+        .dp_config(DiskProcessConfig {
+            max_records_per_request: 10,
+            ..Default::default()
+        })
+        .volume_with_backup("$DATA1", 0, 1, 0, 3)
+        .build();
+    let mut s = db.session();
+    s.execute("CREATE TABLE T (K INT NOT NULL, V INT NOT NULL, PRIMARY KEY (K))")
+        .unwrap();
+    s.execute("BEGIN WORK").unwrap();
+    for k in 0..100 {
+        s.execute(&format!("INSERT INTO T VALUES ({k}, {k})"))
+            .unwrap();
+    }
+    s.execute("COMMIT WORK").unwrap();
+
+    db.sim.trace.enable_default();
+    let cursor = db.sim.trace.cursor();
+    // The 5th eligible FS-DP exchange (mid re-drive chain) crashes the
+    // primary's CPU.
+    db.enable_faults(FaultConfig {
+        down_at: vec![4],
+        ..FaultConfig::with_seed(1)
+    });
+    let r = s.query("SELECT K FROM T").unwrap();
+    db.disable_faults();
+
+    // Exactly the committed row set: every key once, in order.
+    assert_eq!(r.rows.len(), 100);
+    for (i, row) in r.rows.iter().enumerate() {
+        assert_eq!(row.0[0], Value::Int(i as i32));
+    }
+
+    // The trace records both halves of the switch: the bus-level takeover
+    // and the SCB rebuild that resumed the chain.
+    let events = db.sim.trace.since(cursor);
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(&e.kind, TraceEventKind::PathSwitch { resumed: false, .. })),
+        "trace must record the path switch"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(&e.kind, TraceEventKind::PathSwitch { resumed: true, .. })),
+        "trace must record the resumed re-drive"
+    );
+    let rendered = format_sequence(&events);
+    assert!(
+        rendered.contains("path switch"),
+        "renderer shows the switch"
+    );
+    assert!(db.snapshot().path_switches >= 1);
 }
 
 #[test]
