@@ -14,24 +14,25 @@
 //! * `blocked_insert`   — E10 (load interfaces)
 //! * `recovery`         — crash + volume recovery
 
+use nsql_bench::wall_clock;
 use nsql_core::{Cluster, ClusterBuilder};
 use nsql_dp::{ReadLock, SubsetMode};
 use nsql_records::{CmpOp, Expr, KeyRange, Value};
 use nsql_sim::SimRng;
 use nsql_workloads::{Bank, Wisconsin};
-use std::time::Instant;
 
 /// Time `iters` runs of `f` (after one warm-up) and print mean µs/iter.
+/// Wall-clock access goes through `nsql_bench::wall_clock`, the one
+/// lint-allowlisted site in the workspace.
 fn bench(group: &str, name: &str, iters: u32, mut f: impl FnMut()) {
     f();
-    let t0 = Instant::now();
+    let sw = wall_clock::start();
     for _ in 0..iters {
         f();
     }
-    let total = t0.elapsed();
     println!(
         "{group}/{name:<28} {:>10.1} µs/iter  ({iters} iters)",
-        total.as_secs_f64() * 1e6 / iters as f64
+        sw.elapsed_micros() / iters as f64
     );
 }
 

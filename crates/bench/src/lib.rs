@@ -8,6 +8,7 @@
 pub mod chaos;
 pub mod experiments;
 pub mod report;
+pub mod wall_clock;
 
 pub use chaos::run_chaos;
 pub use experiments::{run, run_json};

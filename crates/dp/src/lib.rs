@@ -327,7 +327,7 @@ impl DiskProcess {
     fn descriptor(&self, label: &FileLabel) -> Result<RecordDescriptor, DpError> {
         match &label.kind {
             FileKind::KeySequenced(desc) => Ok(desc.clone()),
-            _ => Err(DpError::WrongFileKind),
+            FileKind::Relative { .. } | FileKind::EntrySequenced => Err(DpError::WrongFileKind),
         }
     }
 
@@ -1240,7 +1240,7 @@ impl DiskProcess {
     fn relative_slot_size(&self, label: &FileLabel) -> Result<u32, DpError> {
         match &label.kind {
             FileKind::Relative { slot_size } => Ok(*slot_size),
-            _ => Err(DpError::WrongFileKind),
+            FileKind::KeySequenced(_) | FileKind::EntrySequenced => Err(DpError::WrongFileKind),
         }
     }
 

@@ -366,7 +366,8 @@ impl DpRequest {
         16 + match self {
             DpRequest::CreateFile { kind } => match kind {
                 FileKind::KeySequenced(desc) => desc.encode_bytes().len(),
-                _ => 8,
+                FileKind::Relative { .. } => 8,
+                FileKind::EntrySequenced => 8,
             },
             DpRequest::FlushCache => 0,
             DpRequest::Read { key, .. } => 8 + key.len(),

@@ -82,7 +82,8 @@ impl TestCluster {
         self.bus
             .request(self.client, "$DATA1", kind, size, Box::new(req))
             .expect("dp unreachable")
-            .expect::<DpReply>()
+            .downcast::<DpReply>()
+            .expect("dp reply type")
     }
 
     fn create_emp(&self) -> FileId {

@@ -325,7 +325,10 @@ impl FileSystem {
                 .request_replayable(self.cpu, to, kind, size, &make, label)
             {
                 Ok(resp) => {
-                    return match resp.expect::<DpReply>() {
+                    let reply = resp
+                        .downcast::<DpReply>()
+                        .map_err(|e| FsError::Protocol(e.to_string()))?;
+                    return match reply {
                         DpReply::Error(e) => Err(FsError::Dp(e)),
                         ok => Ok(ok),
                     };

@@ -684,7 +684,9 @@ impl<'a> BlockedInserter<'a> {
             .partitions
             .iter()
             .position(|p| p.range.contains(&key))
-            .expect("partition ranges must cover the key space");
+            .ok_or_else(|| {
+                FsError::Protocol("partition ranges do not cover the key space".to_string())
+            })?;
         self.buffers.entry(pi).or_default().push((key, record));
         for (ii, idx) in self.of.indexes.iter().enumerate() {
             let irow = idx.index_row(&self.of.desc, values);
@@ -790,12 +792,14 @@ impl<'a> CursorUpdater<'a> {
         }
     }
 
-    fn partition_index(&self, key: &[u8]) -> usize {
+    fn partition_index(&self, key: &[u8]) -> Result<usize, FsError> {
         self.of
             .partitions
             .iter()
             .position(|p| p.range.contains(key))
-            .expect("partition ranges must cover the key space")
+            .ok_or_else(|| {
+                FsError::Protocol("partition ranges do not cover the key space".to_string())
+            })
     }
 
     /// Buffer `UPDATE WHERE CURRENT`: the cursor's current row `old`
@@ -808,7 +812,7 @@ impl<'a> CursorUpdater<'a> {
             "WHERE CURRENT updates cannot change the primary key"
         );
         let record = encode_row(&self.of.desc, new).map_err(|e| FsError::BadRow(e.to_string()))?;
-        let pi = self.partition_index(&key);
+        let pi = self.partition_index(&key)?;
         self.updates.entry(pi).or_default().push((key, record));
         for (ii, idx) in self.of.indexes.iter().enumerate() {
             let old_irow = idx.index_row(&self.of.desc, old);
@@ -833,7 +837,7 @@ impl<'a> CursorUpdater<'a> {
     /// Buffer `DELETE WHERE CURRENT` of the cursor's current row.
     pub fn delete(&mut self, old: &[Value]) -> Result<(), FsError> {
         let key = encode_record_key(&self.of.desc, old);
-        let pi = self.partition_index(&key);
+        let pi = self.partition_index(&key)?;
         self.deletes.entry(pi).or_default().push(key);
         for (ii, idx) in self.of.indexes.iter().enumerate() {
             let irow = idx.index_row(&self.of.desc, old);

@@ -1,0 +1,340 @@
+//! A lightweight Rust tokenizer — just enough lexical fidelity for the
+//! rule engine.
+//!
+//! The linter must never be fooled by the word `panic` inside a comment, a
+//! string literal, or a doc example, so the lexer does real comment and
+//! string-literal scanning (nested block comments, raw strings with any
+//! number of `#`s, byte strings, char literals vs. lifetimes). It does
+//! *not* attempt full Rust grammar — the rules work on token patterns plus
+//! brace depth, which is exactly what this produces.
+
+/// What kind of lexeme a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including `_`).
+    Ident,
+    /// String literal (`"…"`, `r#"…"#`, `b"…"`); `text` holds the contents
+    /// without quotes or escapes processing.
+    Str,
+    /// Numeric literal.
+    Num,
+    /// A single punctuation character (`{`, `}`, `=`, `>`, `!`, …).
+    Punct,
+}
+
+/// One token with its source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Lexeme kind.
+    pub kind: TokKind,
+    /// Token text (for `Str`, the unquoted raw contents).
+    pub text: String,
+    /// 1-based line number of the token's first character.
+    pub line: usize,
+}
+
+impl Tok {
+    /// Is this an identifier equal to `s`?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Is this a punctuation token equal to `c`?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// Tokenize Rust source. Comments and whitespace are discarded; everything
+/// else becomes a [`Tok`]. The lexer is resilient: malformed input degrades
+/// to punctuation tokens rather than failing.
+pub fn tokenize(src: &str) -> Vec<Tok> {
+    let b: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let n = b.len();
+    while i < n {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && b[i + 1] == '/' => {
+                while i < n && b[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < n && b[i + 1] == '*' => {
+                // Nested block comments, per Rust.
+                let mut depth = 1;
+                i += 2;
+                while i < n && depth > 0 {
+                    if b[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                let start_line = line;
+                let (s, ni, nl) = scan_string(&b, i + 1, line);
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: s,
+                    line: start_line,
+                });
+                i = ni;
+                line = nl;
+            }
+            'r' | 'b' if is_raw_or_byte_string(&b, i) => {
+                let start_line = line;
+                let (s, ni, nl) = scan_prefixed_string(&b, i, line);
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: s,
+                    line: start_line,
+                });
+                i = ni;
+                line = nl;
+            }
+            '\'' => {
+                // Lifetime (`'a`) vs char literal (`'x'`, `'\n'`).
+                if is_lifetime(&b, i) {
+                    let mut j = i + 1;
+                    while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                        j += 1;
+                    }
+                    i = j; // lifetimes carry no rule signal; drop them
+                } else {
+                    let (ni, nl) = scan_char_literal(&b, i + 1, line);
+                    i = ni;
+                    line = nl;
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: b[i..j].iter().collect(),
+                    line,
+                });
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                while j < n && (b[j].is_alphanumeric() || b[j] == '_' || b[j] == '.') {
+                    // Stop at `..` (range) — only consume a dot followed by a digit.
+                    if b[j] == '.' && !(j + 1 < n && b[j + 1].is_ascii_digit()) {
+                        break;
+                    }
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Num,
+                    text: b[i..j].iter().collect(),
+                    line,
+                });
+                i = j;
+            }
+            c => {
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: c.to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// Scan a normal `"…"` body starting just after the opening quote.
+fn scan_string(b: &[char], mut i: usize, mut line: usize) -> (String, usize, usize) {
+    let mut s = String::new();
+    while i < b.len() {
+        match b[i] {
+            '\\' if i + 1 < b.len() => {
+                if b[i + 1] == '\n' {
+                    line += 1;
+                }
+                s.push(b[i + 1]);
+                i += 2;
+            }
+            '"' => return (s, i + 1, line),
+            '\n' => {
+                line += 1;
+                s.push('\n');
+                i += 1;
+            }
+            c => {
+                s.push(c);
+                i += 1;
+            }
+        }
+    }
+    (s, i, line)
+}
+
+/// Does `r`/`b` at `i` start a raw/byte string (`r"`, `r#`, `b"`, `br"`, `rb"`)?
+fn is_raw_or_byte_string(b: &[char], i: usize) -> bool {
+    let mut j = i;
+    // Up to two prefix letters (`br`, `rb`), then `#`* then `"`.
+    for _ in 0..2 {
+        if j < b.len() && (b[j] == 'r' || b[j] == 'b') {
+            j += 1;
+        }
+    }
+    while j < b.len() && b[j] == '#' {
+        j += 1;
+    }
+    j > i && j < b.len() && b[j] == '"'
+}
+
+/// Scan a raw or byte string starting at its prefix letter.
+fn scan_prefixed_string(b: &[char], mut i: usize, mut line: usize) -> (String, usize, usize) {
+    let mut raw = false;
+    while i < b.len() && (b[i] == 'r' || b[i] == 'b') {
+        raw |= b[i] == 'r';
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    while i < b.len() && b[i] == '#' {
+        hashes += 1;
+        i += 1;
+    }
+    i += 1; // opening quote
+    if !raw {
+        return scan_string(b, i, line);
+    }
+    let mut s = String::new();
+    while i < b.len() {
+        if b[i] == '"' {
+            // Closed only when followed by `hashes` `#`s.
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while j < b.len() && b[j] == '#' && seen < hashes {
+                j += 1;
+                seen += 1;
+            }
+            if seen == hashes {
+                return (s, j, line);
+            }
+        }
+        if b[i] == '\n' {
+            line += 1;
+        }
+        s.push(b[i]);
+        i += 1;
+    }
+    (s, i, line)
+}
+
+/// A `'` starts a lifetime when followed by ident chars that are *not*
+/// closed by another `'` (i.e. `'a` / `'static`, not `'a'`).
+fn is_lifetime(b: &[char], i: usize) -> bool {
+    let n = b.len();
+    if i + 1 >= n {
+        return false;
+    }
+    let c1 = b[i + 1];
+    if !(c1.is_alphabetic() || c1 == '_') {
+        return false; // '\n', '0', … — char literal or stray quote
+    }
+    // `'x'` is a char literal; `'xy` or `'x,` is a lifetime.
+    !(i + 2 < n && b[i + 2] == '\'')
+}
+
+/// Scan a char literal body starting just after the opening quote.
+fn scan_char_literal(b: &[char], mut i: usize, mut line: usize) -> (usize, usize) {
+    while i < b.len() {
+        match b[i] {
+            '\\' if i + 1 < b.len() => i += 2,
+            '\'' => return (i + 1, line),
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (i, line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        tokenize(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_not_idents() {
+        let src = r##"
+            // Instant::now in a comment
+            /* panic! in /* nested */ block */
+            let s = "Instant::now()";
+            let r = r#"panic!("x")"#;
+            let c = 'p';
+            fn f<'a>(x: &'a str) {}
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(!ids.contains(&"panic".to_string()));
+        assert!(ids.contains(&"f".to_string()));
+    }
+
+    #[test]
+    fn string_tokens_carry_contents() {
+        let toks = tokenize(r#"let l = "GET^FIRST^VSBB";"#);
+        let s: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].text, "GET^FIRST^VSBB");
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let toks = tokenize("a\nb\n\nc");
+        let lines: Vec<_> = toks.iter().map(|t| (t.text.clone(), t.line)).collect();
+        assert_eq!(
+            lines,
+            vec![("a".into(), 1), ("b".into(), 2), ("c".into(), 4usize)]
+        );
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal() {
+        let ids = idents("fn g<'long>(c: char) { let a = 'x'; let b = '\\n'; }");
+        assert!(!ids.contains(&"long".to_string()));
+        // `'x'` is a char literal, not the lifetime `'x` + stray quote.
+        assert!(!ids.contains(&"x".to_string()));
+        assert!(ids.contains(&"a".to_string()));
+    }
+
+    #[test]
+    fn raw_string_with_hashes_and_quotes() {
+        let toks = tokenize(r###"let s = r##"quote " and "# inside"##;"###);
+        let s: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(s.len(), 1);
+        assert!(s[0].text.contains("quote \" and \"# inside"));
+    }
+}

@@ -1,0 +1,146 @@
+#![warn(missing_docs)]
+//! `nsql-lint` — the repo's dependency-free invariant linter and bounded
+//! FS-DP protocol model checker.
+//!
+//! The paper's argument rests on protocol discipline between the File
+//! System and the Disk Process. Three repo-wide invariants protect it:
+//! virtual-time-only determinism, typed errors on the FS-DP hot path, and
+//! exhaustive handling of protocol variants. `nsql-lint check` enforces
+//! them statically over every crate (see [`rules`]); `nsql-lint
+//! check-protocol` exhaustively model-checks the sync-ID / reply-cache /
+//! backoff / takeover protocol (see [`model`]). Ratchet ceilings live in
+//! the checked-in `lint.toml` ([`config`]) so panic counts can only go
+//! down.
+//!
+//! Everything here is plain `std` — the linter must run in the offline CI
+//! container that builds the rest of the workspace.
+
+pub mod config;
+pub mod lexer;
+pub mod model;
+pub mod rules;
+
+use config::Config;
+use rules::{Diagnostic, FileReport};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Directories never scanned: build output, VCS, and the linter's own
+/// deliberately-violating fixture tree.
+const SKIP_DIRS: [&str; 4] = ["target", ".git", "lint_fixtures", "node_modules"];
+
+/// Result of a full workspace scan.
+#[derive(Debug, Default)]
+pub struct WorkspaceReport {
+    /// All rule violations, sorted by file and line.
+    pub diags: Vec<Diagnostic>,
+    /// Non-test `unwrap/expect/panic!` count per file.
+    pub file_counts: BTreeMap<String, u64>,
+    /// Summed counts per ratchet bucket.
+    pub bucket_counts: BTreeMap<String, u64>,
+    /// Files scanned.
+    pub files: usize,
+}
+
+/// Collect every `.rs` file under `root`, workspace-relative, sorted.
+pub fn collect_rs_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Lint the whole workspace rooted at `root` against `cfg`.
+pub fn check_workspace(root: &Path, cfg: &Config) -> std::io::Result<WorkspaceReport> {
+    let mut report = WorkspaceReport::default();
+    for path in collect_rs_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&path)?;
+        let FileReport { diags, panic_count } = rules::lint_source(cfg, &rel, &src);
+        report.diags.extend(diags);
+        if !rules::is_test_path(&rel) {
+            report.file_counts.insert(rel, panic_count);
+        }
+        report.files += 1;
+    }
+    let (ratchet_diags, buckets) = rules::enforce_ratchet(cfg, &report.file_counts);
+    report.diags.extend(ratchet_diags);
+    report.bucket_counts = buckets;
+    report
+        .diags
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(report)
+}
+
+/// For zero-ratchet buckets that are over their ceiling, list each
+/// offending site with file:line so the diagnostic is actionable.
+pub fn zero_ratchet_sites(root: &Path, cfg: &Config, report: &WorkspaceReport) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (bucket, &ceiling) in &cfg.ratchet {
+        let Some(&actual) = report.bucket_counts.get(bucket) else {
+            continue;
+        };
+        if actual <= ceiling {
+            continue;
+        }
+        for (file, &n) in &report.file_counts {
+            if n == 0 || !(file == bucket || file.starts_with(&format!("{bucket}/"))) {
+                continue;
+            }
+            if let Ok(src) = std::fs::read_to_string(root.join(file)) {
+                for (line, what) in rules::panic_sites(&src) {
+                    out.push(Diagnostic {
+                        rule: "panic-ratchet",
+                        file: file.clone(),
+                        line,
+                        msg: format!("{what} counted against over-ceiling bucket `{bucket}`"),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walker_skips_fixture_and_target_dirs() {
+        let dir = std::env::temp_dir().join(format!("nsql_lint_walk_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("src")).unwrap();
+        std::fs::create_dir_all(dir.join("target/debug")).unwrap();
+        std::fs::create_dir_all(dir.join("tests/lint_fixtures")).unwrap();
+        std::fs::write(dir.join("src/lib.rs"), "fn a() {}").unwrap();
+        std::fs::write(dir.join("target/debug/gen.rs"), "fn b() {}").unwrap();
+        std::fs::write(dir.join("tests/lint_fixtures/bad.rs"), "fn c() {}").unwrap();
+        let files = collect_rs_files(&dir).unwrap();
+        let rels: Vec<String> = files
+            .iter()
+            .map(|p| p.strip_prefix(&dir).unwrap().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(rels, vec!["src/lib.rs"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,225 @@
+//! The `nsql-lint` command-line driver.
+//!
+//! ```text
+//! nsql-lint check [--root DIR] [--config FILE] [--update-ratchet]
+//! nsql-lint check-protocol [--keys N] [--depth N] [--cache N] [--retries N]
+//! ```
+//!
+//! `check` lints every `.rs` file in the workspace against `lint.toml` and
+//! exits non-zero on any violation. `check-protocol` exhaustively explores
+//! fault schedules against the FS-DP protocol model and exits non-zero if
+//! any invariant breaks.
+
+use nsql_lint::config::Config;
+use nsql_lint::model::{self, ModelConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("check") => cmd_check(&args[1..]),
+        Some("check-protocol") => cmd_check_protocol(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            eprintln!("usage: nsql-lint <check|check-protocol> [options]");
+            eprintln!("  check           lint the workspace against lint.toml");
+            eprintln!("    --root DIR          workspace root (default: .)");
+            eprintln!("    --config FILE       config path (default: <root>/lint.toml)");
+            eprintln!("    --update-ratchet    rewrite [ratchet] with current counts");
+            eprintln!("  check-protocol  model-check the FS-DP fault-tolerance protocol");
+            eprintln!("    --keys N            rows per scan/update model (default 6)");
+            eprintln!("    --depth N           max injected faults per schedule (default 3)");
+            eprintln!("    --cache N           reply-cache entries per opener (default 8)");
+            eprintln!("    --retries N         send retries before giving up (default 6)");
+            return if args.is_empty() {
+                ExitCode::from(2)
+            } else {
+                ExitCode::SUCCESS
+            };
+        }
+        Some(other) => Err(format!("unknown subcommand `{other}` (try --help)")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("nsql-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Parse `--flag value` pairs plus boolean flags from `args`.
+fn parse_opts(
+    args: &[String],
+    valued: &[&str],
+    boolean: &[&str],
+) -> Result<std::collections::BTreeMap<String, String>, String> {
+    let mut out = std::collections::BTreeMap::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if boolean.contains(&arg.as_str()) {
+            out.insert(arg.clone(), "true".to_string());
+        } else if valued.contains(&arg.as_str()) {
+            let v = it.next().ok_or_else(|| format!("{arg} requires a value"))?;
+            out.insert(arg.clone(), v.clone());
+        } else {
+            return Err(format!("unknown option `{arg}`"));
+        }
+    }
+    Ok(out)
+}
+
+fn parse_num(
+    opts: &std::collections::BTreeMap<String, String>,
+    key: &str,
+    default: u64,
+) -> Result<u64, String> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("{key} expects an integer, got `{v}`")),
+    }
+}
+
+fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
+    let opts = parse_opts(args, &["--root", "--config"], &["--update-ratchet"])?;
+    let root = PathBuf::from(opts.get("--root").map(String::as_str).unwrap_or("."));
+    let config_path = opts
+        .get("--config")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| root.join("lint.toml"));
+    let text = std::fs::read_to_string(&config_path)
+        .map_err(|e| format!("cannot read {}: {e}", config_path.display()))?;
+    let cfg = Config::parse(&text).map_err(|e| e.to_string())?;
+    let report = nsql_lint::check_workspace(&root, &cfg)
+        .map_err(|e| format!("scanning {}: {e}", root.display()))?;
+
+    if opts.contains_key("--update-ratchet") {
+        let mut buckets = report.bucket_counts.clone();
+        // Keep hard-zero buckets pinned at zero even if currently clean —
+        // the ratchet records policy, not just observation.
+        for (k, &ceiling) in &cfg.ratchet {
+            if ceiling == 0 {
+                buckets.insert(k.clone(), 0);
+            }
+        }
+        let new_section = Config::ratchet_lines(&buckets);
+        let updated = replace_ratchet_section(&text, &new_section)?;
+        std::fs::write(&config_path, updated)
+            .map_err(|e| format!("cannot write {}: {e}", config_path.display()))?;
+        println!(
+            "nsql-lint: [ratchet] rewritten with {} buckets in {}",
+            buckets.len(),
+            config_path.display()
+        );
+    }
+
+    let mut diags = report.diags.clone();
+    diags.extend(nsql_lint::zero_ratchet_sites(&root, &cfg, &report));
+    diags.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    diags.dedup_by(|a, b| (&a.file, a.line, a.rule, &a.msg) == (&b.file, b.line, b.rule, &b.msg));
+
+    if diags.is_empty() {
+        println!(
+            "nsql-lint: OK — {} files, {} ratchet buckets, 0 violations",
+            report.files,
+            report.bucket_counts.len()
+        );
+        Ok(ExitCode::SUCCESS)
+    } else {
+        for d in &diags {
+            eprintln!("{d}");
+        }
+        eprintln!(
+            "nsql-lint: FAIL — {} violation(s) across {} files scanned",
+            diags.len(),
+            report.files
+        );
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+/// Replace the body of the `[ratchet]` section in `text` with `new_body`,
+/// preserving everything before the header and any later section.
+fn replace_ratchet_section(text: &str, new_body: &str) -> Result<String, String> {
+    let mut out = String::new();
+    let mut in_ratchet = false;
+    let mut replaced = false;
+    for line in text.lines() {
+        let trimmed = line.trim();
+        if trimmed == "[ratchet]" {
+            out.push_str(line);
+            out.push('\n');
+            out.push_str(new_body);
+            in_ratchet = true;
+            replaced = true;
+            continue;
+        }
+        if in_ratchet {
+            if trimmed.starts_with('[') {
+                in_ratchet = false; // a following section resumes copying
+            } else {
+                continue; // drop the old ratchet body
+            }
+        }
+        out.push_str(line);
+        out.push('\n');
+    }
+    if !replaced {
+        return Err("lint.toml has no [ratchet] section to update".to_string());
+    }
+    Ok(out)
+}
+
+fn cmd_check_protocol(args: &[String]) -> Result<ExitCode, String> {
+    let opts = parse_opts(args, &["--keys", "--depth", "--cache", "--retries"], &[])?;
+    let d = ModelConfig::default();
+    let cfg = ModelConfig {
+        keys: parse_num(&opts, "--keys", d.keys)?,
+        max_faults: parse_num(&opts, "--depth", d.max_faults as u64)? as usize,
+        cache: parse_num(&opts, "--cache", d.cache as u64)? as usize,
+        max_retries: parse_num(&opts, "--retries", u64::from(d.max_retries))? as u32,
+    };
+    println!(
+        "nsql-lint check-protocol: keys={} depth={} cache={} retries={}",
+        cfg.keys, cfg.max_faults, cfg.cache, cfg.max_retries
+    );
+
+    let scan = model::check_scan(cfg);
+    println!(
+        "  scan model:   {} schedules explored (max {} exchanges), {} violation(s)",
+        scan.schedules,
+        scan.max_exchanges,
+        scan.violations.len()
+    );
+    let update = model::check_update(cfg);
+    println!(
+        "  update model: {} schedules explored (max {} exchanges), {} violation(s)",
+        update.schedules,
+        update.max_exchanges,
+        update.violations.len()
+    );
+    println!(
+        "  total:        {} schedules",
+        scan.schedules + update.schedules
+    );
+
+    let mut failed = false;
+    for v in scan.violations.iter().chain(update.violations.iter()) {
+        failed = true;
+        eprintln!(
+            "VIOLATION [{}]: {}\n  schedule: {}",
+            v.invariant,
+            v.detail,
+            model::format_schedule(&v.schedule)
+        );
+    }
+    if failed {
+        eprintln!("nsql-lint check-protocol: FAIL");
+        Ok(ExitCode::FAILURE)
+    } else {
+        println!("nsql-lint check-protocol: OK — all invariants hold on every schedule");
+        Ok(ExitCode::SUCCESS)
+    }
+}

@@ -1,0 +1,624 @@
+//! The rule engine: repo invariants enforced over the token stream.
+//!
+//! Four rules, each guarding a mechanism the paper reproduction depends on:
+//!
+//! * **`wall-clock`** — no `Instant::now` / `SystemTime` / OS randomness
+//!   outside the allowlisted helper. Replay determinism, seeded chaos runs
+//!   and byte-identical traces all assume the virtual clock is the *only*
+//!   clock.
+//! * **`panic-ratchet`** — per-path ceilings on `unwrap()` / `expect()` /
+//!   `panic!` in non-test code, with hard zero on the FS-DP hot path. The
+//!   ceilings live in `lint.toml` and can only go down.
+//! * **`wildcard-match`** — no `_ =>` arms in matches over the protocol
+//!   enums (`DpRequest`, `DpReply`, …): adding a protocol variant must be
+//!   a compile/lint error everywhere it is interpreted, not a silent
+//!   default (the `_ => 8` wire-size guess this rule was born from).
+//! * **`trace-label`** — every paper-verb string (`GET^FIRST^VSBB` style)
+//!   in non-test code must be in the canonical registry rendered by
+//!   `format_sequence`, so traces and tests never drift apart on spelling.
+
+use crate::config::Config;
+use crate::lexer::{tokenize, Tok, TokKind};
+use std::collections::BTreeMap;
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Rule identifier (e.g. `wall-clock`).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line (0 when the finding is file-level).
+    pub line: usize,
+    /// Human-readable explanation.
+    pub msg: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line > 0 {
+            write!(
+                f,
+                "{}:{}: [{}] {}",
+                self.file, self.line, self.rule, self.msg
+            )
+        } else {
+            write!(f, "{}: [{}] {}", self.file, self.rule, self.msg)
+        }
+    }
+}
+
+/// The lint result of one source file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Violations found (ratchet counting is done by the caller).
+    pub diags: Vec<Diagnostic>,
+    /// `unwrap()/expect()/panic!` occurrences in non-test code.
+    pub panic_count: u64,
+}
+
+/// Is this path test or bench code (excluded from the ratchet, wildcard and
+/// label rules; the wall-clock rule still applies)?
+pub fn is_test_path(rel: &str) -> bool {
+    let p = rel.replace('\\', "/");
+    p.starts_with("tests/")
+        || p.contains("/tests/")
+        || p.ends_with("/tests.rs")
+        || p.contains("/benches/")
+        || p.starts_with("examples/")
+}
+
+/// Lint one file's source text. `rel` is the workspace-relative path used
+/// in diagnostics and for the wall-clock allowlist.
+pub fn lint_source(cfg: &Config, rel: &str, src: &str) -> FileReport {
+    let mut report = FileReport::default();
+    let toks = tokenize(src);
+    let test_path = is_test_path(rel);
+    let in_test = test_region_mask(&toks);
+
+    wall_clock_rule(cfg, rel, &toks, &mut report);
+    if !test_path {
+        report.panic_count = panic_count(&toks, &in_test, rel, &mut report);
+        wildcard_match_rule(cfg, rel, &toks, &in_test, &mut report);
+        trace_label_rule(cfg, rel, &toks, &in_test, &mut report);
+    }
+    report
+}
+
+// ----------------------------------------------------------------------
+// #[cfg(test)] region detection
+// ----------------------------------------------------------------------
+
+/// A boolean per token: is it inside a `#[cfg(test)]`-gated item?
+fn test_region_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if is_cfg_test_attr(toks, i) {
+            // Skip to the end of the attribute, then blank out the item.
+            let attr_end = close_delim(toks, i + 1, '[', ']');
+            let item_end = item_end(toks, attr_end);
+            for m in mask.iter_mut().take(item_end).skip(i) {
+                *m = true;
+            }
+            i = item_end;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+/// Does `# [ cfg ( test ) ]`-style attribute start at token `i`? Also
+/// accepts `#[cfg(all(test, …))]` and any `cfg(...)` whose argument list
+/// mentions the bare `test` flag.
+fn is_cfg_test_attr(toks: &[Tok], i: usize) -> bool {
+    if !(toks.get(i).is_some_and(|t| t.is_punct('#'))
+        && toks.get(i + 1).is_some_and(|t| t.is_punct('['))
+        && toks.get(i + 2).is_some_and(|t| t.is_ident("cfg"))
+        && toks.get(i + 3).is_some_and(|t| t.is_punct('(')))
+    {
+        return false;
+    }
+    let end = close_delim(toks, i + 3, '(', ')');
+    toks[i + 4..end.saturating_sub(1)]
+        .iter()
+        .any(|t| t.is_ident("test"))
+}
+
+/// Given `toks[open_at]` is (or precedes) an opening delimiter, return the
+/// index one past its matching close. `open_at` may point at the opener.
+fn close_delim(toks: &[Tok], open_at: usize, open: char, close: char) -> usize {
+    let mut depth = 0i64;
+    let mut i = open_at;
+    while i < toks.len() {
+        if toks[i].is_punct(open) {
+            depth += 1;
+        } else if toks[i].is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+/// One past the end of the item starting at `i` (after an attribute): skips
+/// further attributes, then either a braced body or a `;`-terminated item.
+fn item_end(toks: &[Tok], mut i: usize) -> usize {
+    while i < toks.len() {
+        if toks[i].is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            i = close_delim(toks, i + 1, '[', ']');
+            continue;
+        }
+        break;
+    }
+    let mut j = i;
+    let mut depth = 0i64;
+    while j < toks.len() {
+        if toks[j].is_punct(';') && depth == 0 {
+            return j + 1;
+        }
+        if toks[j].is_punct('{') {
+            depth += 1;
+        } else if toks[j].is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+// ----------------------------------------------------------------------
+// Rule: wall-clock
+// ----------------------------------------------------------------------
+
+fn wall_clock_rule(cfg: &Config, rel: &str, toks: &[Tok], report: &mut FileReport) {
+    if cfg.wall_clock_allow.iter().any(|a| a == rel) {
+        return;
+    }
+    for t in toks {
+        if t.kind == TokKind::Ident && cfg.wall_clock_banned.iter().any(|b| b == &t.text) {
+            report.diags.push(Diagnostic {
+                rule: "wall-clock",
+                file: rel.to_string(),
+                line: t.line,
+                msg: format!(
+                    "`{}` is wall-clock/OS-randomness; use the virtual clock (nsql_sim) or \
+                     the sanctioned crates/bench wall_clock helper",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Rule: panic-ratchet (counting half; ceilings enforced by the caller)
+// ----------------------------------------------------------------------
+
+/// Count `unwrap()` / `expect()` / `panic!` in non-test tokens. Emits no
+/// diagnostics itself except to carry per-occurrence positions for the
+/// zero-ratchet paths (the caller decides which counts are violations).
+fn panic_count(toks: &[Tok], in_test: &[bool], _rel: &str, _report: &mut FileReport) -> u64 {
+    let mut count = 0u64;
+    for i in 0..toks.len() {
+        if in_test[i] {
+            continue;
+        }
+        let t = &toks[i];
+        let hit = (t.is_ident("panic") && toks.get(i + 1).is_some_and(|n| n.is_punct('!')))
+            || ((t.is_ident("unwrap") || t.is_ident("expect"))
+                && i > 0
+                && toks[i - 1].is_punct('.'));
+        if hit {
+            count += 1;
+        }
+    }
+    count
+}
+
+/// Positions of each non-test `unwrap/expect/panic!` (for zero-ratchet
+/// diagnostics with file:line).
+pub fn panic_sites(src: &str) -> Vec<(usize, String)> {
+    let toks = tokenize(src);
+    let in_test = test_region_mask(&toks);
+    let mut sites = Vec::new();
+    for i in 0..toks.len() {
+        if in_test[i] {
+            continue;
+        }
+        let t = &toks[i];
+        if t.is_ident("panic") && toks.get(i + 1).is_some_and(|n| n.is_punct('!')) {
+            sites.push((t.line, "panic!".to_string()));
+        } else if (t.is_ident("unwrap") || t.is_ident("expect"))
+            && i > 0
+            && toks[i - 1].is_punct('.')
+        {
+            sites.push((t.line, format!(".{}()", t.text)));
+        }
+    }
+    sites
+}
+
+// ----------------------------------------------------------------------
+// Rule: wildcard-match
+// ----------------------------------------------------------------------
+
+fn wildcard_match_rule(
+    cfg: &Config,
+    rel: &str,
+    toks: &[Tok],
+    in_test: &[bool],
+    report: &mut FileReport,
+) {
+    for i in 0..toks.len() {
+        if in_test[i] || !toks[i].is_ident("match") {
+            continue;
+        }
+        // Find the match body: the first `{` at zero paren/bracket depth.
+        let mut j = i + 1;
+        let mut depth = 0i64;
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => break,
+                // A `;` or another `match` before the body means this
+                // `match` wasn't an expression head (e.g. an ident named
+                // match can't occur — match is a keyword — so this is just
+                // a safety stop for malformed input).
+                ";" if depth == 0 => {
+                    j = toks.len();
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if j >= toks.len() {
+            continue;
+        }
+        analyze_match_body(cfg, rel, toks, j, report);
+    }
+}
+
+/// Walk one match body (opening brace at `open`), splitting top-level arms
+/// into pattern/expression, and flag a `_ =>` arm when any arm pattern
+/// names a protocol enum.
+fn analyze_match_body(cfg: &Config, rel: &str, toks: &[Tok], open: usize, report: &mut FileReport) {
+    let end = close_delim(toks, open, '{', '}');
+    let mut i = open + 1;
+    let mut pattern: Vec<usize> = Vec::new();
+    let mut protocol_enum: Option<String> = None;
+    let mut wildcard_line: Option<usize> = None;
+    let mut in_pattern = true;
+    while i + 1 < end {
+        let t = &toks[i];
+        if in_pattern {
+            if t.is_punct('=') && toks.get(i + 1).is_some_and(|n| n.is_punct('>')) {
+                // Pattern complete: classify it.
+                classify_pattern(cfg, toks, &pattern, &mut protocol_enum, &mut wildcard_line);
+                pattern.clear();
+                in_pattern = false;
+                i += 2;
+                continue;
+            }
+            // Skip grouped parts of the pattern (tuple/struct payloads).
+            match t.text.as_str() {
+                "(" => {
+                    i = close_delim(toks, i, '(', ')');
+                    continue;
+                }
+                "[" => {
+                    i = close_delim(toks, i, '[', ']');
+                    continue;
+                }
+                "{" => {
+                    i = close_delim(toks, i, '{', '}');
+                    continue;
+                }
+                _ => {}
+            }
+            pattern.push(i);
+            i += 1;
+        } else {
+            // In the arm expression: it ends at a top-level `,`, or, for a
+            // block-bodied arm, at its closing brace.
+            match t.text.as_str() {
+                "," => {
+                    in_pattern = true;
+                    i += 1;
+                }
+                "(" => i = close_delim(toks, i, '(', ')'),
+                "[" => i = close_delim(toks, i, '[', ']'),
+                "{" => {
+                    i = close_delim(toks, i, '{', '}');
+                    // A block body may or may not be followed by a comma.
+                    if toks.get(i).is_some_and(|n| n.is_punct(',')) {
+                        i += 1;
+                    }
+                    in_pattern = true;
+                }
+                _ => i += 1,
+            }
+        }
+    }
+    if let (Some(enum_name), Some(line)) = (&protocol_enum, wildcard_line) {
+        report.diags.push(Diagnostic {
+            rule: "wildcard-match",
+            file: rel.to_string(),
+            line,
+            msg: format!(
+                "wildcard `_ =>` arm in a match over protocol enum `{enum_name}`; \
+                 spell out every variant so new protocol messages fail to compile here"
+            ),
+        });
+    }
+}
+
+/// Inspect one arm's pattern tokens: record protocol-enum mentions and
+/// wildcard arms.
+fn classify_pattern(
+    cfg: &Config,
+    toks: &[Tok],
+    pattern: &[usize],
+    protocol_enum: &mut Option<String>,
+    wildcard_line: &mut Option<usize>,
+) {
+    // `_ =>` or `_ if guard =>`: lone underscore leading the pattern.
+    if let Some(&first) = pattern.first() {
+        let lone =
+            toks[first].is_ident("_") && (pattern.len() == 1 || toks[pattern[1]].is_ident("if"));
+        if lone {
+            *wildcard_line = Some(toks[first].line);
+        }
+    }
+    for (k, &pi) in pattern.iter().enumerate() {
+        let t = &toks[pi];
+        if t.kind == TokKind::Ident && cfg.protocol_enums.iter().any(|e| e == &t.text) {
+            // Require a following `::` so a binding named like the enum
+            // doesn't count.
+            if let (Some(&a), Some(&b)) = (pattern.get(k + 1), pattern.get(k + 2)) {
+                if toks[a].is_punct(':') && toks[b].is_punct(':') {
+                    *protocol_enum = Some(t.text.clone());
+                }
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Rule: trace-label
+// ----------------------------------------------------------------------
+
+/// Paper-verb shape: uppercase words joined by `^` (`GET^FIRST^VSBB`).
+fn is_paper_verb(s: &str) -> bool {
+    s.contains('^')
+        && !s.is_empty()
+        && s.split('^')
+            .all(|w| !w.is_empty() && w.chars().all(|c| c.is_ascii_uppercase()))
+}
+
+fn trace_label_rule(
+    cfg: &Config,
+    rel: &str,
+    toks: &[Tok],
+    in_test: &[bool],
+    report: &mut FileReport,
+) {
+    for (i, t) in toks.iter().enumerate() {
+        if in_test[i] || t.kind != TokKind::Str || !is_paper_verb(&t.text) {
+            continue;
+        }
+        if !cfg.trace_labels.iter().any(|l| l == &t.text) {
+            report.diags.push(Diagnostic {
+                rule: "trace-label",
+                file: rel.to_string(),
+                line: t.line,
+                msg: format!(
+                    "`{}` is not in the canonical paper-verb registry ([trace_labels] in \
+                     lint.toml); register it or fix the spelling so format_sequence and the \
+                     trace tests stay in agreement",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Ratchet enforcement over a whole workspace scan
+// ----------------------------------------------------------------------
+
+/// Sum per-file panic counts into each configured ratchet bucket (a file
+/// contributes to every key that path-prefixes it) and diff against the
+/// ceilings. Files under no bucket are themselves violations, so every new
+/// crate must be given a baseline.
+pub fn enforce_ratchet(
+    cfg: &Config,
+    counts: &BTreeMap<String, u64>,
+) -> (Vec<Diagnostic>, BTreeMap<String, u64>) {
+    let mut diags = Vec::new();
+    let mut actual: BTreeMap<String, u64> = BTreeMap::new();
+    for key in cfg.ratchet.keys() {
+        actual.insert(key.clone(), 0);
+    }
+    for (file, n) in counts {
+        let mut covered = false;
+        for (key, sum) in actual.iter_mut() {
+            if file == key || file.starts_with(&format!("{key}/")) {
+                *sum += n;
+                covered = true;
+            }
+        }
+        if !covered {
+            diags.push(Diagnostic {
+                rule: "panic-ratchet",
+                file: file.clone(),
+                line: 0,
+                msg: "file is not covered by any [ratchet] entry in lint.toml; \
+                      add a baseline for its crate"
+                    .to_string(),
+            });
+        }
+    }
+    for (key, &n) in &actual {
+        let ceiling = cfg.ratchet.get(key).copied().unwrap_or(0);
+        if n > ceiling {
+            diags.push(Diagnostic {
+                rule: "panic-ratchet",
+                file: key.clone(),
+                line: 0,
+                msg: format!(
+                    "unwrap/expect/panic! count {n} exceeds the ratcheted ceiling {ceiling}; \
+                     convert the new sites to typed errors (ceilings only go down)"
+                ),
+            });
+        }
+    }
+    (diags, actual)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_cfg() -> Config {
+        Config {
+            wall_clock_banned: vec!["Instant".into(), "SystemTime".into(), "thread_rng".into()],
+            wall_clock_allow: vec!["allowed/wall_clock.rs".into()],
+            protocol_enums: vec!["DpRequest".into(), "DpReply".into(), "FileKind".into()],
+            trace_labels: vec!["GET^NEXT".into(), "GET^FIRST^VSBB".into()],
+            ratchet: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn wall_clock_flags_banned_idents_but_not_strings() {
+        let cfg = test_cfg();
+        let r = lint_source(&cfg, "x.rs", "let t = Instant::now();");
+        assert_eq!(r.diags.len(), 1);
+        assert_eq!(r.diags[0].rule, "wall-clock");
+        let r = lint_source(&cfg, "x.rs", r#"let s = "Instant::now()"; // Instant"#);
+        assert!(r.diags.is_empty());
+        let r = lint_source(&cfg, "allowed/wall_clock.rs", "let t = Instant::now();");
+        assert!(r.diags.is_empty());
+    }
+
+    #[test]
+    fn panic_count_skips_cfg_test_modules() {
+        let cfg = test_cfg();
+        let src = r#"
+            fn f(x: Option<u32>) -> u32 { x.unwrap() }
+            fn g() { panic!("boom") }
+            #[cfg(test)]
+            mod tests {
+                fn t() { None::<u32>.unwrap(); panic!("fine in tests") }
+            }
+        "#;
+        let r = lint_source(&cfg, "x.rs", src);
+        assert_eq!(r.panic_count, 2);
+        let sites = panic_sites(src);
+        assert_eq!(sites.len(), 2);
+    }
+
+    #[test]
+    fn wildcard_match_needs_both_enum_and_underscore() {
+        let cfg = test_cfg();
+        // Protocol enum + wildcard → flagged.
+        let r = lint_source(
+            &cfg,
+            "x.rs",
+            "fn f(r: DpRequest) -> usize { match r { DpRequest::FlushCache => 0, _ => 8 } }",
+        );
+        assert_eq!(r.diags.len(), 1, "{:?}", r.diags);
+        assert_eq!(r.diags[0].rule, "wildcard-match");
+        // Wildcard over a non-protocol enum → fine.
+        let r = lint_source(
+            &cfg,
+            "x.rs",
+            "fn f(x: Option<u32>) -> u32 { match x { Some(v) => v, _ => 0 } }",
+        );
+        assert!(r.diags.is_empty());
+        // Protocol enum fully spelled out → fine.
+        let r = lint_source(
+            &cfg,
+            "x.rs",
+            "fn f(k: FileKind) -> usize { match k { FileKind::EntrySequenced => 0, \
+             FileKind::Relative { .. } => 8 } }",
+        );
+        assert!(r.diags.is_empty());
+        // `other =>` binding is not a wildcard.
+        let r = lint_source(
+            &cfg,
+            "x.rs",
+            "fn f(r: DpReply) -> usize { match r { DpReply::Ok => 0, other => 1 } }",
+        );
+        assert!(r.diags.is_empty());
+    }
+
+    #[test]
+    fn nested_match_is_analyzed_independently() {
+        let cfg = test_cfg();
+        // The outer match is exhaustive; the inner FileKind match hides a
+        // wildcard — exactly the protocol.rs:369 shape this rule targets.
+        let src = "fn f(r: DpRequest) -> usize { match r { \
+                   DpRequest::CreateFile { kind } => match kind { \
+                   FileKind::KeySequenced(d) => d.len(), _ => 8 }, \
+                   DpRequest::FlushCache => 0 } }";
+        let r = lint_source(&cfg, "x.rs", src);
+        assert_eq!(r.diags.len(), 1, "{:?}", r.diags);
+        assert!(r.diags[0].msg.contains("FileKind"));
+    }
+
+    #[test]
+    fn trace_labels_check_the_registry() {
+        let cfg = test_cfg();
+        let r = lint_source(&cfg, "x.rs", r#"let l = "GET^NEXT";"#);
+        assert!(r.diags.is_empty());
+        let r = lint_source(&cfg, "x.rs", r#"let l = "GET^FRIST^VSBB";"#);
+        assert_eq!(r.diags.len(), 1);
+        assert_eq!(r.diags[0].rule, "trace-label");
+        // Non-verb strings with carets are ignored.
+        let r = lint_source(&cfg, "x.rs", r#"let l = "a^b";"#);
+        assert!(r.diags.is_empty());
+    }
+
+    #[test]
+    fn ratchet_sums_prefixes_and_flags_increases() {
+        let mut cfg = test_cfg();
+        cfg.ratchet.insert("crates/dp".into(), 5);
+        cfg.ratchet.insert("crates/dp/src/protocol.rs".into(), 0);
+        let mut counts = BTreeMap::new();
+        counts.insert("crates/dp/src/lib.rs".to_string(), 5u64);
+        counts.insert("crates/dp/src/protocol.rs".to_string(), 1u64);
+        let (diags, actual) = enforce_ratchet(&cfg, &counts);
+        // protocol.rs ceiling 0 violated; crates/dp total 6 > 5 violated too.
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert_eq!(actual.get("crates/dp"), Some(&6));
+        // Uncovered files are violations.
+        let mut counts = BTreeMap::new();
+        counts.insert("crates/new/src/lib.rs".to_string(), 0u64);
+        let (diags, _) = enforce_ratchet(&cfg, &counts);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].msg.contains("not covered"));
+    }
+
+    #[test]
+    fn test_paths_are_exempt_from_ratchet_but_not_wall_clock() {
+        let cfg = test_cfg();
+        let src = "fn f() { let x = foo().unwrap(); let t = Instant::now(); }";
+        let r = lint_source(&cfg, "crates/dp/src/tests.rs", src);
+        assert_eq!(r.panic_count, 0);
+        assert_eq!(r.diags.len(), 1);
+        assert_eq!(r.diags[0].rule, "wall-clock");
+        assert!(is_test_path("tests/chaos.rs"));
+        assert!(is_test_path("crates/lint/tests/fixtures.rs"));
+        assert!(!is_test_path("crates/lint/src/lib.rs"));
+    }
+}

@@ -1,0 +1,157 @@
+//! Fixture-driven rule tests plus the workspace self-check.
+//!
+//! Each `lint_fixtures/*_bad.rs` file must trigger exactly its rule with a
+//! rule-named diagnostic carrying a real file:line; each `*_ok.rs` twin
+//! must pass clean. The final test runs the full linter over the real
+//! workspace with the checked-in `lint.toml` — the linter lints the repo
+//! that ships it.
+
+use nsql_lint::config::Config;
+use nsql_lint::rules::{self, Diagnostic};
+use std::path::{Path, PathBuf};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/lint_fixtures")
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// A config equivalent to the repo's lint.toml for fixture purposes.
+fn fixture_config() -> Config {
+    Config::parse(
+        r#"
+[wall_clock]
+banned = ["Instant", "SystemTime", "thread_rng"]
+allow = ["crates/bench/src/wall_clock.rs"]
+
+[protocol_enums]
+names = ["DpRequest", "DpReply", "FsError", "BusError"]
+
+[trace_labels]
+canonical = ["GET^FIRST^VSBB", "UPDATE^SUBSET^FIRST", "GET^NEXT"]
+
+[ratchet]
+"fixtures" = 0
+"#,
+    )
+    .expect("fixture config parses")
+}
+
+/// Lint one fixture under a fake non-test path (fixtures model product
+/// code, so they must not be exempted by test-path rules).
+fn lint_fixture(name: &str) -> (Vec<Diagnostic>, u64) {
+    let src = std::fs::read_to_string(fixture_dir().join(name)).expect("fixture readable");
+    let report = rules::lint_source(&fixture_config(), &format!("fixtures/{name}"), &src);
+    (report.diags, report.panic_count)
+}
+
+#[test]
+fn wall_clock_bad_names_the_rule_and_line() {
+    let (diags, _) = lint_fixture("wall_clock_bad.rs");
+    let hit = diags
+        .iter()
+        .find(|d| d.rule == "wall-clock")
+        .expect("wall_clock_bad.rs must trip wall-clock");
+    assert_eq!(hit.file, "fixtures/wall_clock_bad.rs");
+    assert!(hit.line >= 2, "diagnostic carries a real line: {hit}");
+    assert!(hit.to_string().contains("wall_clock_bad.rs"));
+}
+
+#[test]
+fn wall_clock_ok_is_clean() {
+    let (diags, _) = lint_fixture("wall_clock_ok.rs");
+    assert!(diags.is_empty(), "unexpected: {diags:?}");
+}
+
+#[test]
+fn panic_bad_counts_three_sites() {
+    let (_, count) = lint_fixture("panic_bad.rs");
+    assert_eq!(count, 3, "unwrap + expect + panic!");
+}
+
+#[test]
+fn panic_ok_counts_zero() {
+    let (_, count) = lint_fixture("panic_ok.rs");
+    assert_eq!(count, 0, "cfg(test) regions are exempt");
+}
+
+#[test]
+fn wildcard_bad_names_the_rule_and_line() {
+    let (diags, _) = lint_fixture("wildcard_bad.rs");
+    let hit = diags
+        .iter()
+        .find(|d| d.rule == "wildcard-match")
+        .expect("wildcard_bad.rs must trip wildcard-match");
+    assert!(hit.line > 0);
+    assert!(hit.msg.contains("DpReply"), "names the enum: {}", hit.msg);
+}
+
+#[test]
+fn wildcard_ok_is_clean() {
+    let (diags, _) = lint_fixture("wildcard_ok.rs");
+    assert!(diags.is_empty(), "unexpected: {diags:?}");
+}
+
+#[test]
+fn label_bad_names_the_rule_and_line() {
+    let (diags, _) = lint_fixture("label_bad.rs");
+    let hit = diags
+        .iter()
+        .find(|d| d.rule == "trace-label")
+        .expect("label_bad.rs must trip trace-label");
+    assert!(hit.msg.contains("GET^FRIST^VSBB"), "{}", hit.msg);
+}
+
+#[test]
+fn label_ok_is_clean() {
+    let (diags, _) = lint_fixture("label_ok.rs");
+    assert!(diags.is_empty(), "unexpected: {diags:?}");
+}
+
+#[test]
+fn ratchet_flags_fixture_over_zero_ceiling() {
+    let cfg = fixture_config();
+    let mut counts = std::collections::BTreeMap::new();
+    counts.insert("fixtures/panic_bad.rs".to_string(), 3u64);
+    let (diags, actual) = rules::enforce_ratchet(&cfg, &counts);
+    assert_eq!(actual.get("fixtures"), Some(&3));
+    assert!(
+        diags.iter().any(|d| d.rule == "panic-ratchet"),
+        "over-ceiling bucket must be flagged: {diags:?}"
+    );
+}
+
+/// The linter runs clean on the workspace that ships it, with the real
+/// checked-in lint.toml.
+#[test]
+fn workspace_self_check_is_clean() {
+    let root = workspace_root();
+    let text = std::fs::read_to_string(root.join("lint.toml")).expect("lint.toml present");
+    let cfg = Config::parse(&text).expect("lint.toml parses");
+    let report = nsql_lint::check_workspace(&root, &cfg).expect("workspace scan");
+    assert!(
+        report.diags.is_empty(),
+        "workspace must lint clean:\n{}",
+        report
+            .diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(report.files > 50, "scanned the real tree");
+    // The hard-zero buckets really are zero.
+    for bucket in [
+        "crates/msg",
+        "crates/dp/src/protocol.rs",
+        "crates/fs/src/sqlapi.rs",
+    ] {
+        assert_eq!(
+            report.bucket_counts.get(bucket),
+            Some(&0),
+            "{bucket} must be panic-free"
+        );
+    }
+}

@@ -1,0 +1,5 @@
+// Fixture: a typo'd paper-verb trace label (FRIST for FIRST).
+
+fn label() -> &'static str {
+    "GET^FRIST^VSBB"
+}

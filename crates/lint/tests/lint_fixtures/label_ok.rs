@@ -1,0 +1,5 @@
+// Fixture: canonical paper-verb labels and non-label strings pass.
+
+fn labels() -> [&'static str; 3] {
+    ["GET^FIRST^VSBB", "UPDATE^SUBSET^FIRST", "plain text, no caret"]
+}

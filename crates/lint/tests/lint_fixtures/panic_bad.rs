@@ -1,0 +1,16 @@
+// Fixture: unwrap/expect/panic! in non-test code, counted by the ratchet.
+
+fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+fn second(v: &[u32]) -> u32 {
+    *v.get(1).expect("need two elements")
+}
+
+fn third(v: &[u32]) -> u32 {
+    match v.get(2) {
+        Some(x) => *x,
+        None => panic!("need three elements"),
+    }
+}

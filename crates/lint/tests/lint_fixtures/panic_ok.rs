@@ -1,0 +1,15 @@
+// Fixture: unwrap only inside `#[cfg(test)]`, which the ratchet ignores.
+
+fn safe(v: &[u32]) -> Option<u32> {
+    v.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(safe(&[7]).unwrap(), 7);
+    }
+}

@@ -1,0 +1,7 @@
+// Fixture: reads the wall clock outside the allowlist.
+use std::time::Instant;
+
+fn elapsed() -> f64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_secs_f64()
+}

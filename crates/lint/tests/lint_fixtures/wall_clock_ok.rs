@@ -1,0 +1,6 @@
+// Fixture: the banned names appear only in comments and strings, which the
+// lexer must see through. Instant::now() — not a violation here.
+
+fn describe() -> &'static str {
+    "uses Instant and SystemTime by name only"
+}

@@ -1,0 +1,14 @@
+// Fixture: a `_ =>` arm in a match over a protocol enum.
+
+enum DpReply {
+    Row(Vec<u8>),
+    Done,
+    Error(String),
+}
+
+fn describe(r: &DpReply) -> &'static str {
+    match r {
+        DpReply::Row(_) => "row",
+        _ => "something else",
+    }
+}

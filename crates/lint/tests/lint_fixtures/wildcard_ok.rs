@@ -1,0 +1,29 @@
+// Fixture: exhaustive protocol matches and a wildcard over a *non*-protocol
+// enum are both fine.
+
+enum DpReply {
+    Row(Vec<u8>),
+    Done,
+    Error(String),
+}
+
+enum Color {
+    Red,
+    Green,
+    Blue,
+}
+
+fn describe(r: &DpReply) -> &'static str {
+    match r {
+        DpReply::Row(_) => "row",
+        DpReply::Done => "done",
+        DpReply::Error(_) => "error",
+    }
+}
+
+fn warm(c: &Color) -> bool {
+    match c {
+        Color::Red => true,
+        _ => false,
+    }
+}

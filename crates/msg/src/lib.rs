@@ -95,13 +95,18 @@ impl Response {
         }
     }
 
-    /// Downcast the payload, panicking on a protocol type mismatch (which is
-    /// a bug, not a runtime condition).
-    pub fn expect<T: Any>(self) -> T {
-        *self
-            .payload
-            .downcast::<T>()
-            .expect("message protocol type mismatch")
+    /// Downcast the payload to the protocol type the requester expects.
+    /// A mismatch is a wire-protocol bug; it surfaces as a typed
+    /// [`BusError::BadReply`] so callers on the FS-DP hot path can fold it
+    /// into their own error channel instead of tearing the process down.
+    pub fn downcast<T: Any>(self) -> Result<T, BusError> {
+        match self.payload.downcast::<T>() {
+            Ok(v) => Ok(*v),
+            Err(_) => Err(BusError::BadReply(format!(
+                "reply payload is not a {}",
+                std::any::type_name::<T>()
+            ))),
+        }
     }
 }
 
@@ -128,6 +133,9 @@ pub enum BusError {
     Timeout(String),
     /// The fault plane failed the exchange with a transport error.
     Injected(String),
+    /// The reply arrived but its payload was not the protocol type the
+    /// requester expected — a wire-protocol bug on one side.
+    BadReply(String),
 }
 
 impl BusError {
@@ -150,6 +158,7 @@ impl fmt::Display for BusError {
             BusError::CpuDown(name) => write!(f, "path down to {name} (CPU failed)"),
             BusError::Timeout(name) => write!(f, "request to {name} timed out"),
             BusError::Injected(name) => write!(f, "transport error on path to {name}"),
+            BusError::BadReply(what) => write!(f, "protocol type mismatch: {what}"),
         }
     }
 }
@@ -716,7 +725,7 @@ mod tests {
                 Box::new(41u64),
             )
             .unwrap();
-        assert_eq!(r.expect::<u64>(), 42);
+        assert_eq!(r.downcast::<u64>().unwrap(), 42);
     }
 
     #[test]
@@ -802,7 +811,7 @@ mod tests {
                     .bus
                     .request(self.cpu, &self.inner, MsgKind::Audit, 8, Box::new(n))
                     .unwrap();
-                Response::new(r.expect::<u64>() + 100, 8)
+                Response::new(r.downcast::<u64>().unwrap() + 100, 8)
             }
         }
         let (sim, bus) = setup();
@@ -819,7 +828,7 @@ mod tests {
         let r = bus
             .request(CpuId::new(0, 0), "$DATA", MsgKind::FsDp, 8, Box::new(1u64))
             .unwrap();
-        assert_eq!(r.expect::<u64>(), 102);
+        assert_eq!(r.downcast::<u64>().unwrap(), 102);
         let s = sim.metrics.snapshot();
         assert_eq!(s.msgs_total, 2);
         assert_eq!(s.msgs_audit, 1);

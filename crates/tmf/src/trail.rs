@@ -457,10 +457,12 @@ impl VolumeAuditor {
         };
         let req = TrailRequest::Append { records };
         let size = req.wire_size();
-        self.bus
+        let _ack = self
+            .bus
             .request(self.cpu, AUDIT_PROCESS, MsgKind::Audit, size, Box::new(req))
             .expect("audit trail process unreachable")
-            .expect::<TrailReply>();
+            .downcast::<TrailReply>()
+            .expect("audit trail reply type");
     }
 
     /// Number of bytes currently buffered (tests).

@@ -218,7 +218,8 @@ impl TxnManager {
                 .bus
                 .request(from, p, MsgKind::Other, req.wire_size(), Box::new(req))
                 .map_err(|_| TxnError::Unreachable(p.clone()))?
-                .expect::<EndTxnReply>();
+                .downcast::<EndTxnReply>()
+                .map_err(|_| TxnError::Unreachable(p.clone()))?;
             if reply == EndTxnReply::VoteAbort {
                 // Presumed abort: roll everyone back.
                 self.finish_participants(txn, &participants, false, from);
@@ -244,7 +245,8 @@ impl TxnManager {
                 Box::new(req),
             )
             .map_err(|_| TxnError::Unreachable(AUDIT_PROCESS.into()))?
-            .expect::<TrailReply>();
+            .downcast::<TrailReply>()
+            .map_err(|_| TxnError::Unreachable(AUDIT_PROCESS.into()))?;
         if let TrailReply::Committed { completion } = reply {
             self.sim.clock.advance_to(completion);
         }
