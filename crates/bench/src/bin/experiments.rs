@@ -1,24 +1,75 @@
 //! CLI entry point: print experiment reports.
 //!
-//! With `--json`, also write one machine-readable record per core
-//! experiment to `BENCH_results.json` in the current directory.
+//! - `--json`: also write one machine-readable record per core experiment
+//!   to `BENCH_results.json` in the current directory.
+//! - `--trace-out <path>`: run the canonical traced workload and write a
+//!   Chrome trace-event JSON file (load into `chrome://tracing` or
+//!   Perfetto; timestamps are virtual microseconds).
+//! - `gate [baseline]`: the CI perf gate — run the JSON experiments and
+//!   diff every message/IO/MEASURE counter against the checked-in
+//!   baseline (default `BENCH_baseline.json`) with zero tolerance.
+//!   Exits 1 and prints the per-counter diff on any regression.
 
-fn main() {
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.first().map(String::as_str) == Some("gate") {
+        let baseline_path = args
+            .get(1)
+            .map(String::as_str)
+            .unwrap_or("BENCH_baseline.json");
+        let baseline = match std::fs::read_to_string(baseline_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("perf gate: cannot read {baseline_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let current = nsql_bench::run_json();
+        return match nsql_bench::perf_gate(&baseline, &current) {
+            Ok(summary) => {
+                print!("{summary}");
+                ExitCode::SUCCESS
+            }
+            Err(report) => {
+                print!("{report}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if let Some(pos) = args.iter().position(|a| a == "--trace-out") {
+        args.remove(pos);
+        if pos >= args.len() {
+            eprintln!("--trace-out requires a path");
+            return ExitCode::FAILURE;
+        }
+        let path = args.remove(pos);
+        std::fs::write(&path, nsql_bench::trace_json()).expect("write trace file");
+        eprintln!("wrote {path}");
+        if args.is_empty() {
+            return ExitCode::SUCCESS;
+        }
+    }
+
     if let Some(pos) = args.iter().position(|a| a == "--json") {
         args.remove(pos);
         let json = nsql_bench::run_json();
         std::fs::write("BENCH_results.json", &json).expect("write BENCH_results.json");
         eprintln!("wrote BENCH_results.json");
         if args.is_empty() {
-            return;
+            return ExitCode::SUCCESS;
         }
     }
+
     if args.is_empty() {
         print!("{}", nsql_bench::run("all"));
-        return;
+        return ExitCode::SUCCESS;
     }
     for a in args {
         print!("{}", nsql_bench::run(&a));
     }
+    ExitCode::SUCCESS
 }

@@ -3,12 +3,18 @@
 //! `cargo run -p nsql-bench --bin experiments [--release] [-- e2 e9 ...]`
 //! prints the report tables recorded in EXPERIMENTS.md; `-- --json` writes
 //! machine-readable records to `BENCH_results.json`; `-- chaos` runs the
-//! seeded fault-injection matrix over the bank and Wisconsin workloads.
+//! seeded fault-injection matrix over the bank and Wisconsin workloads;
+//! `-- --trace-out trace.json` writes a Chrome trace-event file for the
+//! canonical workload; `-- gate [baseline]` is the CI perf gate, diffing
+//! fresh results against `BENCH_baseline.json` with zero tolerance on
+//! message/IO/MEASURE counters.
 
 pub mod chaos;
 pub mod experiments;
+pub mod gate;
 pub mod report;
 pub mod wall_clock;
 
 pub use chaos::run_chaos;
-pub use experiments::{run, run_json};
+pub use experiments::{run, run_json, trace_json};
+pub use gate::perf_gate;

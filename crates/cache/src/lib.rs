@@ -24,7 +24,7 @@
 
 use nsql_disk::{BlockNo, Disk, DiskError};
 use nsql_sim::sync::Mutex;
-use nsql_sim::{Micros, Sim};
+use nsql_sim::{Ctr, Micros, Sim};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -96,6 +96,8 @@ pub struct BufferPool {
     wal: Arc<dyn WalGate>,
     /// Capacity in frames (blocks).
     pub capacity: usize,
+    /// The cache's MEASURE record, named after its volume.
+    rec: Arc<nsql_sim::MeasureRecord>,
     inner: Mutex<PoolInner>,
 }
 
@@ -103,11 +105,13 @@ impl BufferPool {
     /// A pool of `capacity` frames over `disk`, WAL-gated by `wal`.
     pub fn new(sim: Sim, disk: Arc<Disk>, wal: Arc<dyn WalGate>, capacity: usize) -> Self {
         assert!(capacity >= 8, "pool too small to be useful");
+        let rec = sim.measure.entity(nsql_sim::EntityKind::Cache, &disk.name);
         BufferPool {
             sim,
             disk,
             wal,
             capacity,
+            rec,
             inner: Mutex::new(PoolInner::default()),
         }
     }
@@ -142,11 +146,13 @@ impl BufferPool {
                 self.sim.metrics.prefetch_hits.inc();
             }
             self.sim.metrics.cache_hits.inc();
+            self.rec.bump(Ctr::CacheHits);
             let _ = opts;
             return Ok(f.data.clone());
         }
 
         self.sim.metrics.cache_misses.inc();
+        self.rec.bump(Ctr::CacheFaults);
         // Miss: choose the string length.
         let run = if opts.bulk {
             self.contiguous_uncached_run(&inner, block)
@@ -226,6 +232,7 @@ impl BufferPool {
         let Ok((datas, ready)) = self.disk.read_async(from, run) else {
             return; // hole in the file: skip
         };
+        self.rec.add(Ctr::PrefetchReads, run as u64);
         self.sim
             .trace_emit(|| nsql_sim::trace::TraceEventKind::Prefetch { blocks: run as u64 });
         for (i, data) in datas.into_iter().enumerate() {
@@ -295,6 +302,7 @@ impl BufferPool {
             evicted += 1;
         }
         if evicted > 0 {
+            self.rec.add(Ctr::CacheEvicts, evicted);
             self.sim
                 .trace_emit(|| nsql_sim::trace::TraceEventKind::CacheEvict { frames: evicted });
         }
@@ -401,6 +409,7 @@ impl BufferPool {
             inner.frames.remove(&b);
             self.sim.metrics.cache_steals.inc();
         }
+        self.rec.add(Ctr::CacheEvicts, take as u64);
         take
     }
 

@@ -30,7 +30,7 @@ use nsql_fs::{FileSystem, OpenFile};
 use nsql_lock::TxnId;
 use nsql_msg::{Bus, CpuId};
 use nsql_sim::sync::RwLock;
-use nsql_sim::{CostModel, Metrics, MetricsSnapshot, Micros, Sim, TraceEvent};
+use nsql_sim::{CostModel, Ctr, MeasureReport, Metrics, MetricsSnapshot, Micros, Sim, TraceEvent};
 use nsql_sql::ast::Statement;
 use nsql_sql::{parse, plan, Catalog, Executor, OpStats, Plan, QueryResult};
 use nsql_tmf::{CommitTimer, LsnSource, Trail, TxnManager, AUDIT_PROCESS};
@@ -431,6 +431,9 @@ pub struct QueryStats {
     /// Trace events emitted during the statement (empty when tracing is
     /// disabled or the events were evicted from the ring).
     pub trace: Vec<TraceEvent>,
+    /// Per-entity MEASURE counter deltas over the statement, with the
+    /// trace ring's dropped-event count (never silently truncated).
+    pub measure: MeasureReport,
 }
 
 /// One application session: SQL entry point plus the underlying File
@@ -510,6 +513,7 @@ impl Session<'_> {
     pub fn execute(&mut self, sql: &str) -> Result<Outcome, DbError> {
         let sim = self.cluster.sim.clone();
         let before = sim.metrics.snapshot();
+        let measure_before = MeasureReport::capture(&sim);
         let t0 = sim.clock.now();
         let cursor = sim.trace.cursor();
         let out = self.execute_inner(sql);
@@ -519,6 +523,7 @@ impl Session<'_> {
             metrics: sim.metrics.snapshot() - before,
             elapsed_us: elapsed,
             trace: sim.trace.since(cursor),
+            measure: MeasureReport::capture(&sim).since(&measure_before),
         });
         out
     }
@@ -548,8 +553,10 @@ impl Session<'_> {
                 }))
             }
             Plan::ExplainAnalyze(inner) => {
+                let before = MeasureReport::capture(&self.cluster.sim);
                 let stats = self.analyze(&exec, *inner)?;
-                Ok(Outcome::Rows(analyze_result(&stats)))
+                let delta = MeasureReport::capture(&self.cluster.sim).since(&before);
+                Ok(Outcome::Rows(analyze_result(&stats, &delta)))
             }
             Plan::Select(p) => {
                 let r = exec.select(&p, self.txn).map_err(db_err)?;
@@ -702,10 +709,14 @@ fn close_op(sim: &Sim, label: String, rows: u64, mark: (MetricsSnapshot, Micros)
     }
 }
 
-/// Render per-operator statistics as the EXPLAIN ANALYZE result set.
-fn analyze_result(stats: &[OpStats]) -> QueryResult {
+/// Render per-operator statistics as the EXPLAIN ANALYZE result set,
+/// followed by the statement's per-entity MEASURE breakdown (`@kind name`
+/// rows: records examined, messages received, disk I/O per entity) and —
+/// whenever the trace ring overflowed — a `TRACE DROPPED` row so bounded
+/// tracing never silently truncates.
+fn analyze_result(stats: &[OpStats], measure: &MeasureReport) -> QueryResult {
     use nsql_records::{Row, Value};
-    let mut rows = Vec::with_capacity(stats.len() + 1);
+    let mut rows = Vec::with_capacity(stats.len() + 1 + measure.snap.entities.len());
     let (mut msgs, mut reads, mut writes, mut elapsed) = (0u64, 0u64, 0u64, 0u64);
     for s in stats {
         msgs += s.msgs_fs_dp;
@@ -730,6 +741,30 @@ fn analyze_result(stats: &[OpStats]) -> QueryResult {
         Value::LargeInt(writes as i64),
         Value::LargeInt(elapsed as i64),
     ]));
+    for ((kind, name), vals) in &measure.snap.entities {
+        if vals.iter().all(|&v| v == 0) {
+            continue;
+        }
+        let get = |c: Ctr| vals[c as usize];
+        rows.push(Row(vec![
+            Value::Str(format!("@{} {}", kind.tag(), name)),
+            Value::LargeInt(get(Ctr::RecsExamined) as i64),
+            Value::LargeInt(get(Ctr::MsgsRecv) as i64),
+            Value::LargeInt(get(Ctr::DiskReads) as i64),
+            Value::LargeInt(get(Ctr::DiskWrites) as i64),
+            Value::LargeInt(0),
+        ]));
+    }
+    if measure.trace_dropped > 0 {
+        rows.push(Row(vec![
+            Value::Str("TRACE DROPPED".into()),
+            Value::LargeInt(measure.trace_dropped as i64),
+            Value::LargeInt(0),
+            Value::LargeInt(0),
+            Value::LargeInt(0),
+            Value::LargeInt(0),
+        ]));
+    }
     QueryResult {
         columns: vec![
             "OPERATOR".into(),

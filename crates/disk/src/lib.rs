@@ -16,6 +16,7 @@
 //!   cpu-bound processing using data from the cache to occur in parallel
 //!   with disk I/O's").
 
+use nsql_sim::measure::{Ctr, EntityKind, MeasureRecord};
 use nsql_sim::sync::Mutex;
 use nsql_sim::{Micros, Sim};
 use std::sync::Arc;
@@ -65,16 +66,21 @@ pub struct Disk {
     /// Volume name, e.g. `$DATA1`.
     pub name: String,
     mirrored: bool,
+    /// The volume's MEASURE counter record.
+    rec: Arc<MeasureRecord>,
     state: Mutex<DiskState>,
 }
 
 impl Disk {
     /// Create a volume. `mirrored` volumes survive a single drive failure.
     pub fn new(sim: Sim, name: impl Into<String>, mirrored: bool) -> Arc<Self> {
+        let name = name.into();
+        let rec = sim.measure.entity(EntityKind::Volume, &name);
         Arc::new(Disk {
             sim,
-            name: name.into(),
+            name,
             mirrored,
+            rec,
             state: Mutex::new(DiskState {
                 drives_alive: [true, true],
                 ..DiskState::default()
@@ -143,12 +149,20 @@ impl Disk {
         if is_write {
             m.disk_writes.inc();
             m.disk_blocks_written.add(nblocks as u64);
+            self.rec.bump(Ctr::DiskWrites);
+            self.rec.add(Ctr::BlocksWritten, nblocks as u64);
         } else {
             m.disk_reads.inc();
             m.disk_blocks_read.add(nblocks as u64);
+            self.rec.bump(Ctr::DiskReads);
+            self.rec.add(Ctr::BlocksRead, nblocks as u64);
         }
         if nblocks > 1 {
             m.disk_bulk_ios.inc();
+            self.rec.bump(Ctr::BulkIos);
+        }
+        if !synchronous && !is_write {
+            self.rec.add(Ctr::PrefetchReads, nblocks as u64);
         }
         self.sim
             .trace_emit(|| nsql_sim::trace::TraceEventKind::DiskIo {
@@ -351,6 +365,23 @@ mod tests {
         let s = sim.metrics.snapshot();
         assert_eq!(s.disk_reads, 1);
         assert_eq!(s.disk_blocks_read, 7);
+    }
+
+    #[test]
+    fn volume_measure_record_mirrors_the_metrics() {
+        let (sim, d) = disk();
+        let blocks: Vec<_> = (0..7).map(|i| block(i, 512)).collect();
+        d.write(0, &blocks).unwrap();
+        d.read(0, 7).unwrap();
+        let snap = sim.measure_snapshot();
+        assert_eq!(snap.get(EntityKind::Volume, "$DATA1", Ctr::DiskWrites), 1);
+        assert_eq!(
+            snap.get(EntityKind::Volume, "$DATA1", Ctr::BlocksWritten),
+            7
+        );
+        assert_eq!(snap.get(EntityKind::Volume, "$DATA1", Ctr::DiskReads), 1);
+        assert_eq!(snap.get(EntityKind::Volume, "$DATA1", Ctr::BlocksRead), 7);
+        assert_eq!(snap.get(EntityKind::Volume, "$DATA1", Ctr::BulkIos), 2);
     }
 
     #[test]

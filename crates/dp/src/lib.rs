@@ -41,7 +41,7 @@ use nsql_records::row::{decode_row, encode_row, extract_field, RawRecord};
 use nsql_records::{Expr, OwnedBound, RecordDescriptor, SetList, Value};
 use nsql_sim::sync::Mutex;
 use nsql_sim::trace::TraceEventKind;
-use nsql_sim::{CpuLayer, Micros, Sim};
+use nsql_sim::{CpuLayer, Ctr, EntityKind, MeasureRecord, Micros, Sim};
 use nsql_tmf::audit::FieldImage;
 use nsql_tmf::txn::{EndTxnReply, EndTxnRequest};
 use nsql_tmf::{AuditBody, Trail, TxnManager, VolumeAuditor};
@@ -186,6 +186,12 @@ pub struct DiskProcess {
     /// Tunables (mutable for experiment sweeps).
     pub config: Mutex<DpConfig>,
     state: Mutex<DpState>,
+    /// MEASURE record for this process.
+    rec: Arc<MeasureRecord>,
+    /// MEASURE record for this volume's Subset Control Blocks.
+    scb_rec: Arc<MeasureRecord>,
+    /// Per-open-file MEASURE records (`$VOL#Fn`), created on first touch.
+    file_recs: Mutex<HashMap<FileId, Arc<MeasureRecord>>>,
 }
 
 /// Everything a Disk Process plugs into.
@@ -282,6 +288,9 @@ impl DiskProcess {
             alloc: Mutex::new(alloc),
             config: Mutex::new(config),
             state: Mutex::new(DpState::default()),
+            rec: ctx.sim.measure.entity(EntityKind::Process, name),
+            scb_rec: ctx.sim.measure.entity(EntityKind::Scb, name),
+            file_recs: Mutex::new(HashMap::new()),
         })
     }
 
@@ -350,11 +359,13 @@ impl DiskProcess {
             }
             Err(LockError::Conflict { holder }) => {
                 self.sim.metrics.lock_waits.inc();
+                self.rec.bump(Ctr::LockWaits);
                 // Declare the wait; a closed waits-for cycle makes this
                 // requester the deadlock victim.
                 match self.locks.wait_for(txn, holder) {
                     Err(LockError::Deadlock { victim }) => {
                         self.sim.metrics.deadlocks.inc();
+                        self.rec.bump(Ctr::LockDeadlocks);
                         self.sim.trace_emit(|| TraceEventKind::LockWait {
                             txn: txn.0,
                             deadlock: true,
@@ -372,6 +383,7 @@ impl DiskProcess {
             }
             Err(LockError::Deadlock { victim }) => {
                 self.sim.metrics.deadlocks.inc();
+                self.rec.bump(Ctr::LockDeadlocks);
                 self.sim.trace_emit(|| TraceEventKind::LockWait {
                     txn: txn.0,
                     deadlock: true,
@@ -379,6 +391,16 @@ impl DiskProcess {
                 Err(DpError::Deadlock { victim })
             }
         }
+    }
+
+    /// MEASURE record for one open file on this volume (`$VOL#Fn`).
+    fn file_rec(&self, file: FileId) -> Arc<MeasureRecord> {
+        let mut recs = self.file_recs.lock();
+        Arc::clone(recs.entry(file).or_insert_with(|| {
+            self.sim
+                .measure
+                .entity(EntityKind::File, &format!("{}#F{}", self.name, file))
+        }))
     }
 
     fn push_undo(&self, txn: TxnId, op: UndoOp) {
@@ -593,7 +615,13 @@ impl DiskProcess {
         let store = DpStore::new(&self.pool, &self.alloc);
         let tree = BTreeFile::open(&store, label.anchor);
         self.sim.cpu_work(CpuLayer::DiskProcess, 3);
-        Ok(DpReply::Record(tree.get(key)))
+        let found = tree.get(key);
+        if found.is_some() {
+            let frec = self.file_rec(file);
+            frec.bump(Ctr::RecsExamined);
+            frec.bump(Ctr::RecsSelected);
+        }
+        Ok(DpReply::Record(found))
     }
 
     /// ENSCRIBE record-at-a-time sequential read: one record per message.
@@ -624,6 +652,9 @@ impl DiskProcess {
                     self.join_txn(txn);
                     self.lock(txn, file, LockScope::record(k.clone()), LockMode::Shared)?;
                 }
+                let frec = self.file_rec(file);
+                frec.bump(Ctr::RecsExamined);
+                frec.bump(Ctr::RecsSelected);
                 // The caller needs the key to continue; replies carry it in
                 // a Subset-shaped message.
                 Ok(DpReply::Subset {
@@ -667,6 +698,9 @@ impl DiskProcess {
                 ScanControl::Continue
             }
         });
+        let frec = self.file_rec(file);
+        frec.add(Ctr::RecsExamined, rows.len() as u64);
+        frec.add(Ctr::RecsSelected, rows.len() as u64);
         Ok(DpReply::Subset {
             rows,
             last_key,
@@ -906,6 +940,10 @@ impl DiskProcess {
     ) -> Result<DpReply, DpError> {
         let label = self.file_label(scb.file)?;
         let desc = self.descriptor(&label)?;
+        let frec = self.file_rec(scb.file);
+        if existing.is_some() {
+            self.scb_rec.bump(Ctr::ScbRedrives);
+        }
         if let ScbOp::Update { sets, .. } = &scb.op {
             check_no_key_updates(&desc, sets)?;
         }
@@ -953,6 +991,7 @@ impl DiskProcess {
             }
             examined += 1;
             self.sim.metrics.dp_records_examined.inc();
+            frec.bump(Ctr::RecsExamined);
             let raw = RawRecord {
                 desc: &desc,
                 bytes: v,
@@ -974,6 +1013,7 @@ impl DiskProcess {
             last_key = Some(k.to_vec());
             if selected {
                 self.sim.metrics.dp_records_selected.inc();
+                frec.bump(Ctr::RecsSelected);
                 if first_selected.is_none() {
                     first_selected = Some(k.to_vec());
                 }
@@ -1118,6 +1158,7 @@ impl DiskProcess {
                     st.next_subset += 1;
                     st.subsets.insert(id, scb);
                     self.sim.metrics.subset_control_blocks.inc();
+                    self.scb_rec.bump(Ctr::ScbCreated);
                     Some(id)
                 }
             }

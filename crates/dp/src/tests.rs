@@ -1102,3 +1102,79 @@ fn dirty_steal_under_memory_pressure_forces_audit() {
     let row = decode_row(&emp_desc(), &bytes).unwrap();
     assert_eq!(row.0[3], Value::Double(1100.0), "undo restored the balance");
 }
+
+#[test]
+fn measure_records_track_files_scbs_and_lock_waits() {
+    let c = cluster();
+    let file = c.create_emp();
+    c.load_emps(file, 1200);
+
+    // A filtered VSBB scan big enough to re-drive at least once.
+    let mut reply = c.send(DpRequest::GetSubsetFirst {
+        txn: None,
+        file,
+        range: KeyRange::all(),
+        predicate: Some(Expr::field_cmp(0, CmpOp::Lt, Value::Int(400))),
+        projection: None,
+        mode: SubsetMode::Vsbb,
+        lock: ReadLock::None,
+    });
+    loop {
+        let DpReply::Subset {
+            last_key,
+            done,
+            subset,
+            ..
+        } = reply
+        else {
+            panic!("unexpected {reply:?}")
+        };
+        if done {
+            break;
+        }
+        reply = c.send(DpRequest::GetSubsetNext {
+            subset: subset.expect("re-drive needs an SCB"),
+            after: last_key.expect("re-drive needs a last key"),
+        });
+    }
+
+    // A lock conflict: txn B waits behind txn A's exclusive record lock.
+    let ta = c.txnmgr.begin();
+    let tb = c.txnmgr.begin();
+    assert!(matches!(
+        c.send(DpRequest::Lock {
+            txn: ta,
+            file,
+            key: Some(emp_key(5)),
+            mode: LockMode::Exclusive,
+        }),
+        DpReply::Ok
+    ));
+    assert!(matches!(
+        c.send(DpRequest::Lock {
+            txn: tb,
+            file,
+            key: Some(emp_key(5)),
+            mode: LockMode::Exclusive,
+        }),
+        DpReply::Error(DpError::Locked { .. })
+    ));
+    c.txnmgr.abort(ta, c.client).unwrap();
+    c.txnmgr.abort(tb, c.client).unwrap();
+
+    let snap = c.sim.measure_snapshot();
+    let fname = format!("$DATA1#F{file}");
+    assert_eq!(
+        snap.get(EntityKind::File, &fname, Ctr::RecsExamined),
+        1200,
+        "every row of the file is examined once"
+    );
+    assert_eq!(snap.get(EntityKind::File, &fname, Ctr::RecsSelected), 400);
+    assert!(snap.get(EntityKind::Scb, "$DATA1", Ctr::ScbCreated) >= 1);
+    assert!(snap.get(EntityKind::Scb, "$DATA1", Ctr::ScbRedrives) >= 1);
+    assert_eq!(snap.get(EntityKind::Process, "$DATA1", Ctr::LockWaits), 1);
+    assert_eq!(
+        snap.get(EntityKind::Process, "$DATA1", Ctr::LockDeadlocks),
+        0
+    );
+}

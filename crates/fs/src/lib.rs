@@ -31,7 +31,7 @@ use nsql_msg::{Bus, BusError, CpuId, MsgKind};
 use nsql_records::key::encode_key_value;
 use nsql_records::{KeyRange, RecordDescriptor, Row, Value};
 use nsql_sim::trace::TraceEventKind;
-use nsql_sim::{CpuLayer, Sim};
+use nsql_sim::{CpuLayer, Ctr, EntityKind, FlightEntry, MeasureRecord, Sim};
 use std::sync::Arc;
 
 /// Errors surfaced to File System callers.
@@ -267,11 +267,15 @@ pub struct FileSystem {
     opener: u64,
     /// Per-opener sync sequence (retries of one request reuse one value).
     sync_seq: std::sync::atomic::AtomicU64,
+    /// MEASURE record of the requester's CPU: re-drives and path switches
+    /// are charged to the CPU, not to any one server process.
+    rec: Arc<MeasureRecord>,
 }
 
 impl FileSystem {
     /// A File System bound to a requester CPU.
     pub fn new(sim: Sim, bus: Arc<Bus>, cpu: CpuId) -> FileSystem {
+        let rec = sim.measure.entity(EntityKind::Cpu, &cpu.to_string());
         FileSystem {
             sim,
             bus,
@@ -279,6 +283,7 @@ impl FileSystem {
             retry: RetryPolicy::default(),
             opener: NEXT_OPENER.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             sync_seq: std::sync::atomic::AtomicU64::new(0),
+            rec,
         }
     }
 
@@ -325,9 +330,14 @@ impl FileSystem {
                 .request_replayable(self.cpu, to, kind, size, &make, label)
             {
                 Ok(resp) => {
-                    let reply = resp
-                        .downcast::<DpReply>()
-                        .map_err(|e| FsError::Protocol(e.to_string()))?;
+                    let reply = match resp.downcast::<DpReply>() {
+                        Ok(r) => r,
+                        Err(_) => {
+                            self.sim
+                                .flight_dump(to, "protocol violation (bad reply type)");
+                            return Err(FsError::Protocol("reply was not a DpReply".to_string()));
+                        }
+                    };
                     return match reply {
                         DpReply::Error(e) => Err(FsError::Dp(e)),
                         ok => Ok(ok),
@@ -336,14 +346,26 @@ impl FileSystem {
                 Err(e) if e.is_retriable() && attempt < self.retry.max_retries => {
                     attempt += 1;
                     self.sim.metrics.fs_retries.inc();
+                    self.rec.bump(Ctr::RetryBackoffs);
                     if matches!(e, BusError::CpuDown(_)) && self.bus.try_path_switch(to) {
                         self.sim.metrics.path_switches.inc();
+                        self.rec.bump(Ctr::PathTakeovers);
                         self.sim.trace_emit(|| TraceEventKind::PathSwitch {
                             to: to.to_string(),
                             resumed: false,
                         });
                     }
                     self.sim.clock.advance(backoff);
+                    self.sim.flight.record(
+                        to,
+                        FlightEntry {
+                            at: self.sim.now(),
+                            tag: "retry",
+                            label: label.to_string(),
+                            a: attempt as u64,
+                            b: backoff,
+                        },
+                    );
                     self.sim.trace_emit(|| TraceEventKind::Retry {
                         label: label.to_string(),
                         to: to.to_string(),
@@ -353,6 +375,19 @@ impl FileSystem {
                     backoff = (backoff * 2).min(self.retry.max_backoff_us);
                 }
                 Err(e) if e.is_retriable() => {
+                    // The server stayed unreachable through the whole retry
+                    // budget: dump its flight ring for the postmortem.
+                    self.sim.flight.record(
+                        to,
+                        FlightEntry {
+                            at: self.sim.now(),
+                            tag: "error",
+                            label: format!("{label}: {e}"),
+                            a: attempt as u64,
+                            b: 0,
+                        },
+                    );
+                    self.sim.flight_dump(to, "retries exhausted (FS)");
                     return Err(FsError::Unavailable(e.to_string()));
                 }
                 Err(e) => return Err(FsError::Bus(e.to_string())),

@@ -35,6 +35,9 @@ pub struct Config {
     pub protocol_enums: Vec<String>,
     /// The canonical paper-verb trace labels (`[trace_labels] canonical`).
     pub trace_labels: Vec<String>,
+    /// The canonical MEASURE counter-field names (`[trace_labels]
+    /// counters`); same registry discipline, same rule.
+    pub counter_names: Vec<String>,
     /// Ratchet ceilings: path prefix → max `unwrap/expect/panic!` count in
     /// non-test code under that prefix (`[ratchet]`).
     pub ratchet: BTreeMap<String, u64>,
@@ -172,6 +175,7 @@ fn apply(
         ("wall_clock", "allow") => cfg.wall_clock_allow = parse_str_array(value, ln)?,
         ("protocol_enums", "names") => cfg.protocol_enums = parse_str_array(value, ln)?,
         ("trace_labels", "canonical") => cfg.trace_labels = parse_str_array(value, ln)?,
+        ("trace_labels", "counters") => cfg.counter_names = parse_str_array(value, ln)?,
         ("ratchet", path) => {
             let n: u64 = value.parse().map_err(|_| {
                 ConfigError(format!(

@@ -477,10 +477,7 @@ fn run_update(cfg: ModelConfig, prefix: &[Action]) -> RunOutput {
 /// injected faults. Each schedule is executed exactly once: the canonical
 /// prefix always ends with a fault, and exchanges past the prefix deliver
 /// clean.
-fn explore(
-    cfg: ModelConfig,
-    run_one: &dyn Fn(ModelConfig, &[Action]) -> RunOutput,
-) -> Exploration {
+fn explore(cfg: ModelConfig, run_one: &dyn Fn(ModelConfig, &[Action]) -> RunOutput) -> Exploration {
     let mut out = Exploration::default();
     // Breadth-first, so a violation is always reported with a minimal
     // counterexample (fewest faults, earliest positions) first.

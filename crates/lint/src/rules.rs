@@ -404,6 +404,24 @@ fn is_paper_verb(s: &str) -> bool {
             .all(|w| !w.is_empty() && w.chars().all(|c| c.is_ascii_uppercase()))
 }
 
+/// MEASURE counter-field shape: two or more dotted lowercase segments,
+/// each starting with a letter (`msgs.recv`, `cache.hits`). A trailing
+/// segment that is a file extension (`lint.toml`, `trace.json`) makes it
+/// a path, not a counter.
+fn is_counter_name(s: &str) -> bool {
+    const EXTENSIONS: &[&str] = &[
+        "toml", "json", "jsonl", "rs", "md", "yml", "yaml", "sh", "py", "lock", "txt",
+    ];
+    let segs: Vec<&str> = s.split('.').collect();
+    segs.len() >= 2
+        && segs.iter().all(|w| {
+            w.starts_with(|c: char| c.is_ascii_lowercase())
+                && w.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        })
+        && !matches!(segs.last(), Some(last) if EXTENSIONS.contains(last))
+}
+
 fn trace_label_rule(
     cfg: &Config,
     rel: &str,
@@ -412,10 +430,10 @@ fn trace_label_rule(
     report: &mut FileReport,
 ) {
     for (i, t) in toks.iter().enumerate() {
-        if in_test[i] || t.kind != TokKind::Str || !is_paper_verb(&t.text) {
+        if in_test[i] || t.kind != TokKind::Str {
             continue;
         }
-        if !cfg.trace_labels.iter().any(|l| l == &t.text) {
+        if is_paper_verb(&t.text) && !cfg.trace_labels.iter().any(|l| l == &t.text) {
             report.diags.push(Diagnostic {
                 rule: "trace-label",
                 file: rel.to_string(),
@@ -424,6 +442,19 @@ fn trace_label_rule(
                     "`{}` is not in the canonical paper-verb registry ([trace_labels] in \
                      lint.toml); register it or fix the spelling so format_sequence and the \
                      trace tests stay in agreement",
+                    t.text
+                ),
+            });
+        }
+        if is_counter_name(&t.text) && !cfg.counter_names.iter().any(|l| l == &t.text) {
+            report.diags.push(Diagnostic {
+                rule: "trace-label",
+                file: rel.to_string(),
+                line: t.line,
+                msg: format!(
+                    "`{}` is not in the MEASURE counter registry ([trace_labels] counters in \
+                     lint.toml); register it or fix the spelling so counter lookups cannot \
+                     silently miss",
                     t.text
                 ),
             });
@@ -494,6 +525,7 @@ mod tests {
             wall_clock_allow: vec!["allowed/wall_clock.rs".into()],
             protocol_enums: vec!["DpRequest".into(), "DpReply".into(), "FileKind".into()],
             trace_labels: vec!["GET^NEXT".into(), "GET^FIRST^VSBB".into()],
+            counter_names: vec!["msgs.recv".into(), "cache.hits".into()],
             ratchet: BTreeMap::new(),
         }
     }
@@ -587,6 +619,28 @@ mod tests {
         // Non-verb strings with carets are ignored.
         let r = lint_source(&cfg, "x.rs", r#"let l = "a^b";"#);
         assert!(r.diags.is_empty());
+    }
+
+    #[test]
+    fn counter_names_check_the_same_registry() {
+        let cfg = test_cfg();
+        let r = lint_source(&cfg, "x.rs", r#"let c = "msgs.recv";"#);
+        assert!(r.diags.is_empty(), "{:?}", r.diags);
+        let r = lint_source(&cfg, "x.rs", r#"let c = "msgs.rcv";"#);
+        assert_eq!(r.diags.len(), 1, "{:?}", r.diags);
+        assert_eq!(r.diags[0].rule, "trace-label");
+        assert!(r.diags[0].msg.contains("MEASURE counter registry"));
+        // Paths, versions, and rendered ratios are not counter names.
+        for ok in [
+            r#"let p = "lint.toml";"#,
+            r#"let p = "trace.json";"#,
+            r#"let v = "0.1.0";"#,
+            r#"let x = "1.0x";"#,
+            r#"let s = "a.B";"#,
+        ] {
+            let r = lint_source(&cfg, "x.rs", ok);
+            assert!(r.diags.is_empty(), "{ok}: {:?}", r.diags);
+        }
     }
 
     #[test]

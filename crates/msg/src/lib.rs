@@ -17,6 +17,7 @@
 //! synchronous). Handlers may themselves send messages (e.g. a data-volume
 //! Disk Process sending audit to the audit-trail Disk Process).
 
+use nsql_sim::measure::{Ctr, EntityKind, FlightEntry, MeasureRecord};
 use nsql_sim::sync::{Mutex, RwLock};
 use nsql_sim::trace::{FaultAction, TraceEventKind, TraceMsgClass};
 use nsql_sim::{Micros, Sim, SimRng};
@@ -168,6 +169,8 @@ impl std::error::Error for BusError {}
 struct Entry {
     cpu: CpuId,
     server: Arc<dyn Server>,
+    /// The process's MEASURE counter record, fetched once at registration.
+    rec: Arc<MeasureRecord>,
 }
 
 // ----------------------------------------------------------------------
@@ -331,6 +334,8 @@ pub struct Bus {
     faults_on: AtomicBool,
     fault: RwLock<Option<FaultPlane>>,
     path_switch: RwLock<Option<Arc<PathSwitchFn>>>,
+    /// Per-CPU MEASURE records, cached so the hot path takes a read lock.
+    cpu_recs: RwLock<HashMap<CpuId, Arc<MeasureRecord>>>,
 }
 
 impl Bus {
@@ -344,7 +349,18 @@ impl Bus {
             faults_on: AtomicBool::new(false),
             fault: RwLock::new(None),
             path_switch: RwLock::new(None),
+            cpu_recs: RwLock::new(HashMap::new()),
         })
+    }
+
+    /// The MEASURE record of a requester CPU (created on first use).
+    fn cpu_rec(&self, cpu: CpuId) -> Arc<MeasureRecord> {
+        if let Some(rec) = self.cpu_recs.read().get(&cpu) {
+            return Arc::clone(rec);
+        }
+        let rec = self.sim.measure.entity(EntityKind::Cpu, &cpu.to_string());
+        self.cpu_recs.write().insert(cpu, Arc::clone(&rec));
+        rec
     }
 
     /// The simulation context this bus accounts into.
@@ -356,7 +372,10 @@ impl Bus {
     pub fn register(&self, name: impl Into<String>, cpu: CpuId, server: Arc<dyn Server>) {
         let name = name.into();
         self.stopped.write().remove(&name);
-        self.processes.write().insert(name, Entry { cpu, server });
+        let rec = self.sim.measure.entity(EntityKind::Process, &name);
+        self.processes
+            .write()
+            .insert(name, Entry { cpu, server, rec });
     }
 
     /// Remove a process registration. Subsequent sends to the name return
@@ -489,10 +508,10 @@ impl Bus {
         replay: Option<&dyn Fn() -> Box<dyn Any + Send>>,
         label: &str,
     ) -> Result<Response, BusError> {
-        let (cpu, server) = {
+        let (cpu, server, rec) = {
             let procs = self.processes.read();
             match procs.get(to) {
-                Some(entry) => (entry.cpu, Arc::clone(&entry.server)),
+                Some(entry) => (entry.cpu, Arc::clone(&entry.server), Arc::clone(&entry.rec)),
                 None if self.stopped.read().contains(to) => {
                     return Err(BusError::Deregistered(to.to_string()))
                 }
@@ -510,12 +529,12 @@ impl Bus {
             let fault = self.fault.read().as_ref().and_then(|p| p.decide(kind, to));
             if let Some(fault) = fault {
                 return self.apply_fault(
-                    fault, from, to, cpu, kind, req_size, payload, replay, label, server,
+                    fault, from, to, cpu, kind, req_size, payload, replay, label, server, &rec,
                 );
             }
         }
 
-        self.deliver(from, to, cpu, kind, req_size, payload, label, server)
+        self.deliver(from, to, cpu, kind, req_size, payload, label, server, &rec)
     }
 
     /// The unperturbed exchange: accounting, in-line handling, tracing,
@@ -531,6 +550,7 @@ impl Bus {
         payload: Box<dyn Any + Send>,
         label: &str,
         server: Arc<dyn Server>,
+        rec: &Arc<MeasureRecord>,
     ) -> Result<Response, BusError> {
         let m = &self.sim.metrics;
         m.msgs_total.inc();
@@ -550,6 +570,29 @@ impl Bus {
         }
 
         let response = server.handle(payload);
+
+        // MEASURE: the requesting CPU sent a request and consumed a reply;
+        // the target process saw the mirror image.
+        let from_rec = self.cpu_rec(from);
+        from_rec.bump(Ctr::MsgsSent);
+        from_rec.add(Ctr::BytesSent, req_size as u64);
+        from_rec.add(Ctr::BytesRecv, response.size as u64);
+        rec.bump(Ctr::MsgsRecv);
+        rec.add(Ctr::BytesRecv, req_size as u64);
+        rec.add(Ctr::BytesSent, response.size as u64);
+        if matches!(kind, MsgKind::Redrive) {
+            rec.bump(Ctr::MsgsRedrive);
+        }
+        self.sim.flight.record(
+            to,
+            FlightEntry {
+                at: self.sim.now(),
+                tag: "msg",
+                label: label.to_string(),
+                a: req_size as u64,
+                b: response.size as u64,
+            },
+        );
 
         let bytes = req_size + response.size;
         m.msg_bytes_total.add(bytes as u64);
@@ -592,6 +635,7 @@ impl Bus {
         replay: Option<&dyn Fn() -> Box<dyn Any + Send>>,
         label: &str,
         server: Arc<dyn Server>,
+        rec: &Arc<MeasureRecord>,
     ) -> Result<Response, BusError> {
         let m = &self.sim.metrics;
         let timeout = self
@@ -601,6 +645,17 @@ impl Bus {
             .map_or(10_000, |p| p.cfg.timeout_us);
         let emit_fault = |action: FaultAction| {
             m.faults_injected.inc();
+            rec.bump(Ctr::FaultsInjected);
+            self.sim.flight.record(
+                to,
+                FlightEntry {
+                    at: self.sim.now(),
+                    tag: "fault",
+                    label: format!("{} {label}", action.tag()),
+                    a: 0,
+                    b: 0,
+                },
+            );
             self.sim.trace_emit(|| TraceEventKind::FaultInject {
                 action,
                 label: label.to_string(),
@@ -611,18 +666,21 @@ impl Bus {
             Fault::DownTarget => {
                 emit_fault(FaultAction::Crash);
                 self.fail_cpu(cpu);
+                // Postmortem: dump the victim's flight ring with the counter
+                // snapshot at the moment of the kill.
+                self.sim.flight_dump(to, "cpu down (fault plane)");
                 Err(BusError::CpuDown(to.to_string()))
             }
             Fault::DropRequest => {
                 emit_fault(FaultAction::Drop);
-                self.account_lost_request(from, cpu, kind, req_size);
+                self.account_lost_request(from, cpu, kind, req_size, rec);
                 m.msgs_timed_out.inc();
                 self.sim.clock.advance(timeout);
                 Err(BusError::Timeout(to.to_string()))
             }
             Fault::DropReply => {
                 emit_fault(FaultAction::Drop);
-                self.account_lost_request(from, cpu, kind, req_size);
+                self.account_lost_request(from, cpu, kind, req_size, rec);
                 // The server executed the request; only the answer is lost.
                 let _ = server.handle(payload);
                 m.msgs_timed_out.inc();
@@ -644,25 +702,33 @@ impl Bus {
                         make(),
                         label,
                         Arc::clone(&server),
+                        rec,
                     )?;
                 }
-                self.deliver(from, to, cpu, kind, req_size, payload, label, server)
+                self.deliver(from, to, cpu, kind, req_size, payload, label, server, rec)
             }
             Fault::Delay(us) => {
                 emit_fault(FaultAction::Delay);
                 self.sim.clock.advance(us);
-                self.deliver(from, to, cpu, kind, req_size, payload, label, server)
+                self.deliver(from, to, cpu, kind, req_size, payload, label, server, rec)
             }
             Fault::Error => {
                 emit_fault(FaultAction::Error);
-                self.account_lost_request(from, cpu, kind, req_size);
+                self.account_lost_request(from, cpu, kind, req_size, rec);
                 Err(BusError::Injected(to.to_string()))
             }
         }
     }
 
     /// Account a request that went on the wire but produced no reply.
-    fn account_lost_request(&self, from: CpuId, cpu: CpuId, kind: MsgKind, req_size: usize) {
+    fn account_lost_request(
+        &self,
+        from: CpuId,
+        cpu: CpuId,
+        kind: MsgKind,
+        req_size: usize,
+        rec: &Arc<MeasureRecord>,
+    ) {
         let m = &self.sim.metrics;
         m.msgs_total.inc();
         let remote = from.node != cpu.node;
@@ -680,6 +746,11 @@ impl Bus {
             MsgKind::Other => {}
         }
         m.msg_bytes_total.add(req_size as u64);
+        // MEASURE: the requester paid for a send that never answered.
+        let from_rec = self.cpu_rec(from);
+        from_rec.bump(Ctr::MsgsSent);
+        from_rec.add(Ctr::BytesSent, req_size as u64);
+        rec.bump(Ctr::MsgsLost);
         self.sim
             .clock
             .advance(self.sim.cost.msg_cost(remote, req_size));
@@ -981,6 +1052,91 @@ mod tests {
         assert!(bus
             .request(from, "$DATA", MsgKind::FsDp, 8, Box::new(1u64))
             .is_ok());
+    }
+
+    #[test]
+    fn measure_records_account_both_sides_of_an_exchange() {
+        let (sim, bus) = setup();
+        bus.register("$DATA", CpuId::new(0, 1), Arc::new(Echo));
+        bus.request(
+            CpuId::new(0, 0),
+            "$DATA",
+            MsgKind::FsDp,
+            100,
+            Box::new(1u64),
+        )
+        .unwrap();
+        bus.request(
+            CpuId::new(0, 0),
+            "$DATA",
+            MsgKind::Redrive,
+            10,
+            Box::new(1u64),
+        )
+        .unwrap();
+        let snap = sim.measure_snapshot();
+        // Requester CPU: two sends, request bytes out, reply bytes back.
+        assert_eq!(snap.get(EntityKind::Cpu, "\\0.0", Ctr::MsgsSent), 2);
+        assert_eq!(snap.get(EntityKind::Cpu, "\\0.0", Ctr::BytesSent), 110);
+        assert_eq!(snap.get(EntityKind::Cpu, "\\0.0", Ctr::BytesRecv), 16);
+        // Target process: the mirror image, plus the re-drive tally.
+        assert_eq!(snap.get(EntityKind::Process, "$DATA", Ctr::MsgsRecv), 2);
+        assert_eq!(snap.get(EntityKind::Process, "$DATA", Ctr::MsgsRedrive), 1);
+        assert_eq!(snap.get(EntityKind::Process, "$DATA", Ctr::BytesRecv), 110);
+        assert_eq!(snap.get(EntityKind::Process, "$DATA", Ctr::BytesSent), 16);
+    }
+
+    #[test]
+    fn down_target_dumps_the_victims_flight_ring() {
+        let (sim, bus) = setup();
+        bus.register("$DATA", CpuId::new(0, 1), Arc::new(Echo));
+        bus.enable_faults(FaultConfig {
+            down_at: vec![2],
+            ..FaultConfig::with_seed(1)
+        });
+        let from = CpuId::new(0, 0);
+        for _ in 0..2 {
+            bus.request_labeled(from, "$DATA", MsgKind::FsDp, 32, Box::new(1u64), "GET^NEXT")
+                .unwrap();
+        }
+        let err = bus
+            .request_labeled(from, "$DATA", MsgKind::FsDp, 32, Box::new(1u64), "GET^NEXT")
+            .unwrap_err();
+        assert!(matches!(err, BusError::CpuDown(_)));
+        let dumps = sim.flight.dumps();
+        assert_eq!(dumps.len(), 1, "the kill dumps exactly one postmortem");
+        let d = &dumps[0];
+        assert_eq!(d.process, "$DATA");
+        assert!(d.reason.contains("cpu down"), "{}", d.reason);
+        // The ring holds the two delivered exchanges plus the fault entry.
+        assert_eq!(d.entries.len(), 3);
+        assert!(d.entries.iter().any(|e| e.tag == "fault"));
+        assert!(d.entries.iter().filter(|e| e.tag == "msg").count() == 2);
+        // And the counter snapshot rode along.
+        assert_eq!(
+            d.counters.get(EntityKind::Process, "$DATA", Ctr::MsgsRecv),
+            2
+        );
+        assert_eq!(
+            d.counters
+                .get(EntityKind::Process, "$DATA", Ctr::FaultsInjected),
+            1
+        );
+    }
+
+    #[test]
+    fn lost_requests_count_against_the_target_path() {
+        let (sim, bus) = setup();
+        bus.register("$DATA", CpuId::new(0, 1), Arc::new(Echo));
+        bus.enable_faults(FaultConfig {
+            drop: 1.0,
+            ..FaultConfig::with_seed(42)
+        });
+        let _ = bus.request(CpuId::new(0, 0), "$DATA", MsgKind::FsDp, 16, Box::new(1u64));
+        let snap = sim.measure_snapshot();
+        assert_eq!(snap.get(EntityKind::Process, "$DATA", Ctr::MsgsLost), 1);
+        assert_eq!(snap.get(EntityKind::Cpu, "\\0.0", Ctr::MsgsSent), 1);
+        assert_eq!(snap.get(EntityKind::Process, "$DATA", Ctr::MsgsRecv), 0);
     }
 
     #[test]

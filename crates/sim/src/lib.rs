@@ -9,6 +9,7 @@
 
 pub mod clock;
 pub mod cost;
+pub mod measure;
 pub mod metrics;
 pub mod rng;
 pub mod sync;
@@ -16,11 +17,15 @@ pub mod trace;
 
 pub use clock::{Clock, Micros};
 pub use cost::CostModel;
+pub use measure::{
+    Ctr, EntityKind, FlightDump, FlightEntry, FlightRecorder, MeasureRecord, MeasureRegistry,
+    MeasureReport, MeasureSnapshot, COUNTER_NAMES,
+};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use rng::SimRng;
 pub use trace::{
-    format_sequence, FaultAction, Histogram, Histograms, TraceEvent, TraceEventKind, TraceMsgClass,
-    TraceRecorder,
+    chrome_trace, format_sequence, FaultAction, Histogram, Histograms, TraceEvent, TraceEventKind,
+    TraceMsgClass, TraceRecorder,
 };
 
 use std::sync::Arc;
@@ -41,6 +46,10 @@ pub struct Sim {
     pub trace: Arc<TraceRecorder>,
     /// Always-on latency/size distributions (see [`trace::Histograms`]).
     pub hist: Arc<Histograms>,
+    /// MEASURE-style per-entity counter records (see [`measure`]).
+    pub measure: Arc<MeasureRegistry>,
+    /// Always-on per-process flight rings and crash dumps (see [`measure`]).
+    pub flight: Arc<FlightRecorder>,
 }
 
 impl Sim {
@@ -57,7 +66,21 @@ impl Sim {
             metrics: Arc::new(Metrics::new()),
             trace: Arc::new(TraceRecorder::new()),
             hist: Arc::new(Histograms::new()),
+            measure: Arc::new(MeasureRegistry::new()),
+            flight: Arc::new(FlightRecorder::new()),
         }
+    }
+
+    /// Snapshot every entity's counters at the current virtual time.
+    pub fn measure_snapshot(&self) -> MeasureSnapshot {
+        self.measure.snapshot(self.now())
+    }
+
+    /// Dump `process`'s flight ring with the current counter snapshot —
+    /// called by the fault plane, TMF dooming, and typed FS errors.
+    pub fn flight_dump(&self, process: &str, reason: &str) {
+        self.flight
+            .dump(process, reason, self.now(), self.measure_snapshot());
     }
 
     /// Record a trace event at the current virtual time. The closure runs

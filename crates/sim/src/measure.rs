@@ -1,0 +1,674 @@
+//! MEASURE-style per-entity counters and the crash flight recorder.
+//!
+//! Tandem's published numbers came from the MEASURE subsystem: always-on
+//! counter *records* attached to every interesting entity — CPUs, processes,
+//! open files, disk volumes, caches, SCBs, transactions — cheap enough to
+//! leave running in production and precise enough to argue message-count
+//! claims from. This module reproduces that layer for the simulation:
+//!
+//! * [`MeasureRecord`] — a fixed array of relaxed atomic counters, one slot
+//!   per [`Ctr`]. Components hold an `Arc` to their record from construction,
+//!   so a steady-state bump is a single relaxed `fetch_add`.
+//! * [`MeasureRegistry`] — `(EntityKind, name) → Arc<MeasureRecord>` with
+//!   deterministic (sorted) iteration for snapshots and reports.
+//! * [`MeasureReport`] — an interval snapshot (plus the trace ring's dropped
+//!   count, so truncation is never silent) rendered as aligned text or JSON.
+//! * [`FlightRecorder`] — a small always-on ring of recent activity per
+//!   process, dumped together with a full counter snapshot when the fault
+//!   plane kills a CPU, TMF dooms a transaction, or a typed FS error
+//!   surfaces. Dumps are deterministic per seed, so chaos tests can assert
+//!   on the postmortem itself.
+//!
+//! Counter field names are dotted lowercase (`msgs.sent`, `cache.hits`) and
+//! registered in `lint.toml` next to the paper-verb trace labels; a typo'd
+//! counter name fails `nsql-lint check` the same way a typo'd label does.
+
+use crate::clock::Micros;
+use crate::sync::Mutex;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The kind of entity a counter record is attached to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EntityKind {
+    /// A (simulated) CPU, named by its `CpuId` rendering (`\0.1`).
+    Cpu,
+    /// A named process: DP servers (`$DATA1`), the audit trail (`$AUDIT`).
+    Process,
+    /// An open file partition, named `<volume>#F<file-id>`.
+    File,
+    /// A disk volume (the physical spindle pair under a DP).
+    Volume,
+    /// A DP buffer cache, named after its volume.
+    Cache,
+    /// Subset control blocks, aggregated per DP.
+    Scb,
+    /// Transactions, aggregated under the single `TMF` record.
+    Txn,
+}
+
+impl EntityKind {
+    /// Short lowercase tag used in reports and JSON.
+    pub fn tag(self) -> &'static str {
+        match self {
+            EntityKind::Cpu => "cpu",
+            EntityKind::Process => "process",
+            EntityKind::File => "file",
+            EntityKind::Volume => "volume",
+            EntityKind::Cache => "cache",
+            EntityKind::Scb => "scb",
+            EntityKind::Txn => "txn",
+        }
+    }
+}
+
+macro_rules! measure_counters {
+    ($($(#[$doc:meta])* $variant:ident => $name:literal,)+) => {
+        /// A counter field of a [`MeasureRecord`].
+        ///
+        /// The discriminant is the slot index; [`Ctr::name`] gives the
+        /// canonical dotted field name registered in `lint.toml`.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        pub enum Ctr {
+            $($(#[$doc])* $variant,)+
+        }
+
+        /// Canonical counter-field names, index-aligned with [`Ctr`].
+        pub const COUNTER_NAMES: &[&str] = &[$($name,)+];
+
+        impl Ctr {
+            /// Number of counter fields in a record.
+            pub const COUNT: usize = COUNTER_NAMES.len();
+
+            /// The canonical dotted field name (`msgs.sent`).
+            pub fn name(self) -> &'static str {
+                COUNTER_NAMES[self as usize]
+            }
+        }
+    };
+}
+
+measure_counters! {
+    /// Messages sent by this entity (requester side).
+    MsgsSent => "msgs.sent",
+    /// Messages received by this entity (server side).
+    MsgsRecv => "msgs.recv",
+    /// Received messages that were re-drives of earlier requests.
+    MsgsRedrive => "msgs.redrive",
+    /// Requests lost to the fault plane (dropped/timed out on this path).
+    MsgsLost => "msgs.lost",
+    /// Bytes sent (requests out plus replies returned).
+    BytesSent => "bytes.sent",
+    /// Bytes received (requests in plus replies consumed).
+    BytesRecv => "bytes.recv",
+    /// Physical read operations on a volume.
+    DiskReads => "disk.reads",
+    /// Physical write operations on a volume.
+    DiskWrites => "disk.writes",
+    /// Blocks transferred by reads.
+    BlocksRead => "blocks.read",
+    /// Blocks transferred by writes.
+    BlocksWritten => "blocks.written",
+    /// Multi-block bulk-IO strings (>1 block per operation).
+    BulkIos => "bulk.ios",
+    /// Cache lookups satisfied without disk.
+    CacheHits => "cache.hits",
+    /// Cache lookups that faulted to disk.
+    CacheFaults => "cache.faults",
+    /// Frames evicted to make room.
+    CacheEvicts => "cache.evicts",
+    /// Blocks read ahead by the sequential prefetcher.
+    PrefetchReads => "prefetch.reads",
+    /// Records examined by subset scans against a file.
+    RecsExamined => "recs.examined",
+    /// Records selected (passed predicate) by subset scans.
+    RecsSelected => "recs.selected",
+    /// Subset control blocks created.
+    ScbCreated => "scb.created",
+    /// SCB re-positions from re-driven requests after takeover.
+    ScbRedrives => "scb.redrives",
+    /// Lock acquisitions that could not be granted immediately.
+    LockWaits => "lock.waits",
+    /// Lock waits refused as deadlocks.
+    LockDeadlocks => "lock.deadlocks",
+    /// Bounded-backoff retry sleeps on the FS request path.
+    RetryBackoffs => "retry.backoffs",
+    /// Primary-path failures resolved by switching to the backup.
+    PathTakeovers => "path.takeovers",
+    /// Transactions committed.
+    TxnCommits => "txn.commits",
+    /// Transactions aborted.
+    TxnAborts => "txn.aborts",
+    /// Transactions doomed by TMF after a participant failure.
+    TxnDoomed => "txn.doomed",
+    /// Audit records generated or flushed through this entity.
+    AuditRecords => "audit.records",
+    /// Audit bytes generated or flushed through this entity.
+    AuditBytes => "audit.bytes",
+    /// Audit-trail buffer flushes.
+    AuditFlushes => "audit.flushes",
+    /// Faults injected against this entity by the fault plane.
+    FaultsInjected => "faults.injected",
+}
+
+/// One entity's counter record: a fixed array of relaxed atomics.
+#[derive(Debug)]
+pub struct MeasureRecord {
+    counters: [AtomicU64; Ctr::COUNT],
+}
+
+impl MeasureRecord {
+    fn new() -> Self {
+        MeasureRecord {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Increment counter `c` by one.
+    pub fn bump(&self, c: Ctr) {
+        self.add(c, 1);
+    }
+
+    /// Increment counter `c` by `n`.
+    pub fn add(&self, c: Ctr, n: u64) {
+        self.counters[c as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value of counter `c`.
+    pub fn get(&self, c: Ctr) -> u64 {
+        self.counters[c as usize].load(Ordering::Relaxed)
+    }
+
+    fn values(&self) -> [u64; Ctr::COUNT] {
+        std::array::from_fn(|i| self.counters[i].load(Ordering::Relaxed))
+    }
+}
+
+/// The per-simulation registry of entity counter records.
+///
+/// Lookup takes a mutex, so components fetch their `Arc` once at
+/// construction and bump lock-free afterwards. Iteration order is the
+/// `BTreeMap` order of `(kind, name)` — deterministic across runs.
+#[derive(Debug, Default)]
+pub struct MeasureRegistry {
+    entities: Mutex<BTreeMap<(EntityKind, String), Arc<MeasureRecord>>>,
+}
+
+impl MeasureRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the counter record for `(kind, name)`.
+    pub fn entity(&self, kind: EntityKind, name: &str) -> Arc<MeasureRecord> {
+        let mut map = self.entities.lock();
+        if let Some(rec) = map.get(&(kind, name.to_string())) {
+            return Arc::clone(rec);
+        }
+        let rec = Arc::new(MeasureRecord::new());
+        map.insert((kind, name.to_string()), Arc::clone(&rec));
+        rec
+    }
+
+    /// Snapshot every record at virtual time `at`.
+    pub fn snapshot(&self, at: Micros) -> MeasureSnapshot {
+        let map = self.entities.lock();
+        MeasureSnapshot {
+            at,
+            entities: map
+                .iter()
+                .map(|((k, n), rec)| ((*k, n.clone()), rec.values()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of every entity's counters.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MeasureSnapshot {
+    /// Virtual time the snapshot was taken.
+    pub at: Micros,
+    /// `(kind, name) → counter values`, sorted.
+    pub entities: BTreeMap<(EntityKind, String), [u64; Ctr::COUNT]>,
+}
+
+impl MeasureSnapshot {
+    /// Counter `c` of entity `(kind, name)`, zero if the entity is unknown.
+    pub fn get(&self, kind: EntityKind, name: &str, c: Ctr) -> u64 {
+        self.entities
+            .get(&(kind, name.to_string()))
+            .map_or(0, |v| v[c as usize])
+    }
+
+    /// Sum of counter `c` over every entity of `kind`.
+    pub fn total(&self, kind: EntityKind, c: Ctr) -> u64 {
+        self.entities
+            .iter()
+            .filter(|((k, _), _)| *k == kind)
+            .map(|(_, v)| v[c as usize])
+            .sum()
+    }
+
+    /// The interval delta `self - earlier` (saturating per counter;
+    /// entities absent from `earlier` count from zero).
+    pub fn since(&self, earlier: &MeasureSnapshot) -> MeasureSnapshot {
+        let mut entities = BTreeMap::new();
+        for (key, now) in &self.entities {
+            let then = earlier.entities.get(key);
+            let delta: [u64; Ctr::COUNT] =
+                std::array::from_fn(|i| now[i].saturating_sub(then.map_or(0, |t| t[i])));
+            entities.insert(key.clone(), delta);
+        }
+        MeasureSnapshot {
+            at: self.at,
+            entities,
+        }
+    }
+
+    /// Does any counter of any entity differ from zero?
+    pub fn is_zero(&self) -> bool {
+        self.entities.values().all(|v| v.iter().all(|&c| c == 0))
+    }
+}
+
+/// A rendered measure interval: counter snapshot plus the trace ring's
+/// dropped count (surfaced, never silently truncated).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MeasureReport {
+    /// The counter values (absolute, or an interval delta via [`since`]).
+    ///
+    /// [`since`]: MeasureReport::since
+    pub snap: MeasureSnapshot,
+    /// Events the bounded trace ring evicted unread.
+    pub trace_dropped: u64,
+}
+
+impl MeasureReport {
+    /// Capture the current counters and trace-drop count of `sim`.
+    pub fn capture(sim: &crate::Sim) -> MeasureReport {
+        MeasureReport {
+            snap: sim.measure.snapshot(sim.now()),
+            trace_dropped: sim.trace.dropped(),
+        }
+    }
+
+    /// The interval report `self - earlier`.
+    pub fn since(&self, earlier: &MeasureReport) -> MeasureReport {
+        MeasureReport {
+            snap: self.snap.since(&earlier.snap),
+            trace_dropped: self.trace_dropped.saturating_sub(earlier.trace_dropped),
+        }
+    }
+
+    /// Render as an aligned text table, one row per entity, listing only
+    /// non-zero counters. Zero-only entities are elided.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "MEASURE @ {} µs  ({} entities, trace dropped: {})",
+            self.snap.at,
+            self.snap.entities.len(),
+            self.trace_dropped
+        );
+        let name_w = self
+            .snap
+            .entities
+            .keys()
+            .map(|(_, n)| n.len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        for ((kind, name), vals) in &self.snap.entities {
+            if vals.iter().all(|&v| v == 0) {
+                continue;
+            }
+            let _ = write!(out, "  [{:<7}] {:<name_w$} ", kind.tag(), name);
+            for (i, &v) in vals.iter().enumerate() {
+                if v != 0 {
+                    let _ = write!(out, " {}={}", COUNTER_NAMES[i], v);
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as one JSON record (the `BENCH_results.json` measure format):
+    /// `{"id", "kind": "measure", "at_us", "trace_dropped", "entities"}`
+    /// with only non-zero counters listed per entity.
+    pub fn to_json(&self, id: &str) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"id\": {}, \"kind\": \"measure\", \"at_us\": {}, \"trace_dropped\": {}, \
+             \"entities\": [",
+            json_str(id),
+            self.snap.at,
+            self.trace_dropped
+        );
+        let mut first_e = true;
+        for ((kind, name), vals) in &self.snap.entities {
+            if vals.iter().all(|&v| v == 0) {
+                continue;
+            }
+            if !first_e {
+                out.push_str(", ");
+            }
+            first_e = false;
+            let _ = write!(
+                out,
+                "{{\"kind\": {}, \"name\": {}, \"counters\": {{",
+                json_str(kind.tag()),
+                json_str(name)
+            );
+            let mut first_c = true;
+            for (i, &v) in vals.iter().enumerate() {
+                if v == 0 {
+                    continue;
+                }
+                if !first_c {
+                    out.push_str(", ");
+                }
+                first_c = false;
+                let _ = write!(out, "{}: {}", json_str(COUNTER_NAMES[i]), v);
+            }
+            out.push_str("}}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Escape a string as a JSON string literal (local copy: `nsql-sim` sits
+/// below the bench crate and must stay dependency-free).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// ----------------------------------------------------------------------
+// Flight recorder
+// ----------------------------------------------------------------------
+
+/// Ring capacity per process: enough to reconstruct the last few dozen
+/// exchanges before a crash without measurably costing the hot path.
+pub const FLIGHT_RING_CAPACITY: usize = 64;
+
+/// Dumps retained before the recorder starts counting instead of keeping
+/// (bounds memory under chaos matrices that kill hundreds of CPUs).
+pub const MAX_FLIGHT_DUMPS: usize = 64;
+
+/// One entry in a process's flight ring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEntry {
+    /// Virtual time of the event.
+    pub at: Micros,
+    /// Entry class: `msg`, `lost`, `fault`, `retry`, `doom`, `error`.
+    pub tag: &'static str,
+    /// The paper-verb label, fault action, or error description.
+    pub label: String,
+    /// Tag-dependent detail (request bytes, attempt number, txn id).
+    pub a: u64,
+    /// Tag-dependent detail (reply bytes, backoff µs).
+    pub b: u64,
+}
+
+impl FlightEntry {
+    fn render(&self) -> String {
+        let detail = match self.tag {
+            "msg" => format!("req={}B reply={}B", self.a, self.b),
+            "lost" => format!("req={}B", self.a),
+            "retry" => format!("attempt={} backoff={}µs", self.a, self.b),
+            "doom" => format!("txn={}", self.a),
+            _ => String::new(),
+        };
+        format!(
+            "{:>10} µs  {:<5} {:<28} {}",
+            self.at, self.tag, self.label, detail
+        )
+    }
+}
+
+/// A postmortem: one process's ring plus the full counter snapshot at the
+/// moment of the triggering event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightDump {
+    /// Virtual time of the trigger.
+    pub at: Micros,
+    /// The process whose ring was dumped.
+    pub process: String,
+    /// Why: `cpu down`, `txn doomed`, `fs unavailable`, …
+    pub reason: String,
+    /// The ring contents, oldest first.
+    pub entries: Vec<FlightEntry>,
+    /// Counter snapshot at dump time.
+    pub counters: MeasureSnapshot,
+}
+
+impl FlightDump {
+    /// Render the dump as deterministic text (chaos tests compare these
+    /// byte-for-byte across same-seed runs).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "==== FLIGHT DUMP @ {} µs  process {}  reason: {} ====",
+            self.at, self.process, self.reason
+        );
+        let _ = writeln!(
+            out,
+            "  ring ({} entries, oldest first):",
+            self.entries.len()
+        );
+        for e in &self.entries {
+            let _ = writeln!(out, "    {}", e.render());
+        }
+        out.push_str("  counters:\n");
+        let report = MeasureReport {
+            snap: self.counters.clone(),
+            trace_dropped: 0,
+        };
+        for line in report.render().lines().skip(1) {
+            let _ = writeln!(out, "  {line}");
+        }
+        out
+    }
+}
+
+/// Always-on per-process activity rings plus the dump store.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    rings: Mutex<BTreeMap<String, VecDeque<FlightEntry>>>,
+    dumps: Mutex<Vec<FlightDump>>,
+    dumps_total: AtomicU64,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FlightRecorder {
+    /// Create a recorder with the default ring capacity.
+    pub fn new() -> Self {
+        FlightRecorder {
+            capacity: FLIGHT_RING_CAPACITY,
+            rings: Mutex::new(BTreeMap::new()),
+            dumps: Mutex::new(Vec::new()),
+            dumps_total: AtomicU64::new(0),
+        }
+    }
+
+    /// Append an entry to `process`'s ring, evicting the oldest when full.
+    pub fn record(&self, process: &str, entry: FlightEntry) {
+        let mut rings = self.rings.lock();
+        let ring = rings.entry(process.to_string()).or_default();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(entry);
+    }
+
+    /// Dump `process`'s ring with the given counter snapshot. The ring is
+    /// left intact (a process can be dumped more than once).
+    pub fn dump(&self, process: &str, reason: &str, at: Micros, counters: MeasureSnapshot) {
+        self.dumps_total.fetch_add(1, Ordering::Relaxed);
+        let entries = self
+            .rings
+            .lock()
+            .get(process)
+            .map(|r| r.iter().cloned().collect())
+            .unwrap_or_default();
+        let mut dumps = self.dumps.lock();
+        if dumps.len() < MAX_FLIGHT_DUMPS {
+            dumps.push(FlightDump {
+                at,
+                process: process.to_string(),
+                reason: reason.to_string(),
+                entries,
+                counters,
+            });
+        }
+    }
+
+    /// All retained dumps, in trigger order.
+    pub fn dumps(&self) -> Vec<FlightDump> {
+        self.dumps.lock().clone()
+    }
+
+    /// Total dump triggers, including any beyond the retention cap.
+    pub fn dumps_total(&self) -> u64 {
+        self.dumps_total.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sim;
+
+    #[test]
+    fn registry_dedups_and_snapshots_deterministically() {
+        let reg = MeasureRegistry::new();
+        let a = reg.entity(EntityKind::Process, "$DATA1");
+        let b = reg.entity(EntityKind::Process, "$DATA1");
+        assert!(Arc::ptr_eq(&a, &b));
+        a.bump(Ctr::MsgsRecv);
+        b.add(Ctr::BytesRecv, 100);
+        reg.entity(EntityKind::Volume, "$DATA1")
+            .add(Ctr::DiskReads, 3);
+        let snap = reg.snapshot(42);
+        assert_eq!(snap.get(EntityKind::Process, "$DATA1", Ctr::MsgsRecv), 1);
+        assert_eq!(snap.get(EntityKind::Process, "$DATA1", Ctr::BytesRecv), 100);
+        assert_eq!(snap.get(EntityKind::Volume, "$DATA1", Ctr::DiskReads), 3);
+        assert_eq!(snap.get(EntityKind::Cpu, "nope", Ctr::MsgsSent), 0);
+        // Kinds are distinct even under the same name.
+        assert_eq!(snap.entities.len(), 2);
+    }
+
+    #[test]
+    fn snapshot_delta_saturates_and_handles_new_entities() {
+        let reg = MeasureRegistry::new();
+        let rec = reg.entity(EntityKind::Cpu, "\\0.0");
+        rec.add(Ctr::MsgsSent, 5);
+        let before = reg.snapshot(0);
+        rec.add(Ctr::MsgsSent, 7);
+        reg.entity(EntityKind::Txn, "TMF").bump(Ctr::TxnCommits);
+        let delta = reg.snapshot(9).since(&before);
+        assert_eq!(delta.get(EntityKind::Cpu, "\\0.0", Ctr::MsgsSent), 7);
+        assert_eq!(delta.get(EntityKind::Txn, "TMF", Ctr::TxnCommits), 1);
+        // Saturation rather than wraparound if a counter ever regressed.
+        let zero = before.since(&reg.snapshot(9));
+        assert!(zero.is_zero());
+    }
+
+    #[test]
+    fn report_renders_nonzero_counters_and_dropped() {
+        let sim = Sim::new();
+        sim.measure
+            .entity(EntityKind::Cache, "$DATA1")
+            .add(Ctr::CacheHits, 12);
+        let report = MeasureReport::capture(&sim);
+        let text = report.render();
+        assert!(text.contains("[cache  ] $DATA1"), "{text}");
+        assert!(text.contains("cache.hits=12"), "{text}");
+        assert!(text.contains("trace dropped: 0"), "{text}");
+        let json = report.to_json("measure");
+        assert!(json.contains("\"id\": \"measure\""), "{json}");
+        assert!(json.contains("\"cache.hits\": 12"), "{json}");
+        assert!(json.contains("\"trace_dropped\": 0"), "{json}");
+    }
+
+    #[test]
+    fn counter_names_match_their_shape() {
+        assert_eq!(COUNTER_NAMES.len(), Ctr::COUNT);
+        assert_eq!(Ctr::MsgsSent.name(), "msgs.sent");
+        assert_eq!(Ctr::FaultsInjected.name(), "faults.injected");
+        for name in COUNTER_NAMES {
+            assert!(
+                name.split('.').count() >= 2
+                    && name
+                        .split('.')
+                        .all(|w| !w.is_empty()
+                            && w.chars().all(|c| c.is_ascii_lowercase() || c == '_')),
+                "counter name `{name}` must be dotted lowercase"
+            );
+        }
+        // Unique.
+        let mut sorted: Vec<_> = COUNTER_NAMES.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), COUNTER_NAMES.len());
+    }
+
+    #[test]
+    fn flight_ring_is_bounded_and_dumps_are_ordered() {
+        let rec = FlightRecorder::new();
+        for i in 0..(FLIGHT_RING_CAPACITY as u64 + 10) {
+            rec.record(
+                "$DATA1",
+                FlightEntry {
+                    at: i,
+                    tag: "msg",
+                    label: "GET^NEXT".into(),
+                    a: 32,
+                    b: 2048,
+                },
+            );
+        }
+        rec.dump("$DATA1", "cpu down", 99, MeasureSnapshot::default());
+        rec.dump("$NOPE", "txn doomed", 100, MeasureSnapshot::default());
+        let dumps = rec.dumps();
+        assert_eq!(dumps.len(), 2);
+        assert_eq!(rec.dumps_total(), 2);
+        assert_eq!(dumps[0].entries.len(), FLIGHT_RING_CAPACITY);
+        // Oldest entries were evicted: the ring starts at entry 10.
+        assert_eq!(dumps[0].entries[0].at, 10);
+        // A never-recorded process dumps an empty ring, not a panic.
+        assert!(dumps[1].entries.is_empty());
+        let text = dumps[0].render();
+        assert!(text.contains("reason: cpu down"), "{text}");
+        assert!(text.contains("GET^NEXT"), "{text}");
+    }
+}

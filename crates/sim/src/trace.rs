@@ -349,11 +349,16 @@ impl Histogram {
         Self::default()
     }
 
-    /// Record one sample.
+    /// Record one sample. The running sum saturates at `u64::MAX` rather
+    /// than wrapping, so `mean()` degrades gracefully on absurd inputs.
     pub fn record(&self, v: u64) {
         self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(v, Ordering::Relaxed);
+        let _ = self
+            .sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some(s.saturating_add(v))
+            });
         self.max.fetch_max(v, Ordering::Relaxed);
     }
 
@@ -584,6 +589,178 @@ pub fn format_sequence(events: &[TraceEvent]) -> String {
     out
 }
 
+// ----------------------------------------------------------------------
+// Chrome trace-event export
+// ----------------------------------------------------------------------
+
+/// The track (rendered as a Perfetto "process" row) an event belongs to.
+fn chrome_track(kind: &TraceEventKind) -> String {
+    match kind {
+        TraceEventKind::Msg { to, .. }
+        | TraceEventKind::FaultInject { to, .. }
+        | TraceEventKind::Retry { to, .. }
+        | TraceEventKind::PathSwitch { to, .. } => to.clone(),
+        TraceEventKind::DiskIo { volume, .. } => format!("{volume} (disk)"),
+        TraceEventKind::CacheEvict { .. } | TraceEventKind::Prefetch { .. } => "cache".into(),
+        TraceEventKind::LockWait { .. }
+        | TraceEventKind::TxnCommit { .. }
+        | TraceEventKind::TxnAbort { .. } => "TMF".into(),
+        TraceEventKind::AuditFlush { .. } => "audit trail".into(),
+    }
+}
+
+/// Event name, category, and pre-rendered JSON `args` body.
+fn chrome_describe(kind: &TraceEventKind) -> (String, &'static str, String) {
+    use crate::measure::json_str as js;
+    match kind {
+        TraceEventKind::Msg {
+            class,
+            label,
+            from,
+            to,
+            req_bytes,
+            reply_bytes,
+            remote,
+        } => (
+            if label.is_empty() {
+                "request".into()
+            } else {
+                label.clone()
+            },
+            "msg",
+            format!(
+                "\"class\": {}, \"from\": {}, \"to\": {}, \"req_bytes\": {req_bytes}, \
+                 \"reply_bytes\": {reply_bytes}, \"remote\": {remote}",
+                js(class.tag()),
+                js(from),
+                js(to)
+            ),
+        ),
+        TraceEventKind::DiskIo {
+            volume,
+            write,
+            blocks,
+            synchronous,
+        } => (
+            format!("disk {}", if *write { "write" } else { "read" }),
+            "disk",
+            format!(
+                "\"volume\": {}, \"blocks\": {blocks}, \"synchronous\": {synchronous}",
+                js(volume)
+            ),
+        ),
+        TraceEventKind::LockWait { txn, deadlock } => (
+            "lock wait".into(),
+            "lock",
+            format!("\"txn\": {txn}, \"deadlock\": {deadlock}"),
+        ),
+        TraceEventKind::CacheEvict { frames } => (
+            "cache evict".into(),
+            "cache",
+            format!("\"frames\": {frames}"),
+        ),
+        TraceEventKind::Prefetch { blocks } => {
+            ("prefetch".into(), "cache", format!("\"blocks\": {blocks}"))
+        }
+        TraceEventKind::AuditFlush {
+            records,
+            bytes,
+            commits,
+            buffer_full,
+        } => (
+            "audit flush".into(),
+            "audit",
+            format!(
+                "\"records\": {records}, \"bytes\": {bytes}, \"commits\": {commits}, \
+                 \"buffer_full\": {buffer_full}"
+            ),
+        ),
+        TraceEventKind::TxnCommit { txn } => {
+            ("txn commit".into(), "txn", format!("\"txn\": {txn}"))
+        }
+        TraceEventKind::TxnAbort { txn } => ("txn abort".into(), "txn", format!("\"txn\": {txn}")),
+        TraceEventKind::FaultInject { action, label, to } => (
+            format!("fault: {}", action.tag()),
+            "fault",
+            format!("\"label\": {}, \"to\": {}", js(label), js(to)),
+        ),
+        TraceEventKind::Retry {
+            label,
+            to,
+            attempt,
+            backoff_us,
+        } => (
+            format!("retry #{attempt}"),
+            "fault",
+            format!(
+                "\"label\": {}, \"to\": {}, \"backoff_us\": {backoff_us}",
+                js(label),
+                js(to)
+            ),
+        ),
+        TraceEventKind::PathSwitch { to, resumed } => (
+            "path switch".into(),
+            "fault",
+            format!("\"to\": {}, \"resumed\": {resumed}", js(to)),
+        ),
+    }
+}
+
+/// Render a trace slice as Chrome trace-event JSON (the `chrome://tracing` /
+/// Perfetto interchange format).
+///
+/// Virtual microseconds map directly onto the format's `ts` field (also
+/// microseconds), so the Perfetto timeline *is* the virtual timeline. Each
+/// target entity (DP process, volume, the audit trail, TMF) becomes one
+/// `pid` track named by a metadata event; every [`TraceEvent`] becomes a
+/// thread-scoped instant event carrying its fields as `args`.
+pub fn chrome_trace(events: &[TraceEvent]) -> String {
+    use crate::measure::json_str as js;
+    use std::collections::BTreeMap;
+    let mut tracks: BTreeMap<String, u64> = BTreeMap::new();
+    for e in events {
+        let n = tracks.len() as u64;
+        tracks.entry(chrome_track(&e.kind)).or_insert(n + 1);
+    }
+    // Re-number sorted so pid order is name order, independent of arrival.
+    for (i, pid) in tracks.values_mut().enumerate() {
+        *pid = i as u64 + 1;
+    }
+    let mut out = String::from("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [");
+    let mut first = true;
+    for (name, pid) in &tracks {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "\n{{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": {pid}, \"tid\": 0, \
+             \"args\": {{\"name\": {}}}}}",
+            js(name)
+        );
+    }
+    for e in events {
+        let pid = tracks[&chrome_track(&e.kind)];
+        let (name, cat, args) = chrome_describe(&e.kind);
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "\n{{\"name\": {}, \"cat\": \"{cat}\", \"ph\": \"i\", \"s\": \"t\", \"ts\": {}, \
+             \"pid\": {pid}, \"tid\": 0, \"args\": {{\"seq\": {}{}{args}}}}}",
+            js(&name),
+            e.at,
+            e.seq,
+            if args.is_empty() { "" } else { ", " },
+        );
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -645,6 +822,93 @@ mod tests {
         assert_eq!(h.p99(), 100);
         assert_eq!(h.quantile(1.0), 100);
         assert!(h.buckets().iter().map(|(_, _, c)| c).sum::<u64>() == 100);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let h = Histogram::new();
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0, "q={q}");
+        }
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.buckets().is_empty());
+    }
+
+    #[test]
+    fn single_sample_histogram_reports_it_everywhere() {
+        let h = Histogram::new();
+        h.record(37);
+        assert_eq!(h.count(), 1);
+        // One sample is its own p50, p99, and max (top-bucket tightening).
+        assert_eq!(h.p50(), 37);
+        assert_eq!(h.p99(), 37);
+        assert_eq!(h.quantile(0.0), 37);
+        assert_eq!(h.max(), 37);
+        assert_eq!(h.buckets(), vec![(32, 63, 1)]);
+    }
+
+    #[test]
+    fn top_bucket_values_saturate_max_and_p99_consistently() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        // Both land in the open-topped bucket 64; max() and every upper
+        // quantile agree on the true max instead of an overflowed bound.
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.p99(), u64::MAX);
+        assert_eq!(h.quantile(1.0), h.max());
+        assert_eq!(h.buckets(), vec![(1u64 << 63, u64::MAX, 2)]);
+        // The running sum saturates instead of wrapping.
+        assert_eq!(h.sum(), u64::MAX);
+        h.record(100);
+        assert_eq!(h.sum(), u64::MAX);
+        // A mid-bucket quantile still reports its own bucket's bound.
+        assert_eq!(h.quantile(0.0), 127);
+    }
+
+    #[test]
+    fn chrome_trace_export_shape() {
+        let events = vec![
+            TraceEvent {
+                seq: 0,
+                at: 512,
+                kind: msg("GetSubsetFirst"),
+            },
+            TraceEvent {
+                seq: 1,
+                at: 600,
+                kind: TraceEventKind::DiskIo {
+                    volume: "$DATA1".into(),
+                    write: false,
+                    blocks: 8,
+                    synchronous: true,
+                },
+            },
+            TraceEvent {
+                seq: 2,
+                at: 800,
+                kind: TraceEventKind::TxnCommit { txn: 7 },
+            },
+        ];
+        let json = chrome_trace(&events);
+        // Three tracks, named by metadata events, pids in name order.
+        assert!(json.contains("\"name\": \"process_name\""), "{json}");
+        assert!(json.contains("\"name\": \"$DATA1\""), "{json}");
+        assert!(json.contains("\"name\": \"$DATA1 (disk)\""), "{json}");
+        assert!(json.contains("\"name\": \"TMF\""), "{json}");
+        // Events carry virtual-time ts and their fields as args.
+        assert!(json.contains("\"ts\": 512"), "{json}");
+        assert!(
+            json.contains("\"name\": \"GetSubsetFirst\", \"cat\": \"msg\""),
+            "{json}"
+        );
+        assert!(json.contains("\"req_bytes\": 100"), "{json}");
+        assert!(json.contains("\"blocks\": 8"), "{json}");
+        assert!(json.contains("\"txn\": 7"), "{json}");
+        // Balanced JSON delimiters (cheap well-formedness check).
+        let braces = json.matches('{').count() == json.matches('}').count();
+        assert!(braces, "{json}");
     }
 
     #[test]

@@ -29,7 +29,7 @@ use crate::audit::{AuditBody, AuditRecord, Lsn, LsnSource};
 use nsql_lock::TxnId;
 use nsql_msg::{Bus, CpuId, MsgKind, Response, Server};
 use nsql_sim::sync::Mutex;
-use nsql_sim::{Micros, Sim};
+use nsql_sim::{Ctr, EntityKind, MeasureRecord, Micros, Sim};
 use std::any::Any;
 use std::sync::Arc;
 
@@ -136,18 +136,22 @@ pub struct Trail {
     pub buffer_capacity: usize,
     timer: Mutex<CommitTimer>,
     inner: Mutex<TrailInner>,
+    /// MEASURE record of the audit-trail process.
+    rec: Arc<MeasureRecord>,
 }
 
 impl Trail {
     /// Create a trail with the given timer policy.
     pub fn new(sim: Sim, lsns: Arc<LsnSource>, timer: CommitTimer) -> Arc<Self> {
         let buffer_capacity = sim.cost.bulk_io_max;
+        let rec = sim.measure.entity(EntityKind::Process, AUDIT_PROCESS);
         Arc::new(Trail {
             sim,
             lsns,
             buffer_capacity,
             timer: Mutex::new(timer),
             inner: Mutex::new(TrailInner::default()),
+            rec,
         })
     }
 
@@ -237,6 +241,9 @@ impl Trail {
                 .record(inner.buffer_commits as u64);
         }
         let (records, commits) = (inner.buffer.len() as u64, inner.buffer_commits as u64);
+        self.rec.bump(Ctr::AuditFlushes);
+        self.rec.add(Ctr::AuditRecords, records);
+        self.rec.add(Ctr::AuditBytes, bytes as u64);
         self.sim
             .trace_emit(|| nsql_sim::trace::TraceEventKind::AuditFlush {
                 records,
@@ -395,18 +402,24 @@ pub struct VolumeAuditor {
     /// Send the buffer once it holds at least this many bytes.
     send_threshold: std::sync::atomic::AtomicUsize,
     buf: Mutex<(Vec<AuditRecord>, usize)>,
+    /// MEASURE record of the owning Disk Process (audit generation is
+    /// charged to the data volume's process, not the trail).
+    rec: Arc<MeasureRecord>,
 }
 
 impl VolumeAuditor {
     /// Create an auditor for `volume`, homed on `cpu`.
     pub fn new(bus: Arc<Bus>, cpu: CpuId, volume: impl Into<String>, lsns: Arc<LsnSource>) -> Self {
+        let volume = volume.into();
+        let rec = bus.sim().measure.entity(EntityKind::Process, &volume);
         VolumeAuditor {
             bus,
             cpu,
-            volume: volume.into(),
+            volume,
             lsns,
             send_threshold: std::sync::atomic::AtomicUsize::new(4096),
             buf: Mutex::new((Vec::new(), 0)),
+            rec,
         }
     }
 
@@ -431,6 +444,8 @@ impl VolumeAuditor {
         let m = &self.bus.sim().metrics;
         m.audit_records.inc();
         m.audit_bytes.add(rec.size() as u64);
+        self.rec.bump(Ctr::AuditRecords);
+        self.rec.add(Ctr::AuditBytes, rec.size() as u64);
         let should_send = {
             let mut b = self.buf.lock();
             b.1 += rec.size();

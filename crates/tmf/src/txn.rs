@@ -22,7 +22,7 @@ use crate::trail::{TrailReply, TrailRequest, AUDIT_PROCESS};
 use nsql_lock::TxnId;
 use nsql_msg::{Bus, CpuId, MsgKind};
 use nsql_sim::sync::Mutex;
-use nsql_sim::Sim;
+use nsql_sim::{Ctr, EntityKind, FlightEntry, MeasureRecord, Sim};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -112,16 +112,24 @@ pub struct TxnManager {
     bus: Arc<Bus>,
     next: AtomicU64,
     txns: Mutex<HashMap<TxnId, TxnInfo>>,
+    /// Cluster-wide transaction MEASURE record (`txn` entity, "TMF").
+    rec: Arc<MeasureRecord>,
 }
+
+/// The entity name transaction counters and the doom flight ring live
+/// under: there is one TMF per cluster.
+pub const TMF_ENTITY: &str = "TMF";
 
 impl TxnManager {
     /// Create a manager bound to a bus.
     pub fn new(sim: Sim, bus: Arc<Bus>) -> Arc<Self> {
+        let rec = sim.measure.entity(EntityKind::Txn, TMF_ENTITY);
         Arc::new(TxnManager {
             sim,
             bus,
             next: AtomicU64::new(1),
             txns: Mutex::new(HashMap::new()),
+            rec,
         })
     }
 
@@ -145,8 +153,21 @@ impl TxnManager {
     /// is turned into an abort; explicit rollback proceeds normally.
     pub fn doom(&self, txn: TxnId) {
         if let Some(info) = self.txns.lock().get_mut(&txn) {
-            if info.state == TxnState::Active {
+            if info.state == TxnState::Active && !info.doomed {
                 info.doomed = true;
+                self.rec.bump(Ctr::TxnDoomed);
+                self.sim.flight.record(
+                    TMF_ENTITY,
+                    FlightEntry {
+                        at: self.sim.now(),
+                        tag: "doom",
+                        label: format!("{txn}"),
+                        a: txn.0,
+                        b: 0,
+                    },
+                );
+                self.sim
+                    .flight_dump(TMF_ENTITY, &format!("transaction {txn} doomed"));
             }
         }
     }
@@ -206,6 +227,7 @@ impl TxnManager {
             self.trail_abort(txn, from);
             self.set_state(txn, TxnState::Aborted);
             self.sim.metrics.txns_aborted.inc();
+            self.rec.bump(Ctr::TxnAborts);
             self.sim
                 .trace_emit(|| nsql_sim::trace::TraceEventKind::TxnAbort { txn: txn.0 });
             return Err(TxnError::Doomed(txn));
@@ -226,6 +248,7 @@ impl TxnManager {
                 self.trail_abort(txn, from);
                 self.set_state(txn, TxnState::Aborted);
                 self.sim.metrics.txns_aborted.inc();
+                self.rec.bump(Ctr::TxnAborts);
                 self.sim
                     .trace_emit(|| nsql_sim::trace::TraceEventKind::TxnAbort { txn: txn.0 });
                 return Err(TxnError::ParticipantAborted(p.clone()));
@@ -255,6 +278,7 @@ impl TxnManager {
         self.finish_participants(txn, &participants, true, from);
         self.set_state(txn, TxnState::Committed);
         self.sim.metrics.txns_committed.inc();
+        self.rec.bump(Ctr::TxnCommits);
         self.sim
             .trace_emit(|| nsql_sim::trace::TraceEventKind::TxnCommit { txn: txn.0 });
         Ok(())
@@ -268,6 +292,7 @@ impl TxnManager {
         self.trail_abort(txn, from);
         self.set_state(txn, TxnState::Aborted);
         self.sim.metrics.txns_aborted.inc();
+        self.rec.bump(Ctr::TxnAborts);
         self.sim
             .trace_emit(|| nsql_sim::trace::TraceEventKind::TxnAbort { txn: txn.0 });
         Ok(())
@@ -399,6 +424,27 @@ mod tests {
         let log = dp.log.lock().clone();
         assert_eq!(log.len(), 1);
         assert!(log[0].contains("committed=false"));
+    }
+
+    #[test]
+    fn doom_dumps_the_tmf_flight_ring_once() {
+        let (sim, _bus, mgr, _trail) = setup();
+        let txn = mgr.begin();
+        mgr.doom(txn);
+        mgr.doom(txn); // idempotent
+        assert!(mgr.is_doomed(txn));
+        let dumps = sim.flight.dumps();
+        assert_eq!(dumps.len(), 1);
+        assert_eq!(dumps[0].process, TMF_ENTITY);
+        assert!(dumps[0].reason.contains("doomed"));
+        assert_eq!(
+            dumps[0]
+                .counters
+                .get(EntityKind::Txn, TMF_ENTITY, Ctr::TxnDoomed),
+            1
+        );
+        assert_eq!(dumps[0].entries.len(), 1);
+        assert_eq!(dumps[0].entries[0].tag, "doom");
     }
 
     #[test]

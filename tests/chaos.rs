@@ -310,3 +310,48 @@ fn full_chaos_matrix() {
         }
     }
 }
+
+/// The crash flight recorder is part of the deterministic surface: the
+/// same seed produces byte-identical flight dumps — same rings, same
+/// reasons, same counter snapshots — so a chaos failure is replayable.
+#[test]
+fn flight_dumps_are_deterministic_per_seed() {
+    fn run(seed: u64) -> String {
+        let db = ClusterBuilder::new()
+            .dp_config(nonstop_sql::DiskProcessConfig {
+                max_records_per_request: 64,
+                ..Default::default()
+            })
+            .volume_with_backup("$DATA1", 0, 1, 0, 3)
+            .build();
+        Wisconsin::create(&db, "WISC", 500, &["$DATA1"], 1).unwrap();
+        db.enable_faults(FaultConfig {
+            drop: 0.05,
+            down_at: vec![2],
+            ..FaultConfig::with_seed(seed)
+        });
+        let mut s = db.session();
+        let _ = s.query("SELECT COUNT(*) FROM WISC");
+        db.disable_faults();
+        db.sim
+            .flight
+            .dumps()
+            .iter()
+            .map(|d| d.render())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+    for seed in [3u64, 21] {
+        let a = run(seed);
+        let b = run(seed);
+        assert!(
+            a.contains("FLIGHT DUMP") && a.contains("cpu down (fault plane)"),
+            "seed {seed}: the CPU kill must dump the victim's ring:\n{a}"
+        );
+        assert!(
+            a.contains("msgs.recv"),
+            "seed {seed}: the dump must carry the counter snapshot:\n{a}"
+        );
+        assert_eq!(a, b, "seed {seed}: flight dumps must be deterministic");
+    }
+}

@@ -39,8 +39,9 @@ fn explain_analyze_messages_match_global_delta() {
             "ELAPSED US"
         ]
     );
-    // One scan operator, one project operator, one TOTAL row.
-    assert_eq!(r.rows.len(), 3);
+    // One scan operator, one project operator, one TOTAL row, then the
+    // per-entity MEASURE breakdown (`@kind name` rows).
+    assert!(r.rows.len() > 3);
     let op = |i: usize| match &r.rows[i].0[0] {
         Value::Str(s) => s.clone(),
         other => panic!("expected operator name, got {other:?}"),
@@ -63,6 +64,23 @@ fn explain_analyze_messages_match_global_delta() {
     let elapsed: i64 = (0..2).map(|i| cell_i64(&r.rows[i].0[5])).sum();
     assert_eq!(elapsed, cell_i64(&r.rows[2].0[5]));
     assert_eq!(elapsed as u64, stats.elapsed_us);
+
+    // The MEASURE breakdown attributes the statement to its entities: the
+    // Disk Process received the FS-DP messages, and the scanned file saw
+    // every record examined.
+    let entity = |prefix: &str| {
+        r.rows[3..]
+            .iter()
+            .find(|row| matches!(&row.0[0], Value::Str(s) if s.starts_with(prefix)))
+            .unwrap_or_else(|| panic!("no `{prefix}` row in the breakdown"))
+    };
+    let dp_row = entity("@process $DATA1");
+    assert_eq!(cell_i64(&dp_row.0[2]), msgs, "DP received every message");
+    let file_row = entity("@file $DATA1#F");
+    assert!(
+        cell_i64(&file_row.0[1]) >= 2_000,
+        "the scan examined every record of the file"
+    );
 }
 
 /// EXPLAIN ANALYZE over DML: one operator for the statement plus a COMMIT
@@ -74,7 +92,7 @@ fn explain_analyze_dml_measures_commit() {
     let r = s
         .query("EXPLAIN ANALYZE UPDATE WISC SET UNIQUE1 = UNIQUE1 + 0 WHERE UNIQUE2 < 50")
         .unwrap();
-    assert_eq!(r.rows.len(), 3);
+    assert!(r.rows.len() >= 3);
     let op0 = match &r.rows[0].0[0] {
         Value::Str(s) => s.clone(),
         _ => panic!(),
@@ -243,4 +261,59 @@ fn histograms_observe_statements() {
     // The 500-row VSBB scan needs several reply buffers: a chain > 1.
     assert!(h.redrive_chain.max() > 1);
     assert!(h.stmt_latency_us.p99() >= h.stmt_latency_us.p50());
+}
+
+/// Satellite: the bounded trace ring reports what it evicted. A tiny ring
+/// under a large scan must overflow, the drop count must surface in the
+/// statement's MEASURE report, and EXPLAIN ANALYZE must render a
+/// `TRACE DROPPED` row rather than silently truncating.
+#[test]
+fn trace_ring_overflow_is_surfaced_not_silent() {
+    let db = wisconsin_db(2_000);
+    db.sim.trace.enable(2); // 2-event ring: guaranteed overflow
+    let mut s = db.session();
+    s.query("SELECT UNIQUE1 FROM WISC WHERE UNIQUE1 < 500")
+        .unwrap();
+    let stats = s.last_stats().unwrap();
+    assert!(
+        stats.measure.trace_dropped > 0,
+        "a 2-event ring must drop events under a 500-row scan"
+    );
+
+    let r = s
+        .query("EXPLAIN ANALYZE SELECT UNIQUE1 FROM WISC WHERE UNIQUE1 < 500")
+        .unwrap();
+    let dropped_row = r
+        .rows
+        .iter()
+        .find(|row| matches!(&row.0[0], Value::Str(s) if s == "TRACE DROPPED"))
+        .expect("overflow must surface as a TRACE DROPPED row");
+    assert!(cell_i64(&dropped_row.0[1]) > 0);
+}
+
+/// The per-statement MEASURE delta is exactly the statement's own work:
+/// a second identical statement produces an identical delta, and an idle
+/// statement window produces none for the data volume.
+#[test]
+fn statement_measure_deltas_are_isolated_and_deterministic() {
+    use nsql_sim::{Ctr, EntityKind};
+    let db = wisconsin_db(1_000);
+    let mut s = db.session();
+    s.query("SELECT UNIQUE1 FROM WISC WHERE UNIQUE1 < 200")
+        .unwrap();
+    let a = s.last_stats().unwrap().measure.clone();
+    s.query("SELECT UNIQUE1 FROM WISC WHERE UNIQUE1 < 200")
+        .unwrap();
+    let b = s.last_stats().unwrap().measure.clone();
+    assert!(!a.snap.is_zero());
+    assert_eq!(
+        a.snap.total(EntityKind::Process, Ctr::MsgsRecv),
+        b.snap.total(EntityKind::Process, Ctr::MsgsRecv),
+        "identical statements must cost identical messages"
+    );
+    // Cached second run: no more disk reads than the cold first run.
+    assert!(
+        b.snap.total(EntityKind::Volume, Ctr::DiskReads)
+            <= a.snap.total(EntityKind::Volume, Ctr::DiskReads)
+    );
 }
