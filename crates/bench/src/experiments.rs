@@ -10,7 +10,7 @@ use nsql_core::{Cluster, ClusterBuilder, DiskProcessConfig, FaultConfig, GroupCo
 use nsql_sim::{MetricsSnapshot, SimRng};
 use nsql_workloads::{Bank, Wisconsin};
 
-/// Run one experiment by id (`"e1"`..`"e18"`), all with `"all"`, or the
+/// Run one experiment by id (`"e1"`..`"e19"`), all with `"all"`, or the
 /// chaos harness with `"chaos"`.
 pub fn run(which: &str) -> String {
     if which == "chaos" {
@@ -36,6 +36,7 @@ pub fn run(which: &str) -> String {
         ("e16", e16),
         ("e17", e17),
         ("e18", e18),
+        ("e19", e19),
     ];
     if which == "all" {
         return all.iter().map(|(_, f)| f()).collect::<Vec<_>>().join("\n");
@@ -45,7 +46,7 @@ pub fn run(which: &str) -> String {
             return f();
         }
     }
-    format!("unknown experiment {which}; try e1..e18, all, or chaos\n")
+    format!("unknown experiment {which}; try e1..e19, all, or chaos\n")
 }
 
 /// Run the experiments that feed `BENCH_results.json` and render them as a
@@ -59,6 +60,7 @@ pub fn run_json() -> String {
         e9_table().to_json("e9"),
         e17_table().to_json("e17"),
         e18_table().to_json("e18"),
+        e19_table().to_json("e19"),
         measure_record(),
     ];
     format!("[\n{}\n]\n", records.join(",\n"))
@@ -69,6 +71,12 @@ fn d(db: &Cluster, before: &MetricsSnapshot) -> MetricsSnapshot {
 }
 
 /// Drop every volume's cache (cold-cache scans) after flushing dirt.
+/// Catalog lookup for a table the experiment itself just created; a miss
+/// is a harness bug, so this is the one sanctioned panic for it.
+fn table_info(db: &Cluster, name: &str) -> nsql_sql::TableInfo {
+    db.catalog.table(name).unwrap()
+}
+
 fn cold_caches(db: &Cluster) {
     for v in db.volumes() {
         let dp = db.dp(&v);
@@ -160,7 +168,7 @@ fn e2_table() -> Table {
     let rows = 10_000u32;
     let db = ClusterBuilder::new().volume("$DATA1", 0, 1).build();
     let _w = Wisconsin::create(&db, "WISC", rows, &["$DATA1"], 2).unwrap();
-    let info = db.catalog.table("WISC").unwrap();
+    let info = table_info(&db, "WISC");
     let of = &info.open;
     let session = db.session();
     let fs = session.fs();
@@ -353,7 +361,7 @@ fn e4_table() -> Table {
              FILLER CHAR(84) NOT NULL, PRIMARY KEY (ACCTNO))",
         )
         .unwrap();
-        let info = db.catalog.table("ACCOUNT").unwrap();
+        let info = table_info(&db, "ACCOUNT");
         let txn = db.txnmgr.begin();
         {
             let mut ins = nsql_fs::BlockedInserter::new(s.fs(), &info.open, txn);
@@ -400,7 +408,7 @@ fn e4_table() -> Table {
     {
         let db = build();
         let s = db.session();
-        let info = db.catalog.table("ACCOUNT").unwrap();
+        let info = table_info(&db, "ACCOUNT");
         let sets = SetList {
             sets: vec![(
                 1,
@@ -438,7 +446,7 @@ fn e4_table() -> Table {
     {
         let db = build();
         let s = db.session();
-        let info = db.catalog.table("ACCOUNT").unwrap();
+        let info = table_info(&db, "ACCOUNT");
         let before = db.snapshot();
         let t0 = db.sim.now();
         let txn = db.txnmgr.begin();
@@ -517,7 +525,7 @@ pub fn e5() -> String {
 
     // Update via alternate key: find the primary key through the index,
     // then ship the update expression to the base partition.
-    let info = db.catalog.table("EMP").unwrap();
+    let info = table_info(&db, "EMP");
     let idx = info.open.indexes[0].clone();
     let before = db.snapshot();
     let txn = db.txnmgr.begin();
@@ -580,7 +588,7 @@ fn e6_table() -> Table {
              FILLER CHAR(180) NOT NULL, PRIMARY KEY (ID))",
         )
         .unwrap();
-        let info = db.catalog.table("ACCT").unwrap();
+        let info = table_info(&db, "ACCT");
         let txn = db.txnmgr.begin();
         {
             let mut ins = nsql_fs::BlockedInserter::new(s.fs(), &info.open, txn);
@@ -620,7 +628,7 @@ fn e6_table() -> Table {
     ] {
         let db = build();
         let s = db.session();
-        let info = db.catalog.table("ACCT").unwrap();
+        let info = table_info(&db, "ACCT");
         let before = db.snapshot();
         for i in 0..updates {
             let key = nsql_records::key::encode_record_key(
@@ -665,7 +673,7 @@ fn e6_table() -> Table {
     {
         let db = build();
         let s = db.session();
-        let info = db.catalog.table("ACCT").unwrap();
+        let info = table_info(&db, "ACCT");
         let sets = SetList {
             sets: vec![(
                 1,
@@ -1002,7 +1010,7 @@ pub fn e10() -> String {
     {
         let db = build();
         let s = db.session();
-        let info = db.catalog.table("LOAD").unwrap();
+        let info = table_info(&db, "LOAD");
         let before = db.snapshot();
         let t0 = db.sim.now();
         let txn = db.txnmgr.begin();
@@ -1021,7 +1029,7 @@ pub fn e10() -> String {
     {
         let db = build();
         let s = db.session();
-        let info = db.catalog.table("LOAD").unwrap();
+        let info = table_info(&db, "LOAD");
         let before = db.snapshot();
         let t0 = db.sim.now();
         let txn = db.txnmgr.begin();
@@ -1048,7 +1056,7 @@ pub fn e10() -> String {
     let build_loaded = || {
         let db = build();
         let s = db.session();
-        let info = db.catalog.table("LOAD").unwrap();
+        let info = table_info(&db, "LOAD");
         let txn = db.txnmgr.begin();
         {
             let mut ins = nsql_fs::BlockedInserter::new(s.fs(), &info.open, txn);
@@ -1069,7 +1077,7 @@ pub fn e10() -> String {
     for buffered in [false, true] {
         let db = build_loaded();
         let s = db.session();
-        let info = db.catalog.table("LOAD").unwrap();
+        let info = table_info(&db, "LOAD");
         let txn = db.txnmgr.begin();
         let scan = s
             .fs()
@@ -1197,7 +1205,7 @@ pub fn e12() -> String {
         s.execute(&format!("INSERT INTO PART VALUES ({i}, 10)"))
             .unwrap();
     }
-    let info = db.catalog.table("PART").unwrap();
+    let info = table_info(&db, "PART");
     let key = |i: i32| {
         nsql_records::key::encode_record_key(&info.open.desc, &[Value::Int(i), Value::Int(0)])
     };
@@ -1316,7 +1324,7 @@ pub fn e13() -> String {
     };
     let try_write = |db: &Cluster, k: i32, sets: &SetList| -> &'static str {
         let s = db.session();
-        let info = db.catalog.table("T").unwrap();
+        let info = table_info(&db, "T");
         let key = nsql_records::key::encode_record_key(
             &info.open.desc,
             &[Value::Int(k), Value::Double(0.0)],
@@ -1335,7 +1343,7 @@ pub fn e13() -> String {
     {
         let db = build();
         let s = db.session();
-        let info = db.catalog.table("T").unwrap();
+        let info = table_info(&db, "T");
         let reader = db.txnmgr.begin();
         let mut cur = s.fs().ens_open_sbb(&info.open, reader).unwrap();
         // Read a few records of the front of the file.
@@ -1356,7 +1364,7 @@ pub fn e13() -> String {
     {
         let db = build();
         let s = db.session();
-        let info = db.catalog.table("T").unwrap();
+        let info = table_info(&db, "T");
         let reader = db.txnmgr.begin();
         let hi = nsql_records::key::encode_record_key(
             &info.open.desc,
@@ -1463,7 +1471,7 @@ pub fn e15() -> String {
         let mut s = db.session();
         s.execute("CREATE TABLE A (K INT NOT NULL, BAL DOUBLE NOT NULL, PRIMARY KEY (K))")
             .unwrap();
-        let info = db.catalog.table("A").unwrap();
+        let info = table_info(&db, "A");
         let txn = db.txnmgr.begin();
         {
             let mut ins = nsql_fs::BlockedInserter::new(s.fs(), &info.open, txn);
@@ -1658,7 +1666,7 @@ pub fn e18_table() -> Table {
     let rows = 10_000u32;
     let db = ClusterBuilder::new().volume("$DATA1", 0, 1).build();
     let _w = Wisconsin::create(&db, "WISC", rows, &["$DATA1"], 2).unwrap();
-    let info = db.catalog.table("WISC").unwrap();
+    let info = table_info(&db, "WISC");
     let of = &info.open;
     let session = db.session();
     let fs = session.fs();
@@ -1775,6 +1783,123 @@ pub fn e18_table() -> Table {
         file(&rsbb, Ctr::RecsExamined),
         file(&vsbb, Ctr::RecsExamined),
     ));
+    t
+}
+
+
+/// E19 — critical-path wait profile: where the elapsed virtual time of the
+/// E2/E4/E9 workloads goes, decomposed into exhaustive, non-overlapping
+/// categories that sum *exactly* to the elapsed time (no tolerance), plus a
+/// chaos variant showing retry/backoff time appearing under injected faults.
+pub fn e19() -> String {
+    e19_table().render()
+}
+
+/// The table behind E19, also emitted to `BENCH_results.json`. Every cell
+/// is a raw integer of virtual microseconds, so the perf gate catches any
+/// hop silently getting slower, per category.
+pub fn e19_table() -> Table {
+    use nsql_sim::{Wait, WaitProfile, WAIT_CATEGORIES};
+
+    let mut t = Table::new(
+        "E19 — critical-path wait profile: exact decomposition of elapsed virtual time (µs)",
+        &[
+            "workload", "cpu", "msg", "disk", "lock", "commit", "retry", "other", "elapsed",
+        ],
+    );
+    let push = |t: &mut Table, label: &str, wait: &WaitProfile, elapsed: u64| {
+        assert_eq!(
+            wait.total(),
+            elapsed,
+            "{label}: wait categories must sum exactly to elapsed time"
+        );
+        assert_eq!(
+            wait.get(Wait::Other),
+            0,
+            "{label}: every microsecond inside a workload must be attributed"
+        );
+        let mut row = vec![label.to_string()];
+        row.extend(WAIT_CATEGORIES.iter().map(|w| wait.get(*w).to_string()));
+        row.push(elapsed.to_string());
+        t.row(row);
+    };
+
+    // E2's winning interface: the VSBB 10% selection as one SQL statement.
+    // Statement-level profile straight from QueryStats.
+    {
+        let db = ClusterBuilder::new().volume("$DATA1", 0, 1).build();
+        let w = Wisconsin::create(&db, "WISC", 10_000, &["$DATA1"], 2).unwrap();
+        cold_caches(&db);
+        let mut s = db.session();
+        s.query(&w.q_select_10pct_clustered()).unwrap();
+        let stats = s.last_stats().unwrap();
+        push(&mut t, "E2 VSBB scan (10% select)", &stats.wait, stats.elapsed_us);
+    }
+
+    // E4's winning method: the set-oriented interest-posting UPDATE.
+    {
+        let db = ClusterBuilder::new().volume("$DATA1", 0, 1).build();
+        let w = Wisconsin::create(&db, "WISC", 2_000, &["$DATA1"], 2).unwrap();
+        let _ = &w;
+        let mut s = db.session();
+        s.execute("UPDATE WISC SET UNIQUE1 = UNIQUE1 + 0 WHERE UNIQUE2 < 200")
+            .unwrap();
+        let stats = s.last_stats().unwrap();
+        push(&mut t, "E4 set-oriented UPDATE (10%)", &stats.wait, stats.elapsed_us);
+    }
+
+    // E9: the DebitCredit batch over the SQL path; the window profile
+    // aggregates the per-statement ledgers (group-commit time shows up).
+    let bank_run = |faults: Option<FaultConfig>| -> (WaitProfile, u64, u64) {
+        let db = ClusterBuilder::new()
+            .volume_with_backup("$DATA1", 0, 1, 0, 3)
+            .build();
+        let bank = Bank::create(&db, 2, 500, "$DATA1").unwrap();
+        let s = db.session();
+        let mut rng = SimRng::seed_from(5);
+        if let Some(cfg) = faults {
+            db.enable_faults(cfg);
+        }
+        let w0 = db.sim.wait_profile();
+        let t0 = db.sim.now();
+        for _ in 0..100 {
+            let (aid, tid, bid, delta) = bank.draw(&mut rng);
+            let txn = db.txnmgr.begin();
+            match bank.debit_credit_sql(s.fs(), txn, aid, tid, bid, delta) {
+                Ok(()) => {
+                    let _ = db.txnmgr.commit(txn, s.cpu());
+                }
+                Err(_) => {
+                    let _ = db.txnmgr.abort(txn, s.cpu());
+                }
+            }
+        }
+        let wait = db.sim.wait_profile() - w0;
+        let elapsed = db.sim.now() - t0;
+        db.disable_faults();
+        (wait, elapsed, db.metrics().snapshot().fs_retries)
+    };
+    let (wait, elapsed, _) = bank_run(None);
+    push(&mut t, "E9 DebitCredit x100 (fault-free)", &wait, elapsed);
+    let (wait, elapsed, retries) = bank_run(Some(FaultConfig {
+        drop: 0.08,
+        ..FaultConfig::with_seed(21)
+    }));
+    assert!(retries > 0, "the chaos variant must exercise FS retries");
+    push(&mut t, "E9 DebitCredit x100 (chaos: 8% drops)", &wait, elapsed);
+
+    t.note(
+        "Each row decomposes the workload's elapsed virtual time into the exhaustive wait \
+         categories of the per-statement ledger; the categories sum exactly (no tolerance) to \
+         the elapsed column — the EXPLAIN ANALYZE discipline applied to latency."
+            .to_string(),
+    );
+    t.note(
+        "Under injected message drops the same workload grows a retry column (FS backoff \
+         between retransmissions) and its msg share swells with virtual-time timeouts — the \
+         breakdown names the hop that got slower, which counters alone cannot."
+            .to_string(),
+    );
     t
 }
 
@@ -2053,7 +2178,7 @@ mod tests {
             .iter()
             .map(|r| r.get("id").and_then(crate::gate::Json::as_str).unwrap())
             .collect();
-        assert_eq!(ids, ["e2", "e4", "e6", "e9", "e17", "e18", "measure"]);
+        assert_eq!(ids, ["e2", "e4", "e6", "e9", "e17", "e18", "e19", "measure"]);
         // The same build's results gate cleanly against themselves, and the
         // measure record carries per-entity counters.
         assert!(crate::gate::perf_gate(&json, &json).is_ok());
@@ -2066,5 +2191,36 @@ mod tests {
         let t = trace_json();
         assert!(t.contains("\"traceEvents\""), "{t}");
         assert!(t.contains("\"ph\""), "{t}");
+        // Causal spans render as duration slices with cross-track flow
+        // arrows linking each request span to its DP-side handling span.
+        assert!(t.contains("\"ph\": \"B\""), "{t}");
+        assert!(t.contains("\"ph\": \"E\""), "{t}");
+        assert!(t.contains("\"ph\": \"s\""), "{t}");
+        assert!(t.contains("\"ph\": \"f\""), "{t}");
+        // And the export stays machine-parseable JSON end to end.
+        assert!(crate::gate::parse(&t).is_ok());
+    }
+
+    #[test]
+    fn e19_shape_wait_profiles_sum_exactly_and_chaos_shows_retries() {
+        let r = e19();
+        assert!(r.contains("E2 VSBB scan"), "{r}");
+        assert!(r.contains("E9 DebitCredit"), "{r}");
+        // The chaos variant surfaces retry/backoff time; the fault-free
+        // rows have none. Row cells are raw integers, so the perf gate
+        // diffs every category with zero tolerance.
+        let retry_of = |needle: &str| -> u64 {
+            r.lines()
+                .find(|l| l.contains(needle))
+                .unwrap()
+                .split('|')
+                .nth(7)
+                .unwrap()
+                .trim()
+                .parse()
+                .unwrap()
+        };
+        assert_eq!(retry_of("E9 DebitCredit"), 0);
+        assert!(retry_of("chaos") > 0, "{r}");
     }
 }

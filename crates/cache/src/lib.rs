@@ -24,7 +24,7 @@
 
 use nsql_disk::{BlockNo, Disk, DiskError};
 use nsql_sim::sync::Mutex;
-use nsql_sim::{Ctr, Micros, Sim};
+use nsql_sim::{Ctr, Micros, Sim, Wait};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -142,7 +142,7 @@ impl BufferPool {
             // to complete — but usually the CPU work since issuing it
             // covers the latency (that is the point of pre-fetch).
             if let Some(ready) = f.ready_at.take() {
-                self.sim.clock.advance_to(ready);
+                self.sim.clock.advance_to_in(Wait::Disk, ready);
                 self.sim.metrics.prefetch_hits.inc();
             }
             self.sim.metrics.cache_hits.inc();
@@ -294,7 +294,7 @@ impl BufferPool {
                 let now = self.sim.now();
                 if !self.wal.durable(f.lsn, now) {
                     let done = self.wal.force(f.lsn, now);
-                    self.sim.clock.advance_to(done);
+                    self.sim.clock.advance_to_in(Wait::Commit, done);
                 }
                 self.disk.write(victim, std::slice::from_ref(&f.data))?;
             }
@@ -365,7 +365,7 @@ impl BufferPool {
         let now = self.sim.now();
         if max_lsn > 0 && !self.wal.durable(max_lsn, now) {
             let done = self.wal.force(max_lsn, now);
-            self.sim.clock.advance_to(done);
+            self.sim.clock.advance_to_in(Wait::Commit, done);
         }
         let mut dirty: Vec<BlockNo> = inner
             .frames

@@ -30,7 +30,9 @@ use nsql_fs::{FileSystem, OpenFile};
 use nsql_lock::TxnId;
 use nsql_msg::{Bus, CpuId};
 use nsql_sim::sync::RwLock;
-use nsql_sim::{CostModel, Ctr, MeasureReport, Metrics, MetricsSnapshot, Micros, Sim, TraceEvent};
+use nsql_sim::{
+    CostModel, Ctr, MeasureReport, Metrics, MetricsSnapshot, Micros, Sim, TraceEvent, WaitProfile,
+};
 use nsql_sql::ast::Statement;
 use nsql_sql::{parse, plan, Catalog, Executor, OpStats, Plan, QueryResult};
 use nsql_tmf::{CommitTimer, LsnSource, Trail, TxnManager, AUDIT_PROCESS};
@@ -428,6 +430,10 @@ pub struct QueryStats {
     pub metrics: MetricsSnapshot,
     /// Virtual time the statement took.
     pub elapsed_us: Micros,
+    /// Exact decomposition of `elapsed_us` into wait categories: the
+    /// per-category virtual-time ledger delta over the statement. Its
+    /// `total()` equals `elapsed_us` with no tolerance.
+    pub wait: WaitProfile,
     /// Trace events emitted during the statement (empty when tracing is
     /// disabled or the events were evicted from the ring).
     pub trace: Vec<TraceEvent>,
@@ -515,13 +521,25 @@ impl Session<'_> {
         let before = sim.metrics.snapshot();
         let measure_before = MeasureReport::capture(&sim);
         let t0 = sim.clock.now();
+        let w0 = sim.wait_profile();
         let cursor = sim.trace.cursor();
+        // The statement's root span: every FS-DP request span opened while
+        // it runs becomes a child, so the trace assembles into one tree per
+        // statement.
+        let span = sim.span_root(stmt_label(sql), &self.cpu.to_string());
         let out = self.execute_inner(sql);
+        drop(span);
         let elapsed = sim.clock.now().saturating_sub(t0);
+        // The ledger delta decomposes the elapsed time exactly — the clock
+        // only moves through attributed advances.
+        let wait = sim.wait_profile() - w0;
         sim.hist.stmt_latency_us.record(elapsed);
+        sim.hist.record_stmt_wait(&wait);
+        sim.metrics.record_stmt_wait(&wait);
         self.last_stats = Some(QueryStats {
             metrics: sim.metrics.snapshot() - before,
             elapsed_us: elapsed,
+            wait,
             trace: sim.trace.since(cursor),
             measure: MeasureReport::capture(&sim).since(&measure_before),
         });
@@ -553,10 +571,15 @@ impl Session<'_> {
                 }))
             }
             Plan::ExplainAnalyze(inner) => {
-                let before = MeasureReport::capture(&self.cluster.sim);
+                let sim = &self.cluster.sim;
+                let before = MeasureReport::capture(sim);
+                let w0 = sim.wait_profile();
+                let t0 = sim.clock.now();
                 let stats = self.analyze(&exec, *inner)?;
-                let delta = MeasureReport::capture(&self.cluster.sim).since(&before);
-                Ok(Outcome::Rows(analyze_result(&stats, &delta)))
+                let wait = sim.wait_profile() - w0;
+                let elapsed = sim.clock.now().saturating_sub(t0);
+                let delta = MeasureReport::capture(sim).since(&before);
+                Ok(Outcome::Rows(analyze_result(&stats, &delta, &wait, elapsed)))
             }
             Plan::Select(p) => {
                 let r = exec.select(&p, self.txn).map_err(db_err)?;
@@ -691,6 +714,24 @@ impl Session<'_> {
     }
 }
 
+/// Root-span label for a statement: its leading keyword, uppercased.
+fn stmt_label(sql: &str) -> &'static str {
+    let kw = sql.trim_start().split_whitespace().next().unwrap_or("");
+    match kw.to_ascii_uppercase().as_str() {
+        "SELECT" => "SELECT",
+        "INSERT" => "INSERT",
+        "UPDATE" => "UPDATE",
+        "DELETE" => "DELETE",
+        "EXPLAIN" => "EXPLAIN",
+        "BEGIN" => "BEGIN",
+        "COMMIT" => "COMMIT",
+        "ROLLBACK" => "ROLLBACK",
+        "CREATE" => "CREATE",
+        "DROP" => "DROP",
+        _ => "STATEMENT",
+    }
+}
+
 /// Open one operator measurement window (EXPLAIN ANALYZE over DML).
 fn op_mark(sim: &Sim) -> (MetricsSnapshot, Micros) {
     (sim.metrics.snapshot(), sim.clock.now())
@@ -711,10 +752,18 @@ fn close_op(sim: &Sim, label: String, rows: u64, mark: (MetricsSnapshot, Micros)
 
 /// Render per-operator statistics as the EXPLAIN ANALYZE result set,
 /// followed by the statement's per-entity MEASURE breakdown (`@kind name`
-/// rows: records examined, messages received, disk I/O per entity) and —
-/// whenever the trace ring overflowed — a `TRACE DROPPED` row so bounded
-/// tracing never silently truncates.
-fn analyze_result(stats: &[OpStats], measure: &MeasureReport) -> QueryResult {
+/// rows: records examined, messages received, disk I/O per entity), a
+/// `WAIT <category>` row per wait category plus a `WAIT TOTAL` row (the
+/// critical-path decomposition; the categories sum exactly — no tolerance —
+/// to the measured window's elapsed virtual time) and — whenever the trace
+/// ring overflowed — a `TRACE DROPPED` row so bounded tracing never
+/// silently truncates.
+fn analyze_result(
+    stats: &[OpStats],
+    measure: &MeasureReport,
+    wait: &WaitProfile,
+    window_us: Micros,
+) -> QueryResult {
     use nsql_records::{Row, Value};
     let mut rows = Vec::with_capacity(stats.len() + 1 + measure.snap.entities.len());
     let (mut msgs, mut reads, mut writes, mut elapsed) = (0u64, 0u64, 0u64, 0u64);
@@ -755,6 +804,25 @@ fn analyze_result(stats: &[OpStats], measure: &MeasureReport) -> QueryResult {
             Value::LargeInt(0),
         ]));
     }
+    for (w, us) in wait.iter() {
+        rows.push(Row(vec![
+            Value::Str(format!("WAIT {}", w.short())),
+            Value::LargeInt(0),
+            Value::LargeInt(0),
+            Value::LargeInt(0),
+            Value::LargeInt(0),
+            Value::LargeInt(us as i64),
+        ]));
+    }
+    debug_assert_eq!(wait.total(), window_us, "wait categories must sum exactly");
+    rows.push(Row(vec![
+        Value::Str("WAIT TOTAL".into()),
+        Value::LargeInt(0),
+        Value::LargeInt(0),
+        Value::LargeInt(0),
+        Value::LargeInt(0),
+        Value::LargeInt(window_us as i64),
+    ]));
     if measure.trace_dropped > 0 {
         rows.push(Row(vec![
             Value::Str("TRACE DROPPED".into()),

@@ -18,7 +18,7 @@
 
 use nsql_sim::measure::{Ctr, EntityKind, MeasureRecord};
 use nsql_sim::sync::Mutex;
-use nsql_sim::{Micros, Sim};
+use nsql_sim::{Micros, Sim, Wait};
 use std::sync::Arc;
 
 /// Index of a block on a volume.
@@ -172,7 +172,7 @@ impl Disk {
                 synchronous,
             });
         if synchronous {
-            self.sim.clock.advance_to(end);
+            self.sim.clock.advance_to_in(Wait::Disk, end);
         }
         end
     }

@@ -41,6 +41,7 @@ use nsql_records::row::{decode_row, encode_row, extract_field, RawRecord};
 use nsql_records::{Expr, OwnedBound, RecordDescriptor, SetList, Value};
 use nsql_sim::sync::Mutex;
 use nsql_sim::trace::TraceEventKind;
+use nsql_sim::Wait;
 use nsql_sim::{CpuLayer, Ctr, EntityKind, MeasureRecord, Micros, Sim};
 use nsql_tmf::audit::FieldImage;
 use nsql_tmf::txn::{EndTxnReply, EndTxnRequest};
@@ -360,6 +361,11 @@ impl DiskProcess {
             Err(LockError::Conflict { holder }) => {
                 self.sim.metrics.lock_waits.inc();
                 self.rec.bump(Ctr::LockWaits);
+                // The blocked-then-bounced hop. Zero-cost by default, but
+                // whatever it costs lands in the wait.lock category.
+                self.sim
+                    .clock
+                    .advance_in(Wait::Lock, self.sim.cost.lock_wait_us);
                 // Declare the wait; a closed waits-for cycle makes this
                 // requester the deadlock victim.
                 match self.locks.wait_for(txn, holder) {
@@ -1647,6 +1653,13 @@ impl Server for DiskProcess {
         let request = match request.downcast::<protocol::SyncRequest>() {
             Ok(sreq) => {
                 let sreq = *sreq;
+                // The DP-side handling span attaches to the identity carried
+                // in the request header, so the statement's span tree
+                // survives the wire hop (and a duplicate delivery shows up
+                // as a second handling span under the same request span).
+                let _span = self
+                    .sim
+                    .span_enter(sreq.span, sreq.req.name(), &self.name);
                 let reply = self.handle_sync(sreq.sync, sreq.req);
                 let size = reply.wire_size();
                 return Response::new(reply, size);

@@ -45,6 +45,11 @@ pub struct SyncId {
 pub struct SyncRequest {
     /// Duplicate-suppression identity.
     pub sync: SyncId,
+    /// Causal span identity of the request (trace / span / parent). Like the
+    /// sync ID it rides in the 16-byte request header that
+    /// [`DpRequest::wire_size`] already accounts for, so carrying it costs
+    /// no extra message bytes.
+    pub span: nsql_sim::SpanHeader,
     /// The request itself.
     pub req: DpRequest,
 }

@@ -31,7 +31,7 @@ use nsql_msg::{Bus, BusError, CpuId, MsgKind};
 use nsql_records::key::encode_key_value;
 use nsql_records::{KeyRange, RecordDescriptor, Row, Value};
 use nsql_sim::trace::TraceEventKind;
-use nsql_sim::{CpuLayer, Ctr, EntityKind, FlightEntry, MeasureRecord, Sim};
+use nsql_sim::{CpuLayer, Ctr, EntityKind, FlightEntry, MeasureRecord, Sim, Wait};
 use std::sync::Arc;
 
 /// Errors surfaced to File System callers.
@@ -312,6 +312,11 @@ impl FileSystem {
         };
         let size = req.wire_size();
         let label = req.name();
+        // The request span: one hop of the statement's causal tree, open
+        // across every retry of this logical request. Its identity rides
+        // the already-accounted request header so the Disk Process can
+        // attach its handling span on the far side of the wire.
+        let span = self.sim.span_child(label, &self.cpu.to_string());
         let env = nsql_dp::SyncRequest {
             sync: nsql_dp::SyncId {
                 opener: self.opener,
@@ -319,6 +324,7 @@ impl FileSystem {
                     .sync_seq
                     .fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             },
+            span: span.header(),
             req,
         };
         let make = move || -> Box<dyn std::any::Any + Send> { Box::new(env.clone()) };
@@ -355,7 +361,7 @@ impl FileSystem {
                             resumed: false,
                         });
                     }
-                    self.sim.clock.advance(backoff);
+                    self.sim.clock.advance_in(Wait::Retry, backoff);
                     self.sim.flight.record(
                         to,
                         FlightEntry {

@@ -20,7 +20,7 @@
 use nsql_sim::measure::{Ctr, EntityKind, FlightEntry, MeasureRecord};
 use nsql_sim::sync::{Mutex, RwLock};
 use nsql_sim::trace::{FaultAction, TraceEventKind, TraceMsgClass};
-use nsql_sim::{Micros, Sim, SimRng};
+use nsql_sim::{Micros, Sim, SimRng, Wait};
 use std::any::Any;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -614,7 +614,7 @@ impl Bus {
         });
         self.sim
             .clock
-            .advance(self.sim.cost.msg_cost(remote, bytes));
+            .advance_in(Wait::Msg, self.sim.cost.msg_cost(remote, bytes));
         Ok(response)
     }
 
@@ -675,7 +675,7 @@ impl Bus {
                 emit_fault(FaultAction::Drop);
                 self.account_lost_request(from, cpu, kind, req_size, rec);
                 m.msgs_timed_out.inc();
-                self.sim.clock.advance(timeout);
+                self.sim.clock.advance_in(Wait::Msg, timeout);
                 Err(BusError::Timeout(to.to_string()))
             }
             Fault::DropReply => {
@@ -684,7 +684,7 @@ impl Bus {
                 // The server executed the request; only the answer is lost.
                 let _ = server.handle(payload);
                 m.msgs_timed_out.inc();
-                self.sim.clock.advance(timeout);
+                self.sim.clock.advance_in(Wait::Msg, timeout);
                 Err(BusError::Timeout(to.to_string()))
             }
             Fault::Duplicate => {
@@ -709,7 +709,7 @@ impl Bus {
             }
             Fault::Delay(us) => {
                 emit_fault(FaultAction::Delay);
-                self.sim.clock.advance(us);
+                self.sim.clock.advance_in(Wait::Msg, us);
                 self.deliver(from, to, cpu, kind, req_size, payload, label, server, rec)
             }
             Fault::Error => {
@@ -753,7 +753,7 @@ impl Bus {
         rec.bump(Ctr::MsgsLost);
         self.sim
             .clock
-            .advance(self.sim.cost.msg_cost(remote, req_size));
+            .advance_in(Wait::Msg, self.sim.cost.msg_cost(remote, req_size));
     }
 
     /// Cost (without sending) of an exchange to `to` carrying `bytes` — used

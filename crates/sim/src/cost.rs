@@ -36,6 +36,14 @@ pub struct CostModel {
     /// Duration of one abstract CPU work unit.
     pub cpu_work_unit_us: Micros,
 
+    // ----- locks -----
+    /// Virtual time a requester is charged when a lock request hits a
+    /// conflicting holder (the blocked-then-bounced hop). Zero by default —
+    /// conflicts fail fast — but the charge is attributed to
+    /// [`crate::Wait::Lock`] so experiments can make lock waits visible in
+    /// the wait profile by raising it.
+    pub lock_wait_us: Micros,
+
     // ----- sizing (paper-mandated) -----
     /// Physical block size in bytes (the paper: "presently limited to 4K").
     pub block_size: usize,
@@ -83,6 +91,7 @@ impl Default for CostModel {
             disk_sequential_position_us: 1_000,
             disk_transfer_per_block_us: 2_000,
             cpu_work_unit_us: 15,
+            lock_wait_us: 0,
             block_size: 4096,
             bulk_io_max: 28 * 1024,
         }

@@ -12,10 +12,11 @@ pub mod cost;
 pub mod measure;
 pub mod metrics;
 pub mod rng;
+pub mod span;
 pub mod sync;
 pub mod trace;
 
-pub use clock::{Clock, Micros};
+pub use clock::{Clock, Micros, Wait, WaitProfile, WAIT_CATEGORIES};
 pub use cost::CostModel;
 pub use measure::{
     Ctr, EntityKind, FlightDump, FlightEntry, FlightRecorder, MeasureRecord, MeasureRegistry,
@@ -23,9 +24,10 @@ pub use measure::{
 };
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use rng::SimRng;
+pub use span::{current_span, SpanAllocator, SpanGuard, SpanHeader};
 pub use trace::{
-    chrome_trace, format_sequence, FaultAction, Histogram, Histograms, TraceEvent, TraceEventKind,
-    TraceMsgClass, TraceRecorder,
+    assemble_spans, chrome_trace, format_sequence, FaultAction, Histogram, Histograms, SpanNode,
+    TraceEvent, TraceEventKind, TraceMsgClass, TraceRecorder,
 };
 
 use std::sync::Arc;
@@ -50,6 +52,8 @@ pub struct Sim {
     pub measure: Arc<MeasureRegistry>,
     /// Always-on per-process flight rings and crash dumps (see [`measure`]).
     pub flight: Arc<FlightRecorder>,
+    /// Trace/span id allocator for causal tracing (see [`span`]).
+    pub spans: Arc<SpanAllocator>,
 }
 
 impl Sim {
@@ -68,6 +72,7 @@ impl Sim {
             hist: Arc::new(Histograms::new()),
             measure: Arc::new(MeasureRegistry::new()),
             flight: Arc::new(FlightRecorder::new()),
+            spans: Arc::new(SpanAllocator::new()),
         }
     }
 
@@ -102,7 +107,52 @@ impl Sim {
             CpuLayer::FileSystem => self.metrics.cpu_fs.add(units),
             CpuLayer::DiskProcess => self.metrics.cpu_dp.add(units),
         }
-        self.clock.advance(units * self.cost.cpu_work_unit_us);
+        self.clock
+            .advance_in(Wait::Cpu, units * self.cost.cpu_work_unit_us);
+    }
+
+    /// Current per-category wait ledger (see [`Clock::profile`]). Two
+    /// snapshots subtract to a window's exact latency decomposition.
+    pub fn wait_profile(&self) -> WaitProfile {
+        self.clock.profile()
+    }
+
+    /// Open a root span for a new statement: fresh trace id, no parent.
+    pub fn span_root(&self, label: &str, track: &str) -> SpanGuard {
+        let header = SpanHeader {
+            trace: self.spans.trace_id(),
+            span: self.spans.span_id(),
+            parent: 0,
+        };
+        SpanGuard::open(self.clock.clone(), self.trace.clone(), header, label, track)
+    }
+
+    /// Open a span under the innermost open span on this thread — a fresh
+    /// root trace when none is open (e.g. utility operations outside a
+    /// statement).
+    pub fn span_child(&self, label: &str, track: &str) -> SpanGuard {
+        let cur = current_span();
+        let header = SpanHeader {
+            trace: if cur.span == 0 {
+                self.spans.trace_id()
+            } else {
+                cur.trace
+            },
+            span: self.spans.span_id(),
+            parent: cur.span,
+        };
+        SpanGuard::open(self.clock.clone(), self.trace.clone(), header, label, track)
+    }
+
+    /// Open a span under an identity carried on the wire — the Disk Process
+    /// side of a request: same trace, parent = the request's span.
+    pub fn span_enter(&self, carried: SpanHeader, label: &str, track: &str) -> SpanGuard {
+        let header = SpanHeader {
+            trace: carried.trace,
+            span: self.spans.span_id(),
+            parent: carried.span,
+        };
+        SpanGuard::open(self.clock.clone(), self.trace.clone(), header, label, track)
     }
 }
 

@@ -174,9 +174,61 @@ metrics! {
     path_switches,
     /// Duplicate requests suppressed by the Disk Process sync-ID cache.
     dp_dup_suppressed,
+    /// Statement virtual time attributed to CPU service (wait.cpu).
+    stmt_wait_cpu_us,
+    /// Statement virtual time attributed to the message system (wait.msg).
+    stmt_wait_msg_us,
+    /// Statement virtual time attributed to disk I/O (wait.disk).
+    stmt_wait_disk_us,
+    /// Statement virtual time attributed to lock waits (wait.lock).
+    stmt_wait_lock_us,
+    /// Statement virtual time attributed to group-commit waits (wait.commit).
+    stmt_wait_commit_us,
+    /// Statement virtual time attributed to retry backoff (wait.retry).
+    stmt_wait_retry_us,
+    /// Statement virtual time left unattributed (wait.other; normally 0).
+    stmt_wait_other_us,
+}
+
+impl Metrics {
+    /// Accumulate one statement's wait-profile delta into the per-category
+    /// statement-wait counters.
+    pub fn record_stmt_wait(&self, wait: &crate::clock::WaitProfile) {
+        use crate::clock::Wait;
+        for (w, us) in wait.iter() {
+            if us == 0 {
+                continue;
+            }
+            match w {
+                Wait::Cpu => self.stmt_wait_cpu_us.add(us),
+                Wait::Msg => self.stmt_wait_msg_us.add(us),
+                Wait::Disk => self.stmt_wait_disk_us.add(us),
+                Wait::Lock => self.stmt_wait_lock_us.add(us),
+                Wait::Commit => self.stmt_wait_commit_us.add(us),
+                Wait::Retry => self.stmt_wait_retry_us.add(us),
+                Wait::Other => self.stmt_wait_other_us.add(us),
+            }
+        }
+    }
 }
 
 impl MetricsSnapshot {
+    /// Per-category statement-wait totals in [`crate::clock::WAIT_CATEGORIES`]
+    /// order (a [`crate::clock::WaitProfile`] reassembled from the counters).
+    pub fn stmt_wait(&self) -> crate::clock::WaitProfile {
+        crate::clock::WaitProfile {
+            us: [
+                self.stmt_wait_cpu_us,
+                self.stmt_wait_msg_us,
+                self.stmt_wait_disk_us,
+                self.stmt_wait_lock_us,
+                self.stmt_wait_commit_us,
+                self.stmt_wait_retry_us,
+                self.stmt_wait_other_us,
+            ],
+        }
+    }
+
     /// Fraction of buffer-pool lookups that hit, in `[0, 1]`.
     pub fn cache_hit_rate(&self) -> f64 {
         let lookups = self.cache_hits + self.cache_misses;

@@ -19,7 +19,7 @@
 //!   Figure-2-style FS ↔ DP message-sequence diagram, used by tests to
 //!   assert message *patterns* rather than just counts.
 
-use crate::clock::Micros;
+use crate::clock::{Micros, Wait, WaitProfile};
 use crate::sync::Mutex;
 use std::collections::VecDeque;
 use std::fmt::Write as _;
@@ -151,6 +151,34 @@ pub enum TraceEventKind {
         /// True when the re-drive resumed after the last confirmed key
         /// (mid-scan); false when the statement restarted from the top.
         resumed: bool,
+    },
+    /// A causal span opened (statement root, FS-side request, or DP-side
+    /// handling). Span identities are allocated from the shared simulation
+    /// context, so identical seeded runs produce identical span trees.
+    SpanBegin {
+        /// Trace (statement) the span belongs to.
+        trace: u64,
+        /// This span's id (unique per simulation).
+        span: u64,
+        /// Parent span id (0 for a root span).
+        parent: u64,
+        /// What the span covers (statement text kind, request verb, ...).
+        label: String,
+        /// Entity the span executes on (session, DP process name, ...).
+        track: String,
+    },
+    /// A causal span closed. `wait` is the span's inclusive per-category
+    /// virtual-time delta; for a root span it decomposes the statement's
+    /// elapsed time exactly.
+    SpanEnd {
+        /// Trace (statement) the span belongs to.
+        trace: u64,
+        /// The span that closed.
+        span: u64,
+        /// Entity the span executed on (mirrors its begin event).
+        track: String,
+        /// Per-category virtual time accrued while the span was open.
+        wait: WaitProfile,
     },
 }
 
@@ -430,6 +458,11 @@ impl Histogram {
         self.quantile(0.99)
     }
 
+    /// 99.9th percentile (bucket upper bound).
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
     /// Occupied buckets as `(lo, hi, count)` ranges, ascending.
     pub fn buckets(&self) -> Vec<(u64, u64, u64)> {
         self.buckets
@@ -457,12 +490,30 @@ pub struct Histograms {
     pub commit_group: Histogram,
     /// Messages per FS-DP continuation chain (1 = no re-drive).
     pub redrive_chain: Histogram,
+    /// Per-category wait micros per SQL statement, indexed by
+    /// [`Wait::index`]. Only non-zero category deltas are recorded, so each
+    /// histogram's count is "statements that waited here at all".
+    pub stmt_wait_us: [Histogram; Wait::COUNT],
 }
 
 impl Histograms {
     /// All-empty histograms.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The per-statement wait histogram for one category.
+    pub fn stmt_wait(&self, w: Wait) -> &Histogram {
+        &self.stmt_wait_us[w.index()]
+    }
+
+    /// Record one statement's wait-profile delta (non-zero categories only).
+    pub fn record_stmt_wait(&self, wait: &WaitProfile) {
+        for (w, us) in wait.iter() {
+            if us > 0 {
+                self.stmt_wait_us[w.index()].record(us);
+            }
+        }
     }
 }
 
@@ -584,6 +635,22 @@ pub fn format_sequence(events: &[TraceEvent]) -> String {
                     },
                 );
             }
+            TraceEventKind::SpanBegin {
+                trace,
+                span,
+                parent,
+                label,
+                track,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "[{:>8} µs]      ▷ span #{span} open: {label} on {track} (trace {trace}, parent #{parent})",
+                    e.at,
+                );
+            }
+            TraceEventKind::SpanEnd { span, wait, .. } => {
+                let _ = writeln!(out, "[{:>8} µs]      ◁ span #{span} close: {wait}", e.at);
+            }
         }
     }
     out
@@ -606,6 +673,9 @@ fn chrome_track(kind: &TraceEventKind) -> String {
         | TraceEventKind::TxnCommit { .. }
         | TraceEventKind::TxnAbort { .. } => "TMF".into(),
         TraceEventKind::AuditFlush { .. } => "audit trail".into(),
+        TraceEventKind::SpanBegin { track, .. } | TraceEventKind::SpanEnd { track, .. } => {
+            track.clone()
+        }
     }
 }
 
@@ -703,6 +773,24 @@ fn chrome_describe(kind: &TraceEventKind) -> (String, &'static str, String) {
             "fault",
             format!("\"to\": {}, \"resumed\": {resumed}", js(to)),
         ),
+        TraceEventKind::SpanBegin {
+            trace,
+            span,
+            parent,
+            label,
+            ..
+        } => (
+            label.clone(),
+            "span",
+            format!("\"trace\": {trace}, \"span\": {span}, \"parent\": {parent}"),
+        ),
+        TraceEventKind::SpanEnd { trace, span, wait, .. } => {
+            let mut args = format!("\"trace\": {trace}, \"span\": {span}");
+            for (w, us) in wait.iter() {
+                let _ = write!(args, ", {}: {us}", js(w.name()));
+            }
+            ("span end".into(), "span", args)
+        }
     }
 }
 
@@ -713,14 +801,21 @@ fn chrome_describe(kind: &TraceEventKind) -> (String, &'static str, String) {
 /// microseconds), so the Perfetto timeline *is* the virtual timeline. Each
 /// target entity (DP process, volume, the audit trail, TMF) becomes one
 /// `pid` track named by a metadata event; every [`TraceEvent`] becomes a
-/// thread-scoped instant event carrying its fields as `args`.
+/// thread-scoped instant event carrying its fields as `args` — except causal
+/// spans, which render as `B`/`E` duration slices, with a flow-event pair
+/// (`ph: "s"`/`"f"`, id = the child span) drawing the causal arrow whenever
+/// a span's parent ran on a different track (the FS→DP hop).
 pub fn chrome_trace(events: &[TraceEvent]) -> String {
     use crate::measure::json_str as js;
     use std::collections::BTreeMap;
     let mut tracks: BTreeMap<String, u64> = BTreeMap::new();
+    let mut span_track: BTreeMap<u64, String> = BTreeMap::new();
     for e in events {
         let n = tracks.len() as u64;
         tracks.entry(chrome_track(&e.kind)).or_insert(n + 1);
+        if let TraceEventKind::SpanBegin { span, track, .. } = &e.kind {
+            span_track.insert(*span, track.clone());
+        }
     }
     // Re-number sorted so pid order is name order, independent of arrival.
     for (i, pid) in tracks.values_mut().enumerate() {
@@ -743,22 +838,166 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
     for e in events {
         let pid = tracks[&chrome_track(&e.kind)];
         let (name, cat, args) = chrome_describe(&e.kind);
+        let ph = match &e.kind {
+            TraceEventKind::SpanBegin { .. } => "B",
+            TraceEventKind::SpanEnd { .. } => "E",
+            _ => "i",
+        };
+        let scope = if ph == "i" { "\"s\": \"t\", " } else { "" };
         if !first {
             out.push(',');
         }
         first = false;
         let _ = write!(
             out,
-            "\n{{\"name\": {}, \"cat\": \"{cat}\", \"ph\": \"i\", \"s\": \"t\", \"ts\": {}, \
+            "\n{{\"name\": {}, \"cat\": \"{cat}\", \"ph\": \"{ph}\", {scope}\"ts\": {}, \
              \"pid\": {pid}, \"tid\": 0, \"args\": {{\"seq\": {}{}{args}}}}}",
             js(&name),
             e.at,
             e.seq,
             if args.is_empty() { "" } else { ", " },
         );
+        // Causal arrow: when this span's parent ran on another track, emit a
+        // flow pair from the parent's slice to this one (id = child span).
+        if let TraceEventKind::SpanBegin {
+            span,
+            parent,
+            track,
+            ..
+        } = &e.kind
+        {
+            if *parent != 0 {
+                if let Some(ptrack) = span_track.get(parent) {
+                    if ptrack != track {
+                        let ppid = tracks[ptrack];
+                        let _ = write!(
+                            out,
+                            ",\n{{\"name\": \"span flow\", \"cat\": \"span\", \"ph\": \"s\", \
+                             \"id\": {span}, \"ts\": {}, \"pid\": {ppid}, \"tid\": 0}},\
+                             \n{{\"name\": \"span flow\", \"cat\": \"span\", \"ph\": \"f\", \
+                             \"bp\": \"e\", \"id\": {span}, \"ts\": {}, \"pid\": {pid}, \
+                             \"tid\": 0}}",
+                            e.at, e.at,
+                        );
+                    }
+                }
+            }
+        }
     }
     out.push_str("\n]}\n");
     out
+}
+
+// ----------------------------------------------------------------------
+// Span-tree assembly
+// ----------------------------------------------------------------------
+
+/// One node of an assembled causal span tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanNode {
+    /// Trace (statement) the span belongs to.
+    pub trace: u64,
+    /// This span's id.
+    pub span: u64,
+    /// Parent span id (0 for a root).
+    pub parent: u64,
+    /// What the span covers.
+    pub label: String,
+    /// Entity the span executed on.
+    pub track: String,
+    /// Virtual time the span opened.
+    pub begin: Micros,
+    /// Virtual time the span closed (equals `begin` if the end event was
+    /// never captured).
+    pub end: Micros,
+    /// Inclusive per-category virtual time accrued while the span was open.
+    pub wait: WaitProfile,
+    /// Child spans, in open order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Inclusive elapsed virtual time.
+    pub fn elapsed(&self) -> Micros {
+        self.end.saturating_sub(self.begin)
+    }
+
+    /// Wait attributed to this span but to none of its children — the
+    /// span's own critical-path contribution. Children nest strictly inside
+    /// their parent on the synchronous bus, so subtracting their inclusive
+    /// profiles never underflows.
+    pub fn self_wait(&self) -> WaitProfile {
+        let mut w = self.wait;
+        for c in &self.children {
+            w = w - c.wait;
+        }
+        w
+    }
+}
+
+/// Assemble the span begin/end events of a trace slice into trees, one root
+/// per statement (plus one per orphan whose parent was evicted from the
+/// ring). Nodes appear in open order at every level, so identical seeded
+/// runs assemble identical trees.
+pub fn assemble_spans(events: &[TraceEvent]) -> Vec<SpanNode> {
+    use std::collections::HashMap;
+    let mut nodes: Vec<Option<SpanNode>> = Vec::new();
+    let mut by_id: HashMap<u64, usize> = HashMap::new();
+    for e in events {
+        match &e.kind {
+            TraceEventKind::SpanBegin {
+                trace,
+                span,
+                parent,
+                label,
+                track,
+            } => {
+                by_id.insert(*span, nodes.len());
+                nodes.push(Some(SpanNode {
+                    trace: *trace,
+                    span: *span,
+                    parent: *parent,
+                    label: label.clone(),
+                    track: track.clone(),
+                    begin: e.at,
+                    end: e.at,
+                    wait: WaitProfile::default(),
+                    children: Vec::new(),
+                }));
+            }
+            TraceEventKind::SpanEnd { span, wait, .. } => {
+                if let Some(n) = by_id.get(span).and_then(|&i| nodes[i].as_mut()) {
+                    n.end = e.at;
+                    n.wait = *wait;
+                }
+            }
+            _ => {}
+        }
+    }
+    // A child always opens after its parent, so walking indices in reverse
+    // attaches every subtree before its parent is consumed.
+    let mut roots = Vec::new();
+    for i in (0..nodes.len()).rev() {
+        let Some(node) = nodes[i].take() else {
+            continue;
+        };
+        let attached = node.parent != 0
+            && match by_id.get(&node.parent) {
+                Some(&p) if p != i => {
+                    if let Some(parent) = nodes[p].as_mut() {
+                        parent.children.insert(0, node.clone());
+                        true
+                    } else {
+                        false
+                    }
+                }
+                _ => false,
+            };
+        if !attached {
+            roots.insert(0, node);
+        }
+    }
+    roots
 }
 
 #[cfg(test)]
@@ -909,6 +1148,114 @@ mod tests {
         // Balanced JSON delimiters (cheap well-formedness check).
         let braces = json.matches('{').count() == json.matches('}').count();
         assert!(braces, "{json}");
+    }
+
+    fn span_begin(
+        seq: u64,
+        at: Micros,
+        span: u64,
+        parent: u64,
+        label: &str,
+        track: &str,
+    ) -> TraceEvent {
+        TraceEvent {
+            seq,
+            at,
+            kind: TraceEventKind::SpanBegin {
+                trace: 1,
+                span,
+                parent,
+                label: label.into(),
+                track: track.into(),
+            },
+        }
+    }
+
+    fn span_end(seq: u64, at: Micros, span: u64, track: &str, wait: WaitProfile) -> TraceEvent {
+        TraceEvent {
+            seq,
+            at,
+            kind: TraceEventKind::SpanEnd {
+                trace: 1,
+                span,
+                track: track.into(),
+                wait,
+            },
+        }
+    }
+
+    /// A statement span on the session track with one FS→DP request span
+    /// nested inside it, and a DP handling span inside that.
+    fn span_fixture() -> Vec<TraceEvent> {
+        let mut disk = WaitProfile::default();
+        disk.us[Wait::Disk.index()] = 22;
+        let mut msg = disk;
+        msg.us[Wait::Msg.index()] = 6;
+        let mut root = msg;
+        root.us[Wait::Cpu.index()] = 3;
+        vec![
+            span_begin(0, 0, 1, 0, "SELECT", "session 1"),
+            span_begin(1, 2, 2, 1, "GetSubsetFirst", "$DATA1"),
+            span_begin(2, 5, 3, 2, "GetSubsetFirst handler", "$DATA1"),
+            span_end(3, 27, 3, "$DATA1", disk),
+            span_end(4, 31, 2, "$DATA1", msg),
+            span_end(5, 31, 1, "session 1", root),
+        ]
+    }
+
+    #[test]
+    fn spans_assemble_into_a_tree_with_exact_self_waits() {
+        let roots = assemble_spans(&span_fixture());
+        assert_eq!(roots.len(), 1);
+        let root = &roots[0];
+        assert_eq!((root.span, root.parent, root.label.as_str()), (1, 0, "SELECT"));
+        assert_eq!(root.elapsed(), 31);
+        assert_eq!(root.wait.total(), 31, "root profile covers its elapsed time");
+        assert_eq!(root.children.len(), 1);
+        let req = &root.children[0];
+        assert_eq!(req.label, "GetSubsetFirst");
+        assert_eq!(req.children.len(), 1);
+        let handler = &req.children[0];
+        assert_eq!(handler.wait.get(Wait::Disk), 22);
+        // Exclusive profiles: the request span's own time is the message hop,
+        // the root's own time is its CPU service.
+        assert_eq!(req.self_wait().get(Wait::Msg), 6);
+        assert_eq!(req.self_wait().get(Wait::Disk), 0);
+        assert_eq!(root.self_wait().get(Wait::Cpu), 3);
+    }
+
+    #[test]
+    fn orphaned_spans_become_roots() {
+        // The parent's begin was evicted from the ring: the child still
+        // assembles, as a root.
+        let evs = span_fixture()[1..].to_vec();
+        let roots = assemble_spans(&evs);
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].span, 2);
+        assert_eq!(roots[0].children.len(), 1);
+    }
+
+    #[test]
+    fn chrome_trace_renders_spans_with_flow_arrows() {
+        let json = chrome_trace(&span_fixture());
+        // Spans render as duration slices on their own tracks.
+        assert!(json.contains("\"name\": \"SELECT\", \"cat\": \"span\", \"ph\": \"B\""), "{json}");
+        assert!(json.contains("\"ph\": \"E\""), "{json}");
+        assert!(json.contains("\"name\": \"session 1\""), "{json}");
+        // The cross-track FS→DP hop gets a flow pair keyed by the child span;
+        // the same-track DP handler span does not.
+        assert!(json.contains("\"ph\": \"s\", \"id\": 2"), "{json}");
+        assert!(json.contains("\"ph\": \"f\", \"bp\": \"e\", \"id\": 2"), "{json}");
+        assert!(!json.contains("\"id\": 3"), "{json}");
+        // Wait categories ride the end event's args under their lint names.
+        assert!(json.contains("\"wait.disk\": 22"), "{json}");
+        // Balanced delimiters and one B per E (cheap well-formedness check).
+        assert_eq!(json.matches('{').count(), json.matches('}').count(), "{json}");
+        assert_eq!(
+            json.matches("\"ph\": \"B\"").count(),
+            json.matches("\"ph\": \"E\"").count(),
+            "{json}"
+        );
     }
 
     #[test]

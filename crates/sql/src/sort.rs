@@ -9,7 +9,7 @@
 //! would.
 
 use nsql_records::{EvalError, Expr, Row, Value};
-use nsql_sim::Sim;
+use nsql_sim::{Sim, Wait};
 use std::cmp::Ordering;
 
 /// Compare two values for sorting: NULLs sort first, otherwise SQL order.
@@ -54,7 +54,8 @@ pub fn fastsort(
     let ways = parallel_ways.max(1) as u64;
     sim.metrics.cpu_executor.add(work);
     let elapsed_units = if ways == 1 { work } else { work / ways + n / 8 };
-    sim.clock.advance(elapsed_units * sim.cost.cpu_work_unit_us);
+    sim.clock
+        .advance_in(Wait::Cpu, elapsed_units * sim.cost.cpu_work_unit_us);
 
     decorated.sort_by(|(ka, _), (kb, _)| {
         for (i, (_, desc)) in keys.iter().enumerate() {

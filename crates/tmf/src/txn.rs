@@ -22,7 +22,7 @@ use crate::trail::{TrailReply, TrailRequest, AUDIT_PROCESS};
 use nsql_lock::TxnId;
 use nsql_msg::{Bus, CpuId, MsgKind};
 use nsql_sim::sync::Mutex;
-use nsql_sim::{Ctr, EntityKind, FlightEntry, MeasureRecord, Sim};
+use nsql_sim::{Ctr, EntityKind, FlightEntry, MeasureRecord, Sim, Wait};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -271,7 +271,7 @@ impl TxnManager {
             .downcast::<TrailReply>()
             .map_err(|_| TxnError::Unreachable(AUDIT_PROCESS.into()))?;
         if let TrailReply::Committed { completion } = reply {
-            self.sim.clock.advance_to(completion);
+            self.sim.clock.advance_to_in(Wait::Commit, completion);
         }
 
         // Phase 2: tell participants to release.

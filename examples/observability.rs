@@ -34,7 +34,7 @@ fn main() {
     // --- Per-statement attribution: the paper's example 1 -------------
     let sql = "SELECT NAME, HIRE_DATE FROM EMP WHERE EMPNO <= 1000 AND SALARY > 32000";
     let r = s.query(sql).expect("select");
-    let stats = s.last_stats().expect("stats");
+    let stats = s.last_stats().expect("stats").clone();
     println!("{sql}");
     println!(
         "  -> {} rows in {} virtual µs, {} FS-DP messages ({} re-drives), {} message bytes\n",
@@ -55,6 +55,38 @@ fn main() {
         .expect("explain analyze");
     println!("EXPLAIN ANALYZE {sql}");
     println!("{}", r.to_table());
+
+    // --- Critical-path wait profile -----------------------------------
+    // Every statement's elapsed virtual time decomposes into exhaustive
+    // wait categories (CPU / message / disk / lock / group-commit /
+    // retry) that sum exactly — zero tolerance — to `elapsed_us`. The
+    // same rows appear as the WAIT PROFILE section of EXPLAIN ANALYZE.
+    println!(
+        "wait profile: {} (sums to {} µs elapsed: {})",
+        stats.wait,
+        stats.elapsed_us,
+        stats.wait.total() == stats.elapsed_us,
+    );
+
+    // --- Causal span tree ---------------------------------------------
+    // Each FS-DP request carries trace/span/parent ids in its header, so
+    // the statement's trace slice assembles into one causal tree.
+    let roots = nonstop_sql::sim::assemble_spans(&stats.trace);
+    for root in &roots {
+        println!(
+            "span tree: {} ({} µs, self {})",
+            root.label,
+            root.elapsed(),
+            root.self_wait(),
+        );
+        for req in &root.children {
+            println!("  {} on {} -> {}", req.label, req.track, req.wait);
+            for dp in &req.children {
+                println!("    handled by {} -> {}", dp.track, dp.wait);
+            }
+        }
+    }
+    println!();
 
     // --- Histograms ---------------------------------------------------
     let h = &db.sim.hist;

@@ -74,6 +74,10 @@ struct BankOutcome {
     retries: u64,
     /// Rendered trace (empty unless tracing was enabled).
     trace: String,
+    /// Per-category wait decomposition of the transaction loop's window.
+    wait: nsql_sim::WaitProfile,
+    /// Elapsed virtual time of the same window.
+    elapsed: u64,
 }
 
 /// Run `txns` debit-credit transactions under `cfg`, aborting on any
@@ -91,6 +95,8 @@ fn bank_run(cfg: FaultConfig, txns: u32, traced: bool) -> BankOutcome {
     let fs = s.fs();
     let mut rng = SimRng::seed_from(cfg.seed ^ 0xB1);
     db.enable_faults(cfg);
+    let w0 = db.sim.wait_profile();
+    let t0 = db.sim.now();
     let mut committed = 0i64;
     let mut expected = 50.0 * 1000.0; // 50 accounts x 1000.0
     for _ in 0..txns {
@@ -108,6 +114,8 @@ fn bank_run(cfg: FaultConfig, txns: u32, traced: bool) -> BankOutcome {
             }
         }
     }
+    let wait = db.sim.wait_profile() - w0;
+    let elapsed = db.sim.now() - t0;
     db.disable_faults();
     let total = bank.total_balance(&db).unwrap();
     let history_rows = count(&db, "SELECT COUNT(*) FROM HISTORY");
@@ -123,6 +131,8 @@ fn bank_run(cfg: FaultConfig, txns: u32, traced: bool) -> BankOutcome {
         } else {
             String::new()
         },
+        wait,
+        elapsed,
     }
 }
 
@@ -278,6 +288,47 @@ fn identical_seeds_produce_identical_traces() {
         true,
     );
     assert_ne!(a.trace, b.trace);
+}
+
+/// The critical-path ledger is exhaustive and deterministic even while the
+/// fault plane is mangling messages: for every seed x mix the per-category
+/// wait decomposition of the transaction loop sums *exactly* (no tolerance)
+/// to its elapsed virtual time, nothing lands in the `other` bucket, and a
+/// rerun of the same seed renders a byte-identical profile.
+#[test]
+fn wait_profiles_decompose_exactly_and_deterministically_under_chaos() {
+    use nsql_sim::Wait;
+    let mut retry_time = 0u64;
+    for seed in SEEDS {
+        for (name, cfg) in mixes(seed) {
+            let a = bank_run(cfg.clone(), 25, false);
+            assert_eq!(
+                a.wait.total(),
+                a.elapsed,
+                "[seed {seed}, {name}] wait categories must sum exactly to elapsed time: {}",
+                a.wait
+            );
+            assert_eq!(
+                a.wait.get(Wait::Other),
+                0,
+                "[seed {seed}, {name}] every microsecond must be attributed: {}",
+                a.wait
+            );
+            let b = bank_run(cfg, 25, false);
+            assert_eq!(
+                a.wait.to_string(),
+                b.wait.to_string(),
+                "[seed {seed}, {name}] same seed must give a byte-identical wait profile"
+            );
+            assert_eq!(a.elapsed, b.elapsed);
+            retry_time += a.wait.get(Wait::Retry);
+        }
+    }
+    // The mixes must actually have made retry/backoff time visible.
+    assert!(
+        retry_time > 0,
+        "drops/errors must surface as Wait::Retry backoff time"
+    );
 }
 
 /// The long matrix: every seed x every mix, with crashes layered on top of

@@ -12,6 +12,16 @@ fn wisconsin_db(rows: u32) -> nonstop_sql::Cluster {
     db
 }
 
+/// Flush and drop every volume's buffer pool so the next scan pays disk
+/// reads (the Wisconsin loader leaves the table fully cached).
+fn cold_caches(db: &nonstop_sql::Cluster) {
+    for v in db.volumes() {
+        let dp = db.dp(&v);
+        dp.pool().flush_all().unwrap();
+        dp.pool().crash();
+    }
+}
+
 fn cell_i64(v: &Value) -> i64 {
     match v {
         Value::LargeInt(n) => *n,
@@ -289,6 +299,148 @@ fn trace_ring_overflow_is_surfaced_not_silent() {
         .find(|row| matches!(&row.0[0], Value::Str(s) if s == "TRACE DROPPED"))
         .expect("overflow must surface as a TRACE DROPPED row");
     assert!(cell_i64(&dropped_row.0[1]) > 0);
+}
+
+/// Tentpole: every statement's elapsed virtual time decomposes into the
+/// exhaustive wait categories with *exact* summation — no tolerance, no
+/// unattributed `other` bucket — and the decomposition is visible from
+/// QueryStats, the per-category histograms, and the metric counters.
+#[test]
+fn statement_wait_profile_sums_exactly_to_elapsed() {
+    use nsql_sim::Wait;
+    let db = wisconsin_db(2_000);
+    cold_caches(&db);
+    let mut s = db.session();
+    s.query("SELECT UNIQUE1 FROM WISC WHERE UNIQUE1 < 500")
+        .unwrap();
+    let select = s.last_stats().unwrap().clone();
+    assert_eq!(
+        select.wait.total(),
+        select.elapsed_us,
+        "wait categories must sum exactly to elapsed time: {}",
+        select.wait
+    );
+    assert_eq!(select.wait.get(Wait::Other), 0, "{}", select.wait);
+    assert!(select.wait.get(Wait::Msg) > 0, "{}", select.wait);
+    assert!(
+        select.wait.get(Wait::Disk) > 0,
+        "the cold scan must show disk time: {}",
+        select.wait
+    );
+
+    s.execute("UPDATE WISC SET UNIQUE1 = UNIQUE1 + 0 WHERE UNIQUE2 < 20")
+        .unwrap();
+    let update = s.last_stats().unwrap().clone();
+    assert_eq!(update.wait.total(), update.elapsed_us, "{}", update.wait);
+    assert!(
+        update.wait.get(Wait::Commit) > 0,
+        "autocommit DML must show group-commit time: {}",
+        update.wait
+    );
+
+    // The same ledger feeds the always-on per-category histograms ...
+    let h = &db.sim.hist;
+    assert!(h.stmt_wait(Wait::Msg).count() >= 2);
+    assert!(h.stmt_wait(Wait::Commit).count() >= 1);
+    assert_eq!(h.stmt_wait(Wait::Other).count(), 0);
+    assert!(h.stmt_wait(Wait::Disk).p999() >= h.stmt_wait(Wait::Disk).p50());
+    // ... and the metric counters, which reassemble into the same totals.
+    let counters = db.sim.metrics.snapshot().stmt_wait();
+    assert_eq!(
+        counters.get(Wait::Commit),
+        select.wait.get(Wait::Commit) + update.wait.get(Wait::Commit)
+    );
+}
+
+/// Tentpole: EXPLAIN ANALYZE renders the critical-path decomposition as a
+/// WAIT PROFILE section — one row per category plus a WAIT TOTAL row whose
+/// categories sum exactly to the measured window's elapsed time.
+#[test]
+fn explain_analyze_renders_exact_wait_profile() {
+    let db = wisconsin_db(2_000);
+    cold_caches(&db);
+    let mut s = db.session();
+    let r = s
+        .query("EXPLAIN ANALYZE SELECT UNIQUE1 FROM WISC WHERE UNIQUE1 < 500")
+        .unwrap();
+    let wait_rows: Vec<(&str, i64)> = r
+        .rows
+        .iter()
+        .filter_map(|row| match &row.0[0] {
+            Value::Str(name) if name.starts_with("WAIT ") => {
+                Some((name.as_str(), cell_i64(&row.0[5])))
+            }
+            _ => None,
+        })
+        .collect();
+    // Seven categories, then the total.
+    let names: Vec<&str> = wait_rows.iter().map(|(n, _)| *n).collect();
+    assert_eq!(
+        names,
+        [
+            "WAIT cpu",
+            "WAIT msg",
+            "WAIT disk",
+            "WAIT lock",
+            "WAIT commit",
+            "WAIT retry",
+            "WAIT other",
+            "WAIT TOTAL"
+        ]
+    );
+    let total = wait_rows.last().unwrap().1;
+    let sum: i64 = wait_rows[..7].iter().map(|(_, us)| us).sum();
+    assert_eq!(sum, total, "categories must sum exactly to the window");
+    // The window is the analyzed statement itself: the operator TOTAL row.
+    assert_eq!(total, cell_i64(&r.rows[2].0[5]));
+    assert_eq!(wait_rows[6].1, 0, "nothing may land in WAIT other");
+    assert!(wait_rows[2].1 > 0, "the cold scan has disk time");
+}
+
+/// Tentpole: the span headers carried on every FS-DP request assemble into
+/// one causal tree per statement, with exact self-time attribution.
+#[test]
+fn statement_spans_assemble_into_a_causal_tree() {
+    use nsql_sim::{assemble_spans, Wait};
+    let db = wisconsin_db(2_000);
+    db.sim.trace.enable_default();
+    let mut s = db.session();
+    s.query("SELECT UNIQUE1 FROM WISC WHERE UNIQUE1 < 500")
+        .unwrap();
+    let stats = s.last_stats().unwrap();
+    let roots = assemble_spans(&stats.trace);
+    assert_eq!(roots.len(), 1, "one statement, one root span");
+    let root = &roots[0];
+    assert_eq!(root.label, "SELECT");
+    assert_eq!(root.parent, 0);
+    // The FS-DP conversation hangs off the statement: the opening request
+    // and its continuation re-drives, each with the DP-side handling span
+    // as a child sharing the statement's trace id.
+    assert!(
+        root.children.len() > 1,
+        "bounded reply buffers force re-drive request spans"
+    );
+    let first = &root.children[0];
+    assert_eq!(first.label, "GET^FIRST^VSBB");
+    assert_eq!(first.trace, root.trace);
+    assert_eq!(first.children.len(), 1, "the DP handled the request once");
+    assert_eq!(first.children[0].track, "$DATA1");
+    assert!(root.children.iter().any(|c| c.label == "GET^NEXT"));
+    // Inclusive wait of every span sums exactly to its elapsed time, and
+    // self-time never goes negative (children are properly nested).
+    fn check(n: &nsql_sim::SpanNode) {
+        assert_eq!(n.wait.total(), n.elapsed(), "span {}: {}", n.span, n.wait);
+        let child_sum: u64 = n.children.iter().map(|c| c.wait.total()).sum();
+        assert!(child_sum <= n.wait.total(), "span {}", n.span);
+        for c in &n.children {
+            check(c);
+        }
+    }
+    check(root);
+    // The request spans spend their time in the message system and on
+    // disk; the statement's own self-time is executor CPU.
+    assert!(first.wait.get(Wait::Msg) > 0);
+    assert!(root.self_wait().get(Wait::Cpu) > 0);
 }
 
 /// The per-statement MEASURE delta is exactly the statement's own work:
