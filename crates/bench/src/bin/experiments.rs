@@ -47,7 +47,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         let path = args.remove(pos);
-        std::fs::write(&path, nsql_bench::trace_json()).expect("write trace file");
+        if let Err(e) = std::fs::write(&path, nsql_bench::trace_json()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
         eprintln!("wrote {path}");
         if args.is_empty() {
             return ExitCode::SUCCESS;
@@ -57,7 +60,10 @@ fn main() -> ExitCode {
     if let Some(pos) = args.iter().position(|a| a == "--json") {
         args.remove(pos);
         let json = nsql_bench::run_json();
-        std::fs::write("BENCH_results.json", &json).expect("write BENCH_results.json");
+        if let Err(e) = std::fs::write("BENCH_results.json", &json) {
+            eprintln!("cannot write BENCH_results.json: {e}");
+            return ExitCode::FAILURE;
+        }
         eprintln!("wrote BENCH_results.json");
         if args.is_empty() {
             return ExitCode::SUCCESS;

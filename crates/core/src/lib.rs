@@ -154,6 +154,19 @@ impl ClusterBuilder {
         self
     }
 
+    /// Add an **unmirrored** volume: a single-drive failure is a media
+    /// failure, recoverable only by rebuilding from the audit trail
+    /// ([`Cluster::media_recover`]).
+    pub fn volume_unmirrored(mut self, name: &str, node: u8, cpu: u8) -> Self {
+        self.volumes.push(VolumeSpec {
+            name: name.to_string(),
+            cpu: CpuId::new(node, cpu),
+            backup_cpu: None,
+            mirrored: false,
+        });
+        self
+    }
+
     /// Add a volume whose Disk Process runs as a process pair with a
     /// backup on another CPU (checkpointing enabled).
     pub fn volume_with_backup(
@@ -263,6 +276,7 @@ impl ClusterBuilder {
             ctx,
             dps,
             disks,
+            audit_cpu: self.audit_cpu,
             sort_parallelism: std::sync::atomic::AtomicU32::new(1),
         }
     }
@@ -289,6 +303,8 @@ pub struct Cluster {
     ctx: DpContext,
     dps: Arc<RwLock<HashMap<String, Arc<DiskProcess>>>>,
     disks: HashMap<String, Arc<Disk>>,
+    /// CPU the audit-trail Disk Process is homed on.
+    audit_cpu: CpuId,
     sort_parallelism: std::sync::atomic::AtomicU32,
 }
 
@@ -407,18 +423,82 @@ impl Cluster {
         self.trail.crash();
         let names = self.volumes();
         for name in &names {
-            let old = self.dp(name);
-            old.crash();
-            let new_dp = DiskProcess::open(
-                &self.ctx,
-                name,
-                old.cpu(),
-                Arc::clone(&self.disks[name]),
-                old.config.lock().clone(),
-            );
-            new_dp.recover();
-            self.dps.write().insert(name.clone(), new_dp);
+            self.restart_volume(name);
         }
+    }
+
+    /// Fault injection: crash one **CPU** and restart everything that was
+    /// homed on it, in place.
+    ///
+    /// Crashing discards all volatile state on the CPU: for each of its
+    /// Disk Processes the store pages cached in the buffer pool, the
+    /// Subset Control Blocks, the reply cache, the lock table and the
+    /// per-transaction undo lists (in-flight transactions are doomed);
+    /// when the audit-trail process is homed there, the trail's unflushed
+    /// buffer is lost too, and an audit write caught mid-transfer leaves
+    /// a **torn tail** that is truncated back to the last whole,
+    /// checksum-verified record. Each lost Disk Process is then reopened
+    /// on the same CPU and replays the durable prefix of the trail — REDO
+    /// for committed transactions, UNDO for in-flight ones — leaving the
+    /// volume exactly at its committed pre-crash state.
+    pub fn crash_and_restart(&self, node: u8, cpu: u8) {
+        let cpu = CpuId::new(node, cpu);
+        if self.audit_cpu == cpu {
+            self.trail.crash();
+            // Every in-flight transaction lost its buffered undo/redo
+            // audit with the trail buffer: doom each one and back it out
+            // through the (surviving) Disk Processes now, before any of
+            // its unprotected volatile updates can reach disk.
+            for txn in self.txnmgr.active() {
+                self.txnmgr.doom(txn);
+                let _ = self.txnmgr.abort(txn, cpu);
+            }
+        }
+        let names = self.volumes();
+        for name in &names {
+            if self.dp(name).cpu() == cpu {
+                self.restart_volume(name);
+            }
+        }
+    }
+
+    /// Crash and reopen one volume's Disk Process in place, recovering
+    /// from the durable audit trail.
+    fn restart_volume(&self, name: &str) {
+        let old = self.dp(name);
+        old.crash();
+        let new_dp = DiskProcess::open(
+            &self.ctx,
+            name,
+            old.cpu(),
+            Arc::clone(&self.disks[name]),
+            old.config.lock().clone(),
+        );
+        new_dp.recover();
+        self.dps.write().insert(name.to_string(), new_dp);
+    }
+
+    /// Media recovery: replace `volume`'s failed drive(s) and bring the
+    /// contents back.
+    ///
+    /// When a mirrored half survived, the replacement is rebuilt by a
+    /// cost-modelled copy-back re-mirror ([`nsql_disk::Disk::repair_drive`])
+    /// and the Disk Process is untouched. When the media is wholly dead
+    /// (an unmirrored volume, or both halves lost), the drive comes back
+    /// *empty* and the Disk Process rebuilds the volume by REDO of the
+    /// entire durable audit trail. Committed changes are redone onto the
+    /// fresh store; in-flight transactions' changes never reached it, so
+    /// nothing is undone.
+    pub fn media_recover(&self, volume: &str) -> Result<(), DbError> {
+        let disk = self.disk(volume);
+        let survivor = disk.media_alive();
+        for half in disk.dead_drives() {
+            disk.repair_drive(half);
+        }
+        if survivor {
+            return Ok(());
+        }
+        self.dp(volume).media_recover().map_err(db_err)
     }
 }
 
@@ -579,7 +659,9 @@ impl Session<'_> {
                 let wait = sim.wait_profile() - w0;
                 let elapsed = sim.clock.now().saturating_sub(t0);
                 let delta = MeasureReport::capture(sim).since(&before);
-                Ok(Outcome::Rows(analyze_result(&stats, &delta, &wait, elapsed)))
+                Ok(Outcome::Rows(analyze_result(
+                    &stats, &delta, &wait, elapsed,
+                )))
             }
             Plan::Select(p) => {
                 let r = exec.select(&p, self.txn).map_err(db_err)?;
@@ -716,7 +798,7 @@ impl Session<'_> {
 
 /// Root-span label for a statement: its leading keyword, uppercased.
 fn stmt_label(sql: &str) -> &'static str {
-    let kw = sql.trim_start().split_whitespace().next().unwrap_or("");
+    let kw = sql.split_whitespace().next().unwrap_or("");
     match kw.to_ascii_uppercase().as_str() {
         "SELECT" => "SELECT",
         "INSERT" => "INSERT",

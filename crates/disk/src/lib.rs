@@ -108,10 +108,60 @@ impl Disk {
         self.state.lock().drives_alive[which] = false;
     }
 
-    /// Repair a failed drive (revive; contents are re-mirrored instantly in
-    /// this simulation).
-    pub fn repair_drive(&self, which: usize) {
-        self.state.lock().drives_alive[which] = true;
+    /// Is any half of the volume still serving I/O?
+    pub fn media_alive(&self) -> bool {
+        self.check_media(&self.state.lock()).is_ok()
+    }
+
+    /// Indexes of failed drive halves (at most `[0]` when unmirrored).
+    pub fn dead_drives(&self) -> Vec<usize> {
+        let st = self.state.lock();
+        let halves = if self.mirrored { 2 } else { 1 };
+        (0..halves).filter(|&i| !st.drives_alive[i]).collect()
+    }
+
+    /// Repair a failed drive. When the other half of a mirrored pair
+    /// survived, its contents are copied back onto the replacement before
+    /// the drive rejoins the pair: a sequential bulk copy of every
+    /// allocated block, charged to the device timeline and to
+    /// [`Wait::Restart`] on the virtual clock (recovery work, not
+    /// foreground I/O). Emits a `disk.remirror` trace event. Returns the
+    /// time at which the drive is back in service.
+    pub fn repair_drive(&self, which: usize) -> Micros {
+        let mut st = self.state.lock();
+        let other_alive = st.drives_alive[1 - which];
+        st.drives_alive[which] = true;
+        let nblocks = st.blocks.iter().filter(|b| b.is_some()).count();
+        if !(self.mirrored && other_alive) || nblocks == 0 {
+            // Nothing to copy: an unmirrored revive (media recovery is the
+            // Disk Process's job, from the audit trail) or an empty volume.
+            return self.sim.now();
+        }
+        // Copy-back: strings of maximal sequential bulk I/Os from the
+        // surviving half to the replacement.
+        let cost = &self.sim.cost;
+        let max_blocks = cost.bulk_io_max_blocks();
+        let mut remaining = nblocks;
+        let mut total = 0;
+        while remaining > 0 {
+            let n = remaining.min(max_blocks);
+            total += cost.disk_io_cost(true, n);
+            remaining -= n;
+        }
+        let begin = st.busy_until.max(self.sim.now());
+        let end = begin + total;
+        st.busy_until = end;
+        st.next_sequential = None;
+        drop(st);
+        self.rec.add(Ctr::BlocksRead, nblocks as u64);
+        self.rec.add(Ctr::BlocksWritten, nblocks as u64);
+        self.sim
+            .trace_emit(|| nsql_sim::trace::TraceEventKind::Remirror {
+                volume: self.name.clone(),
+                blocks: nblocks as u64,
+            });
+        self.sim.clock.advance_to_in(Wait::Restart, end);
+        end
     }
 
     fn check_media(&self, st: &DiskState) -> Result<(), DiskError> {
@@ -454,5 +504,43 @@ mod tests {
         d.write(0, std::slice::from_ref(&b)).unwrap();
         d.fail_drive(0);
         assert_eq!(d.read(0, 1), Err(DiskError::MediaFailure));
+    }
+
+    #[test]
+    fn mirrored_repair_charges_copy_back_time() {
+        let sim = Sim::new();
+        let d = Disk::new(sim.clone(), "$MIR", true);
+        let b = block(3, d.block_size());
+        for i in 0..10 {
+            d.write(i, std::slice::from_ref(&b)).unwrap();
+        }
+        d.fail_drive(1);
+        let before = sim.now();
+        let p0 = sim.clock.profile();
+        let end = d.repair_drive(1);
+        assert!(end > before, "copy-back must consume virtual time");
+        assert_eq!(sim.now(), end, "repair is synchronous");
+        let delta = sim.clock.profile() - p0;
+        assert_eq!(
+            delta.get(Wait::Restart),
+            end - before,
+            "copy-back time is charged to wait.restart"
+        );
+        assert!(d.read(0, 1).is_ok());
+    }
+
+    #[test]
+    fn repair_without_a_survivor_copies_nothing() {
+        let sim = Sim::new();
+        let d = Disk::new(sim.clone(), "$SOLO", false);
+        let b = block(1, 16);
+        d.write(0, std::slice::from_ref(&b)).unwrap();
+        d.fail_drive(0);
+        let before = sim.now();
+        // No mirror to copy from: the revive itself is instant (rebuilding
+        // the contents from the audit trail is the Disk Process's job).
+        let end = d.repair_drive(0);
+        assert_eq!(end, before);
+        assert_eq!(sim.now(), before);
     }
 }

@@ -1559,14 +1559,76 @@ impl DiskProcess {
             self.state.lock().label = VolumeLabel::decode(&bytes);
         }
         let records = self.trail.durable_records(self.sim.now());
-        let plan = nsql_tmf::classify(&records, &self.name);
+        self.replay(&records, true);
+        self.pool.flush_all().expect("recovery flush failed");
+    }
+
+    /// Rebuild this volume after a **media failure** (dead unmirrored
+    /// drive): the process survived, the platters did not. The drive is
+    /// replaced (empty), every file structure is re-created empty with its
+    /// id, kind and descriptor preserved from the in-memory label, and the
+    /// winners' work is redone from the durable audit trail. Losers are
+    /// *not* undone: their in-flight changes never reached a store rebuilt
+    /// from scratch, so there is nothing to roll back.
+    pub fn media_recover(&self) -> Result<(), nsql_disk::DiskError> {
+        let old = self.state.lock().label.clone();
+        self.pool.crash();
+        self.pool.disk().clear();
+        *self.alloc.lock() = Allocator::new();
+        let label = {
+            let store = DpStore::new(&self.pool, &self.alloc);
+            let mut label = VolumeLabel {
+                files: Default::default(),
+                next_file: old.next_file,
+            };
+            for (id, f) in &old.files {
+                let anchor = match &f.kind {
+                    FileKind::KeySequenced(_) => BTreeFile::create(&store),
+                    FileKind::Relative { slot_size } => {
+                        RelativeFile::create(&store, *slot_size as usize)
+                    }
+                    FileKind::EntrySequenced => EntrySequencedFile::create(&store),
+                };
+                label.files.insert(
+                    *id,
+                    FileLabel {
+                        id: *id,
+                        kind: f.kind.clone(),
+                        anchor,
+                    },
+                );
+            }
+            label
+        };
+        self.state.lock().label = label.clone();
+        let bytes = label.encode();
+        self.pool.write(0, bytes, 0)?;
+        let records = self.trail.durable_records(self.sim.now());
+        self.replay(&records, false);
+        self.pool.flush_all()
+    }
+
+    /// Scan the durable trail and apply the REDO plan (and, when
+    /// `with_undo`, the UNDO plan) for this volume. The scan is charged to
+    /// [`Wait::Restart`] on the virtual clock; the replayed page I/O shows
+    /// up under its own categories.
+    fn replay(&self, records: &[nsql_tmf::AuditRecord], with_undo: bool) {
+        self.sim.clock.advance_in(
+            Wait::Restart,
+            records.len() as u64 * self.sim.cost.cpu_work_unit_us,
+        );
+        self.rec.add(Ctr::RecoveryScanned, records.len() as u64);
+        let plan = nsql_tmf::classify(records, &self.name);
+        self.rec.add(Ctr::RecoveryRedo, plan.redo.len() as u64);
         for rec in &plan.redo {
             self.apply_logged(rec, true);
         }
-        for rec in &plan.undo {
-            self.apply_logged(rec, false);
+        if with_undo {
+            self.rec.add(Ctr::RecoveryUndo, plan.undo.len() as u64);
+            for rec in &plan.undo {
+                self.apply_logged(rec, false);
+            }
         }
-        self.pool.flush_all().expect("recovery flush failed");
     }
 
     /// Apply one trail record in redo (`forward = true`) or undo direction.
@@ -1657,9 +1719,7 @@ impl Server for DiskProcess {
                 // in the request header, so the statement's span tree
                 // survives the wire hop (and a duplicate delivery shows up
                 // as a second handling span under the same request span).
-                let _span = self
-                    .sim
-                    .span_enter(sreq.span, sreq.req.name(), &self.name);
+                let _span = self.sim.span_enter(sreq.span, sreq.req.name(), &self.name);
                 let reply = self.handle_sync(sreq.sync, sreq.req);
                 let size = reply.wire_size();
                 return Response::new(reply, size);

@@ -48,15 +48,21 @@ pub enum Action {
     /// The primary's CPU fails before handling; its volatile state (reply
     /// cache, SCBs) dies with it. The path switch brings up a backup.
     CpuDown,
+    /// The primary's CPU crashes and the same process **restarts in
+    /// place**, replaying the audit trail: volatile state (reply cache,
+    /// SCBs) is gone, and recovery UNDOes the in-flight transaction's
+    /// uncommitted applies (it is doomed) before service resumes.
+    Restart,
 }
 
 /// The faults the DFS branches over (everything but `Deliver`).
-pub const FAULTS: [Action; 5] = [
+pub const FAULTS: [Action; 6] = [
     Action::DropRequest,
     Action::DropReply,
     Action::Duplicate,
     Action::Delay,
     Action::CpuDown,
+    Action::Restart,
 ];
 
 /// Model parameters.
@@ -206,6 +212,10 @@ struct Run<'a> {
     server: ServerVolatile,
     /// Durable per-key apply counts (survive takeover, as the disk does).
     applied: Vec<u64>,
+    /// The in-flight transaction's undo log (mirrors the trail's audit
+    /// records for the transaction): one entry per uncommitted apply, in
+    /// order. Crash-restart recovery and abort discharge it in reverse.
+    undo: Vec<u64>,
     /// Monotone sync sequence (retries reuse the current value).
     next_seq: u64,
     /// TMF doomed the transaction (a primary died holding its writes).
@@ -227,6 +237,7 @@ impl<'a> Run<'a> {
             },
             server: ServerVolatile::default(),
             applied: vec![0; cfg.keys as usize + 1],
+            undo: Vec::new(),
             next_seq: 0,
             doomed: false,
             cache_high_water: 0,
@@ -259,6 +270,7 @@ impl<'a> Run<'a> {
             },
             Request::Update { key } => {
                 self.applied[key as usize] += 1;
+                self.undo.push(key);
                 Reply::Applied
             }
         };
@@ -310,12 +322,32 @@ impl<'a> Run<'a> {
                         self.doomed = true;
                     }
                 }
+                Action::Restart => {
+                    // Crash-restart in place: volatile state is gone AND
+                    // recovery replays the trail — the in-flight
+                    // transaction is a loser, so its uncommitted applies
+                    // are UNDOne (reverse LSN order) before service
+                    // resumes, and TMF dooms it.
+                    self.server = ServerVolatile::default();
+                    if !self.undo.is_empty() {
+                        self.doomed = true;
+                    }
+                    self.rollback();
+                }
             }
             // Timeout / down path: bounded retry with the same sync ID.
             attempt += 1;
             if attempt > self.cfg.max_retries {
                 return Some(SendOutcome::Unavailable);
             }
+        }
+    }
+
+    /// Discharge the undo log in reverse: recovery (or abort) rolls back
+    /// every uncommitted apply the trail recorded.
+    fn rollback(&mut self) {
+        while let Some(key) = self.undo.pop() {
+            self.applied[key as usize] = self.applied[key as usize].saturating_sub(1);
         }
     }
 }
@@ -458,6 +490,27 @@ fn run_update(cfg: ModelConfig, prefix: &[Action]) -> RunOutput {
                             "key {key} applied {n} time(s) in a committed txn \
                              (acked: {}); duplicate suppression failed",
                             acked.contains(&(key as u64)),
+                        ),
+                    ),
+                    run.sched.consulted,
+                    run.cache_high_water,
+                );
+            }
+        }
+    } else {
+        // Abort / crash-restart path: rolling back the remaining undo log
+        // must leave zero net effect — a transaction that failed (or was
+        // doomed by a restart's recovery) contributes nothing durable.
+        run.rollback();
+        for key in 1..=cfg.keys as usize {
+            let n = run.applied[key];
+            if n != 0 {
+                return (
+                    RunResult::Violation(
+                        "abort-rollback",
+                        format!(
+                            "key {key} still applied {n} time(s) after an \
+                             aborted txn's rollback; recovery UNDO leaked"
                         ),
                     ),
                     run.sched.consulted,
@@ -615,6 +668,29 @@ mod tests {
             unreachable!("determinism lost")
         };
         assert_eq!(dup2.schedule, dup.schedule);
+    }
+
+    #[test]
+    fn crash_restart_schedules_are_explored_and_clean() {
+        // Restart is a first-class fault: every ≤3-fault schedule that
+        // includes a server crash-restart (volatile state wiped, recovery
+        // rollback of the in-flight txn) must satisfy both invariants.
+        assert!(FAULTS.contains(&Action::Restart));
+        let with = check_update(ModelConfig::default());
+        assert!(with.violations.is_empty(), "{:?}", with.violations.first());
+        // A single restart mid-update dooms the txn, so the txn aborts and
+        // rollback must leave zero net effect — still violation-free even
+        // with the reply cache disabled (restart wipes it anyway).
+        let cfg = ModelConfig {
+            cache: 0,
+            max_faults: 1,
+            ..ModelConfig::default()
+        };
+        let upd = check_update(cfg);
+        assert!(upd
+            .violations
+            .iter()
+            .all(|v| v.invariant != "abort-rollback"));
     }
 
     #[test]

@@ -42,6 +42,9 @@ pub enum Wait {
     Commit,
     /// Retry/backoff: File System backoff between retransmissions.
     Retry,
+    /// Restart: crash-recovery work — scanning the durable audit trail and
+    /// replaying the REDO/UNDO plan after a CPU or media failure.
+    Restart,
     /// Untagged advances (test drivers, open-loop arrival gaps). Inside a
     /// statement this is zero; it exists so the ledger covers *all* time.
     Other,
@@ -55,12 +58,13 @@ pub const WAIT_CATEGORIES: [Wait; Wait::COUNT] = [
     Wait::Lock,
     Wait::Commit,
     Wait::Retry,
+    Wait::Restart,
     Wait::Other,
 ];
 
 impl Wait {
     /// Number of categories.
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 8;
 
     /// Position in the ledger.
     pub fn index(self) -> usize {
@@ -71,7 +75,8 @@ impl Wait {
             Wait::Lock => 3,
             Wait::Commit => 4,
             Wait::Retry => 5,
-            Wait::Other => 6,
+            Wait::Restart => 6,
+            Wait::Other => 7,
         }
     }
 
@@ -84,6 +89,7 @@ impl Wait {
             Wait::Lock => "wait.lock",
             Wait::Commit => "wait.commit",
             Wait::Retry => "wait.retry",
+            Wait::Restart => "wait.restart",
             Wait::Other => "wait.other",
         }
     }
@@ -97,6 +103,7 @@ impl Wait {
             Wait::Lock => "lock",
             Wait::Commit => "commit",
             Wait::Retry => "retry",
+            Wait::Restart => "restart",
             Wait::Other => "other",
         }
     }

@@ -151,6 +151,14 @@ measure_counters! {
     AuditFlushes => "audit.flushes",
     /// Faults injected against this entity by the fault plane.
     FaultsInjected => "faults.injected",
+    /// Durable audit records scanned during crash recovery.
+    RecoveryScanned => "recovery.scanned",
+    /// REDO operations applied during crash recovery.
+    RecoveryRedo => "recovery.redo",
+    /// UNDO operations applied during crash recovery.
+    RecoveryUndo => "recovery.undo",
+    /// Torn (partially written) trail records truncated during recovery.
+    RecoveryTorn => "recovery.torn",
 }
 
 /// One entity's counter record: a fixed array of relaxed atomics.

@@ -186,6 +186,8 @@ metrics! {
     stmt_wait_commit_us,
     /// Statement virtual time attributed to retry backoff (wait.retry).
     stmt_wait_retry_us,
+    /// Statement virtual time attributed to crash recovery (wait.restart).
+    stmt_wait_restart_us,
     /// Statement virtual time left unattributed (wait.other; normally 0).
     stmt_wait_other_us,
 }
@@ -206,6 +208,7 @@ impl Metrics {
                 Wait::Lock => self.stmt_wait_lock_us.add(us),
                 Wait::Commit => self.stmt_wait_commit_us.add(us),
                 Wait::Retry => self.stmt_wait_retry_us.add(us),
+                Wait::Restart => self.stmt_wait_restart_us.add(us),
                 Wait::Other => self.stmt_wait_other_us.add(us),
             }
         }
@@ -224,6 +227,7 @@ impl MetricsSnapshot {
                 self.stmt_wait_lock_us,
                 self.stmt_wait_commit_us,
                 self.stmt_wait_retry_us,
+                self.stmt_wait_restart_us,
                 self.stmt_wait_other_us,
             ],
         }

@@ -124,12 +124,13 @@ impl Drop for SpanGuard {
         let wait = self.clock.profile() - self.p0;
         let h = self.header;
         let track = std::mem::take(&mut self.track);
-        self.trace.emit(self.clock.now(), move || TraceEventKind::SpanEnd {
-            trace: h.trace,
-            span: h.span,
-            track,
-            wait,
-        });
+        self.trace
+            .emit(self.clock.now(), move || TraceEventKind::SpanEnd {
+                trace: h.trace,
+                span: h.span,
+                track,
+                wait,
+            });
     }
 }
 

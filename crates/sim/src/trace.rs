@@ -113,6 +113,24 @@ pub enum TraceEventKind {
         /// True when forced by a full buffer rather than the commit timer.
         buffer_full: bool,
     },
+    /// A crash caught an audit write mid-transfer: the torn tail of the
+    /// write was truncated back to the last whole, checksum-verified
+    /// record (`audit.torn`).
+    AuditTorn {
+        /// Records lost to the torn tail.
+        records: u64,
+        /// Bytes discarded past the last whole record.
+        bytes: u64,
+    },
+    /// A dead drive of a mirrored volume was replaced and the surviving
+    /// mirror copied back onto it (`disk.remirror`). The copy-back is
+    /// cost-modelled: `blocks` times the per-block transfer cost.
+    Remirror {
+        /// Volume name.
+        volume: String,
+        /// Allocated blocks copied from the surviving mirror.
+        blocks: u64,
+    },
     /// A transaction committed.
     TxnCommit {
         /// The transaction.
@@ -595,6 +613,20 @@ pub fn format_sequence(events: &[TraceEvent]) -> String {
                     if *buffer_full { " (buffer full)" } else { "" },
                 );
             }
+            TraceEventKind::AuditTorn { records, bytes } => {
+                let _ = writeln!(
+                    out,
+                    "[{:>8} µs] AUDIT torn tail: {records} record(s) / {bytes} B truncated",
+                    e.at,
+                );
+            }
+            TraceEventKind::Remirror { volume, blocks } => {
+                let _ = writeln!(
+                    out,
+                    "[{:>8} µs]      ⊕ disk.remirror: {volume} copy-back, {blocks} block(s)",
+                    e.at,
+                );
+            }
             TraceEventKind::TxnCommit { txn } => {
                 let _ = writeln!(out, "[{:>8} µs] txn {txn} COMMIT", e.at);
             }
@@ -667,12 +699,16 @@ fn chrome_track(kind: &TraceEventKind) -> String {
         | TraceEventKind::FaultInject { to, .. }
         | TraceEventKind::Retry { to, .. }
         | TraceEventKind::PathSwitch { to, .. } => to.clone(),
-        TraceEventKind::DiskIo { volume, .. } => format!("{volume} (disk)"),
+        TraceEventKind::DiskIo { volume, .. } | TraceEventKind::Remirror { volume, .. } => {
+            format!("{volume} (disk)")
+        }
         TraceEventKind::CacheEvict { .. } | TraceEventKind::Prefetch { .. } => "cache".into(),
         TraceEventKind::LockWait { .. }
         | TraceEventKind::TxnCommit { .. }
         | TraceEventKind::TxnAbort { .. } => "TMF".into(),
-        TraceEventKind::AuditFlush { .. } => "audit trail".into(),
+        TraceEventKind::AuditFlush { .. } | TraceEventKind::AuditTorn { .. } => {
+            "audit trail".into()
+        }
         TraceEventKind::SpanBegin { track, .. } | TraceEventKind::SpanEnd { track, .. } => {
             track.clone()
         }
@@ -745,6 +781,16 @@ fn chrome_describe(kind: &TraceEventKind) -> (String, &'static str, String) {
                  \"buffer_full\": {buffer_full}"
             ),
         ),
+        TraceEventKind::AuditTorn { records, bytes } => (
+            "audit.torn".into(),
+            "audit",
+            format!("\"records\": {records}, \"bytes\": {bytes}"),
+        ),
+        TraceEventKind::Remirror { volume, blocks } => (
+            "disk.remirror".into(),
+            "disk",
+            format!("\"volume\": {}, \"blocks\": {blocks}", js(volume)),
+        ),
         TraceEventKind::TxnCommit { txn } => {
             ("txn commit".into(), "txn", format!("\"txn\": {txn}"))
         }
@@ -784,7 +830,9 @@ fn chrome_describe(kind: &TraceEventKind) -> (String, &'static str, String) {
             "span",
             format!("\"trace\": {trace}, \"span\": {span}, \"parent\": {parent}"),
         ),
-        TraceEventKind::SpanEnd { trace, span, wait, .. } => {
+        TraceEventKind::SpanEnd {
+            trace, span, wait, ..
+        } => {
             let mut args = format!("\"trace\": {trace}, \"span\": {span}");
             for (w, us) in wait.iter() {
                 let _ = write!(args, ", {}: {us}", js(w.name()));
@@ -1208,9 +1256,16 @@ mod tests {
         let roots = assemble_spans(&span_fixture());
         assert_eq!(roots.len(), 1);
         let root = &roots[0];
-        assert_eq!((root.span, root.parent, root.label.as_str()), (1, 0, "SELECT"));
+        assert_eq!(
+            (root.span, root.parent, root.label.as_str()),
+            (1, 0, "SELECT")
+        );
         assert_eq!(root.elapsed(), 31);
-        assert_eq!(root.wait.total(), 31, "root profile covers its elapsed time");
+        assert_eq!(
+            root.wait.total(),
+            31,
+            "root profile covers its elapsed time"
+        );
         assert_eq!(root.children.len(), 1);
         let req = &root.children[0];
         assert_eq!(req.label, "GetSubsetFirst");
@@ -1239,18 +1294,28 @@ mod tests {
     fn chrome_trace_renders_spans_with_flow_arrows() {
         let json = chrome_trace(&span_fixture());
         // Spans render as duration slices on their own tracks.
-        assert!(json.contains("\"name\": \"SELECT\", \"cat\": \"span\", \"ph\": \"B\""), "{json}");
+        assert!(
+            json.contains("\"name\": \"SELECT\", \"cat\": \"span\", \"ph\": \"B\""),
+            "{json}"
+        );
         assert!(json.contains("\"ph\": \"E\""), "{json}");
         assert!(json.contains("\"name\": \"session 1\""), "{json}");
         // The cross-track FS→DP hop gets a flow pair keyed by the child span;
         // the same-track DP handler span does not.
         assert!(json.contains("\"ph\": \"s\", \"id\": 2"), "{json}");
-        assert!(json.contains("\"ph\": \"f\", \"bp\": \"e\", \"id\": 2"), "{json}");
+        assert!(
+            json.contains("\"ph\": \"f\", \"bp\": \"e\", \"id\": 2"),
+            "{json}"
+        );
         assert!(!json.contains("\"id\": 3"), "{json}");
         // Wait categories ride the end event's args under their lint names.
         assert!(json.contains("\"wait.disk\": 22"), "{json}");
         // Balanced delimiters and one B per E (cheap well-formedness check).
-        assert_eq!(json.matches('{').count(), json.matches('}').count(), "{json}");
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
         assert_eq!(
             json.matches("\"ph\": \"B\"").count(),
             json.matches("\"ph\": \"E\"").count(),

@@ -29,7 +29,7 @@ pub mod recovery;
 pub mod trail;
 pub mod txn;
 
-pub use audit::{AuditBody, AuditRecord, FieldImage, Lsn, LsnSource};
+pub use audit::{decode_record, scan_tail, AuditBody, AuditRecord, FieldImage, Lsn, LsnSource};
 pub use recovery::{classify, RecoveryPlan};
 pub use trail::{CommitTimer, Trail, TrailReply, TrailRequest, VolumeAuditor, AUDIT_PROCESS};
 pub use txn::{EndTxnRequest, TxnManager, TxnState};

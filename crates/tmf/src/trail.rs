@@ -110,6 +110,18 @@ struct PendingGroup {
     flush_at: Micros,
 }
 
+/// The most recently issued audit write, kept so a crash can tell whether
+/// the device was still mid-transfer (and how far it got).
+#[derive(Debug, Clone, Copy)]
+struct LastFlush {
+    /// When the device started the write string.
+    start: Micros,
+    /// When the write string completes.
+    end: Micros,
+    /// Index into `durable` of the first record this write carried.
+    from: usize,
+}
+
 #[derive(Debug, Default)]
 struct TrailInner {
     /// Durably flushed records (the readable log).
@@ -122,6 +134,7 @@ struct TrailInner {
     group: Option<PendingGroup>,
     /// Audit-volume device timeline.
     disk_busy_until: Micros,
+    last_flush: Option<LastFlush>,
     /// Adaptive-timer state: EWMA of commit inter-arrival time.
     last_commit_at: Option<Micros>,
     arrival_ewma_us: f64,
@@ -187,13 +200,55 @@ impl Trail {
         inner.durable.clone()
     }
 
-    /// Simulate a crash of the whole system: unflushed audit is lost.
-    pub fn crash(&self) {
+    /// Simulate a crash of the whole system at the current virtual time.
+    ///
+    /// Unflushed (buffered) audit is lost outright. If an audit write was
+    /// still in flight on the device, its tail is **torn**: the byte image
+    /// of that write is cut at the deterministic fraction of the transfer
+    /// window that had elapsed, then scanned ([`crate::audit::scan_tail`]) —
+    /// whole checksum-verified records before the cut survive as durable,
+    /// the partial/unverifiable suffix is truncated from the trail. Returns
+    /// the number of records lost to the torn tail.
+    pub fn crash(&self) -> usize {
+        let now = self.sim.now();
         let mut inner = self.inner.lock();
+        self.settle(&mut inner, now);
         inner.buffer.clear();
         inner.buffer_bytes = 0;
         inner.buffer_commits = 0;
         inner.group = None;
+
+        let mut torn = 0usize;
+        if let Some(lf) = inner.last_flush.take() {
+            if lf.end > now {
+                // The write string was mid-transfer: reconstruct the byte
+                // image it was writing and cut it where the device stopped.
+                let image: Vec<u8> = inner.durable[lf.from..]
+                    .iter()
+                    .flat_map(|r| r.encode())
+                    .collect();
+                let written = if now <= lf.start {
+                    0
+                } else {
+                    (image.len() as u64 * (now - lf.start) / (lf.end - lf.start)) as usize
+                };
+                let (whole, torn_bytes) = crate::audit::scan_tail(&image[..written]);
+                torn = inner.durable.len() - lf.from - whole.len();
+                inner.durable.truncate(lf.from + whole.len());
+                inner.durable_lsn = inner.durable.iter().map(|r| r.lsn).max().unwrap_or(0);
+                if torn > 0 {
+                    self.rec.add(Ctr::RecoveryTorn, torn as u64);
+                    self.sim
+                        .trace_emit(|| nsql_sim::trace::TraceEventKind::AuditTorn {
+                            records: torn as u64,
+                            bytes: torn_bytes as u64,
+                        });
+                }
+            }
+        }
+        // The device abandons the write string; it is idle after restart.
+        inner.disk_busy_until = now;
+        torn
     }
 
     /// Duration of the sequential bulk-write string needed for `bytes`.
@@ -255,6 +310,11 @@ impl Trail {
         let start = inner.disk_busy_until.max(at);
         let end = start + self.flush_duration(bytes);
         inner.disk_busy_until = end;
+        inner.last_flush = Some(LastFlush {
+            start,
+            end,
+            from: inner.durable.len(),
+        });
 
         inner.durable_lsn = inner
             .buffer
@@ -634,7 +694,9 @@ mod tests {
                 body: update_body(50),
             }],
         });
-        trail.force_up_to(l1, sim.now());
+        let done = trail.force_up_to(l1, sim.now());
+        // Wait out the forced write so it is physically complete.
+        sim.clock.advance_to(done);
         // Buffer another, then crash before flushing.
         let l2 = lsns.next();
         trail.apply(TrailRequest::Append {
@@ -707,5 +769,77 @@ mod tests {
         assert_eq!(recs.len(), 1);
         assert_eq!(recs[0].txn, TxnId(7));
         assert_eq!(recs[0].file, 2);
+    }
+
+    #[test]
+    fn crash_mid_flush_tears_the_tail() {
+        let (sim, _bus, trail, lsns) = setup(CommitTimer::Fixed(1_000));
+        // Buffer several records, then let the group flush start but crash
+        // before the write string completes: the tail must be torn back to
+        // a whole-record boundary, never replayed partially.
+        let mut all = Vec::new();
+        for _ in 0..6 {
+            let lsn = lsns.next();
+            all.push(lsn);
+            trail.apply(TrailRequest::Append {
+                records: vec![AuditRecord {
+                    lsn,
+                    txn: TxnId(1),
+                    volume: "$D".into(),
+                    file: 0,
+                    body: update_body(500),
+                }],
+            });
+        }
+        trail.apply(TrailRequest::Commit { txn: TxnId(1) });
+        // Advance just past the group timer so the flush *starts*, but not
+        // far enough for the multi-microsecond transfer to finish.
+        sim.clock.advance(1_001);
+        let torn = trail.crash();
+        assert!(torn > 0, "crash mid-transfer must tear records");
+        let recs = trail.durable_records(sim.now());
+        assert!(
+            recs.len() < all.len() + 1,
+            "the torn suffix must be truncated"
+        );
+        // Whatever survived is a strict LSN-prefix of what was written.
+        for (i, r) in recs.iter().enumerate() {
+            assert_eq!(r.lsn, all[i], "survivors must be the written prefix");
+        }
+        assert_eq!(
+            sim.measure
+                .entity(EntityKind::Process, AUDIT_PROCESS)
+                .get(Ctr::RecoveryTorn),
+            torn as u64
+        );
+    }
+
+    #[test]
+    fn crash_before_flush_start_loses_the_whole_write() {
+        let (sim, _bus, trail, _lsns) = setup(CommitTimer::Fixed(5_000));
+        trail.apply(TrailRequest::Commit { txn: TxnId(1) });
+        // Crash while the group is still pending: the device never started,
+        // so nothing of the group survives and nothing is "torn" (clean
+        // in-memory loss).
+        let torn = trail.crash();
+        assert_eq!(torn, 0);
+        assert!(trail.durable_records(sim.now()).is_empty());
+        assert_eq!(trail.durable_lsn(sim.now()), 0);
+    }
+
+    #[test]
+    fn crash_after_flush_completion_loses_nothing() {
+        let (sim, _bus, trail, _lsns) = setup(CommitTimer::Fixed(1_000));
+        let TrailReply::Committed { completion } =
+            trail.apply(TrailRequest::Commit { txn: TxnId(1) })
+        else {
+            panic!("expected Committed");
+        };
+        sim.clock.advance_to(completion);
+        let torn = trail.crash();
+        assert_eq!(torn, 0);
+        let recs = trail.durable_records(sim.now());
+        assert_eq!(recs.len(), 1, "completed flush must survive the crash");
+        assert_eq!(recs[0].txn, TxnId(1));
     }
 }

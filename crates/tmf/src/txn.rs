@@ -172,6 +172,23 @@ impl TxnManager {
         }
     }
 
+    /// Every transaction still in [`TxnState::Active`], in id order.
+    /// Crash-restart uses this when the audit-trail CPU dies: all
+    /// in-flight transactions lose their buffered undo/redo audit with
+    /// the trail buffer, so each one must be doomed and backed out
+    /// through the surviving Disk Processes.
+    pub fn active(&self) -> Vec<TxnId> {
+        let mut ids: Vec<TxnId> = self
+            .txns
+            .lock()
+            .iter()
+            .filter(|(_, i)| i.state == TxnState::Active)
+            .map(|(id, _)| *id)
+            .collect();
+        ids.sort();
+        ids
+    }
+
     /// Has a participant crash doomed this transaction?
     pub fn is_doomed(&self, txn: TxnId) -> bool {
         self.txns.lock().get(&txn).is_some_and(|i| i.doomed)

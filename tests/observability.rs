@@ -373,7 +373,7 @@ fn explain_analyze_renders_exact_wait_profile() {
             _ => None,
         })
         .collect();
-    // Seven categories, then the total.
+    // Eight categories, then the total.
     let names: Vec<&str> = wait_rows.iter().map(|(n, _)| *n).collect();
     assert_eq!(
         names,
@@ -384,16 +384,18 @@ fn explain_analyze_renders_exact_wait_profile() {
             "WAIT lock",
             "WAIT commit",
             "WAIT retry",
+            "WAIT restart",
             "WAIT other",
             "WAIT TOTAL"
         ]
     );
     let total = wait_rows.last().unwrap().1;
-    let sum: i64 = wait_rows[..7].iter().map(|(_, us)| us).sum();
+    let sum: i64 = wait_rows[..8].iter().map(|(_, us)| us).sum();
     assert_eq!(sum, total, "categories must sum exactly to the window");
     // The window is the analyzed statement itself: the operator TOTAL row.
     assert_eq!(total, cell_i64(&r.rows[2].0[5]));
-    assert_eq!(wait_rows[6].1, 0, "nothing may land in WAIT other");
+    assert_eq!(wait_rows[6].1, 0, "no crash: nothing lands in WAIT restart");
+    assert_eq!(wait_rows[7].1, 0, "nothing may land in WAIT other");
     assert!(wait_rows[2].1 > 0, "the cold scan has disk time");
 }
 
@@ -468,4 +470,57 @@ fn statement_measure_deltas_are_isolated_and_deterministic() {
         b.snap.total(EntityKind::Volume, Ctr::DiskReads)
             <= a.snap.total(EntityKind::Volume, Ctr::DiskReads)
     );
+}
+
+/// The recovery counters account for a restart's replay — scanned, REDO
+/// and UNDO record counts — and render in the MEASURE report under their
+/// registered dotted names.
+#[test]
+fn recovery_counters_are_recorded_and_rendered() {
+    use nsql_sim::{Ctr, EntityKind, MeasureReport};
+    let db = ClusterBuilder::new().volume("$DATA1", 0, 1).build();
+    let mut s = db.session();
+    s.execute("CREATE TABLE T (K INT NOT NULL, V INT NOT NULL, PRIMARY KEY (K))")
+        .unwrap();
+    s.execute("BEGIN WORK").unwrap();
+    for k in 0..20 {
+        s.execute(&format!("INSERT INTO T VALUES ({k}, {k})"))
+            .unwrap();
+    }
+    s.execute("COMMIT WORK").unwrap();
+
+    // An in-flight loser whose audit reaches the durable trail: send each
+    // record to the trail eagerly, then let a committed writer's group
+    // flush carry it to disk.
+    db.dp("$DATA1").set_audit_send_threshold(0);
+    s.execute("BEGIN WORK").unwrap();
+    s.execute("UPDATE T SET V = -1 WHERE K = 3").unwrap();
+    let mut s2 = db.session();
+    s2.execute("INSERT INTO T VALUES (900, 900)").unwrap();
+
+    let before = MeasureReport::capture(&db.sim);
+    db.crash_and_restart(0, 1);
+    let delta = MeasureReport::capture(&db.sim).since(&before);
+    let get = |c| delta.snap.get(EntityKind::Process, "$DATA1", c);
+    let (scanned, redo, undo) = (
+        get(Ctr::RecoveryScanned),
+        get(Ctr::RecoveryRedo),
+        get(Ctr::RecoveryUndo),
+    );
+    assert!(scanned > 0, "restart must scan the durable trail");
+    assert!(redo > 0, "committed records must be redone");
+    assert!(undo > 0, "the durable loser record must be undone");
+    assert!(redo + undo <= scanned, "replay work is bounded by the scan");
+
+    let text = delta.render();
+    for name in ["recovery.scanned", "recovery.redo", "recovery.undo"] {
+        assert!(text.contains(name), "{name} missing from MEASURE report");
+    }
+
+    // The loser's update is gone; committed state is intact.
+    let mut s3 = db.session();
+    let r = s3.query("SELECT V FROM T WHERE K = 3").unwrap();
+    assert_eq!(r.rows[0].0[0], Value::Int(3));
+    let r = s3.query("SELECT COUNT(*) FROM T").unwrap();
+    assert_eq!(r.rows[0].0[0], Value::LargeInt(21));
 }

@@ -234,6 +234,98 @@ fn takeover_mid_scan_completes_with_correct_rows() {
 }
 
 #[test]
+fn media_recovery_rebuilds_a_dead_unmirrored_volume_from_the_trail() {
+    let db = ClusterBuilder::new()
+        .volume_unmirrored("$DATA1", 0, 1)
+        .build();
+    let mut s = db.session();
+    s.execute("CREATE TABLE T (K INT NOT NULL, V INT NOT NULL, PRIMARY KEY (K))")
+        .unwrap();
+    s.execute("BEGIN WORK").unwrap();
+    for k in 0..50 {
+        s.execute(&format!("INSERT INTO T VALUES ({k}, {k})"))
+            .unwrap();
+    }
+    s.execute("COMMIT WORK").unwrap();
+    s.execute("UPDATE T SET V = 123 WHERE K = 7").unwrap();
+    s.execute("DELETE FROM T WHERE K = 49").unwrap();
+    // An in-flight loser at the moment the media dies: its changes must
+    // not reappear on the rebuilt store.
+    s.execute("BEGIN WORK").unwrap();
+    s.execute("UPDATE T SET V = -1 WHERE K = 3").unwrap();
+
+    db.disk("$DATA1").fail_drive(0);
+    db.media_recover("$DATA1").unwrap();
+
+    let mut s2 = db.session();
+    let r = s2.query("SELECT COUNT(*) FROM T").unwrap();
+    assert_eq!(r.rows[0].0[0], Value::LargeInt(49));
+    let r = s2.query("SELECT V FROM T WHERE K = 7").unwrap();
+    assert_eq!(r.rows[0].0[0], Value::Int(123));
+    let r = s2.query("SELECT V FROM T WHERE K = 3").unwrap();
+    assert_eq!(
+        r.rows[0].0[0],
+        Value::Int(3),
+        "loser redone onto fresh store"
+    );
+    // The volume serves new committed work after the rebuild.
+    s2.execute("INSERT INTO T VALUES (100, 100)").unwrap();
+    let r = s2.query("SELECT COUNT(*) FROM T").unwrap();
+    assert_eq!(r.rows[0].0[0], Value::LargeInt(50));
+}
+
+#[test]
+fn mirrored_repair_remirrors_with_cost_and_trace() {
+    let db = ClusterBuilder::new().volume("$DATA1", 0, 1).build();
+    let mut s = db.session();
+    s.execute("CREATE TABLE T (K INT NOT NULL, PRIMARY KEY (K))")
+        .unwrap();
+    s.execute("BEGIN WORK").unwrap();
+    for k in 0..100 {
+        s.execute(&format!("INSERT INTO T VALUES ({k})")).unwrap();
+    }
+    s.execute("COMMIT WORK").unwrap();
+    db.dp("$DATA1").pool().flush_all().unwrap();
+
+    // Lose one half; service continues on the survivor.
+    db.disk("$DATA1").fail_drive(1);
+    let r = s.query("SELECT COUNT(*) FROM T").unwrap();
+    assert_eq!(r.rows[0].0[0], Value::LargeInt(100));
+
+    db.sim.trace.enable_default();
+    let cursor = db.sim.trace.cursor();
+    let waits_before = db.sim.clock.profile();
+    let before = db.sim.now();
+    db.media_recover("$DATA1").unwrap();
+
+    // The copy-back charged virtual time, attributed to restart waiting.
+    assert!(db.sim.now() > before, "re-mirror must consume virtual time");
+    let delta = db.sim.clock.profile() - waits_before;
+    assert_eq!(
+        delta.get(nonstop_sql::sim::Wait::Restart),
+        db.sim.now() - before,
+        "copy-back time is attributed to wait.restart"
+    );
+    let events = db.sim.trace.since(cursor);
+    let remirror = events
+        .iter()
+        .find_map(|e| match &e.kind {
+            TraceEventKind::Remirror { volume, blocks } => Some((volume.clone(), *blocks)),
+            _ => None,
+        })
+        .expect("repair must emit a disk.remirror trace event");
+    assert_eq!(remirror.0, "$DATA1");
+    assert!(remirror.1 > 0, "allocated blocks were copied back");
+    assert!(format_sequence(&events).contains("disk.remirror"));
+
+    // Data intact and writable afterwards.
+    let mut s2 = db.session();
+    let r = s2.query("SELECT COUNT(*) FROM T").unwrap();
+    assert_eq!(r.rows[0].0[0], Value::LargeInt(100));
+    s2.execute("INSERT INTO T VALUES (500)").unwrap();
+}
+
+#[test]
 fn aborted_txn_stays_aborted_across_crash() {
     let db = db_with_table();
     let mut s = db.session();
