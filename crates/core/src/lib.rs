@@ -363,6 +363,15 @@ impl Cluster {
         v
     }
 
+    /// Arm the lock-wait timeout on every volume's Disk Process: waiters
+    /// older than `us` virtual microseconds are doomed with a typed
+    /// lock-timeout error instead of queueing forever (`0` disarms).
+    pub fn set_lock_wait_timeout(&self, us: u64) {
+        for dp in self.dps.read().values() {
+            dp.set_lock_wait_timeout(us);
+        }
+    }
+
     /// Arm the deterministic fault plane: subsequent FS-DP exchanges are
     /// subject to the seeded drop/duplicate/delay/error schedule in `cfg`.
     pub fn enable_faults(&self, cfg: FaultConfig) {

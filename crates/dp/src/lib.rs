@@ -71,6 +71,11 @@ pub struct DpConfig {
     pub bulk_io: bool,
     /// Pre-fetch the next string asynchronously during set-oriented scans.
     pub prefetch: bool,
+    /// Lock-wait timeout budget in virtual microseconds; a waiter that
+    /// out-waits the budget is bounced with [`DpError::LockTimeout`] so
+    /// convoy stragglers abort and retry instead of queueing forever.
+    /// `0` disables the timeout (the default).
+    pub lock_wait_timeout_us: u64,
 }
 
 impl Default for DpConfig {
@@ -83,6 +88,7 @@ impl Default for DpConfig {
             write_behind: true,
             bulk_io: true,
             prefetch: true,
+            lock_wait_timeout_us: 0,
         }
     }
 }
@@ -276,6 +282,8 @@ impl DiskProcess {
         } else {
             Allocator::recovered(disk.len_blocks())
         };
+        let locks = LockManager::new();
+        locks.set_wait_timeout(config.lock_wait_timeout_us);
         Arc::new(DiskProcess {
             sim: ctx.sim.clone(),
             bus: Arc::clone(&ctx.bus),
@@ -284,7 +292,7 @@ impl DiskProcess {
             trail: Arc::clone(&ctx.trail),
             txnmgr: Arc::clone(&ctx.txnmgr),
             auditor,
-            locks: LockManager::new(),
+            locks,
             pool,
             alloc: Mutex::new(alloc),
             config: Mutex::new(config),
@@ -308,6 +316,13 @@ impl DiskProcess {
     /// Tune the audit send-buffer threshold (experiment E15's ablation).
     pub fn set_audit_send_threshold(&self, bytes: usize) {
         self.auditor.set_send_threshold(bytes);
+    }
+
+    /// Arm (or, with `0`, disarm) the lock-wait timeout at runtime; also
+    /// settable at construction via [`DpConfig::lock_wait_timeout_us`].
+    pub fn set_lock_wait_timeout(&self, us: u64) {
+        self.config.lock().lock_wait_timeout_us = us;
+        self.locks.set_wait_timeout(us);
     }
 
     fn persist_label(&self, label: &VolumeLabel) {
@@ -352,12 +367,14 @@ impl DiskProcess {
         scope: LockScope,
         mode: LockMode,
     ) -> Result<(), DpError> {
-        match self.locks.acquire(txn, file, scope, mode) {
-            Ok(()) => {
-                // The transaction is no longer waiting on anyone here.
-                self.locks.stop_waiting(txn);
-                Ok(())
-            }
+        // A doomed transaction must not take new locks: fail fast so a
+        // deadlock victim chosen while someone *else* was requesting learns
+        // its fate on its very next request.
+        if self.txnmgr.is_doomed(txn) {
+            return Err(DpError::Deadlock { victim: txn });
+        }
+        match self.locks.acquire(txn, file, scope.clone(), mode) {
+            Ok(()) => Ok(()),
             Err(LockError::Conflict { holder }) => {
                 self.sim.metrics.lock_waits.inc();
                 self.rec.bump(Ctr::LockWaits);
@@ -366,19 +383,41 @@ impl DiskProcess {
                 self.sim
                     .clock
                     .advance_in(Wait::Lock, self.sim.cost.lock_wait_us);
-                // Declare the wait; a closed waits-for cycle makes this
-                // requester the deadlock victim.
-                match self.locks.wait_for(txn, holder) {
+                // Queue behind the holder; a closed waits-for cycle dooms
+                // its youngest member, an exhausted budget dooms us.
+                match self
+                    .locks
+                    .wait(txn, holder, file, scope, mode, self.sim.now())
+                {
                     Err(LockError::Deadlock { victim }) => {
                         self.sim.metrics.deadlocks.inc();
                         self.rec.bump(Ctr::LockDeadlocks);
+                        self.rec.bump(Ctr::DeadlockDetected);
+                        self.rec.bump(Ctr::DeadlockVictims);
                         self.sim.trace_emit(|| TraceEventKind::LockWait {
                             txn: txn.0,
                             deadlock: true,
                         });
-                        Err(DpError::Deadlock { victim })
+                        if victim == txn {
+                            Err(DpError::Deadlock { victim })
+                        } else {
+                            // The victim is someone younger: doom it at the
+                            // TMF so its client aborts and retries, and keep
+                            // this (older) requester politely waiting.
+                            self.txnmgr.doom(victim);
+                            self.locks.stop_waiting(victim);
+                            Err(DpError::Locked { holder })
+                        }
                     }
-                    _ => {
+                    Err(LockError::WaitTimeout { victim }) => {
+                        self.rec.bump(Ctr::LockWaitTimeouts);
+                        self.sim.trace_emit(|| TraceEventKind::LockWait {
+                            txn: txn.0,
+                            deadlock: false,
+                        });
+                        Err(DpError::LockTimeout { victim })
+                    }
+                    Ok(()) | Err(LockError::Conflict { .. }) => {
                         self.sim.trace_emit(|| TraceEventKind::LockWait {
                             txn: txn.0,
                             deadlock: false,
@@ -387,14 +426,22 @@ impl DiskProcess {
                     }
                 }
             }
+            // acquire() only bounces with Conflict; these arms are
+            // defensive completeness.
             Err(LockError::Deadlock { victim }) => {
                 self.sim.metrics.deadlocks.inc();
                 self.rec.bump(Ctr::LockDeadlocks);
+                self.rec.bump(Ctr::DeadlockDetected);
+                self.rec.bump(Ctr::DeadlockVictims);
                 self.sim.trace_emit(|| TraceEventKind::LockWait {
                     txn: txn.0,
                     deadlock: true,
                 });
                 Err(DpError::Deadlock { victim })
+            }
+            Err(LockError::WaitTimeout { victim }) => {
+                self.rec.bump(Ctr::LockWaitTimeouts);
+                Err(DpError::LockTimeout { victim })
             }
         }
     }

@@ -498,10 +498,18 @@ pub enum DpError {
         /// Holder of the conflicting lock.
         holder: TxnId,
     },
-    /// Waiting for the conflicting holder would deadlock; the requester
-    /// has been chosen as the victim and should abort.
+    /// Waiting for the conflicting holder would deadlock. The youngest
+    /// transaction in the cycle is chosen as the victim; when the victim
+    /// is the requester itself this error tells it to abort, otherwise the
+    /// victim was doomed at the TMF and will learn on its next request.
     Deadlock {
-        /// The victim (the requesting transaction).
+        /// The deadlock victim (youngest transaction in the cycle).
+        victim: TxnId,
+    },
+    /// The requester out-waited the lock-wait timeout budget and has been
+    /// bounced from the wait queue; it should abort and retry.
+    LockTimeout {
+        /// The timed-out requester.
         victim: TxnId,
     },
     /// Integrity constraint rejected the new record.
@@ -530,6 +538,9 @@ impl std::fmt::Display for DpError {
                     f,
                     "deadlock detected; transaction {victim} chosen as victim"
                 )
+            }
+            DpError::LockTimeout { victim } => {
+                write!(f, "lock wait timeout; transaction {victim} doomed")
             }
             DpError::ConstraintViolation => write!(f, "integrity constraint violated"),
             DpError::EvalFailed(e) => write!(f, "expression evaluation failed: {e}"),

@@ -50,11 +50,28 @@ pub enum FsError {
     /// continuation reply without a Subset Control Block or last key); the
     /// statement is aborted instead of panicking the requester.
     Protocol(String),
+    /// The transaction has been doomed (deadlock victim or lock-wait
+    /// timeout); the caller must abort it and may transparently retry the
+    /// whole transaction. This is the typed, retryable variant client
+    /// retry loops match on — never a panic path.
+    Doomed {
+        /// Why the transaction was doomed (contains `deadlock` or
+        /// `timeout`).
+        reason: String,
+    },
 }
 
 impl From<DpError> for FsError {
     fn from(e: DpError) -> Self {
-        FsError::Dp(e)
+        match e {
+            DpError::Deadlock { victim } => FsError::Doomed {
+                reason: format!("deadlock victim {victim}"),
+            },
+            DpError::LockTimeout { victim } => FsError::Doomed {
+                reason: format!("lock wait timeout doomed {victim}"),
+            },
+            other => FsError::Dp(other),
+        }
     }
 }
 
@@ -72,6 +89,7 @@ impl std::fmt::Display for FsError {
             FsError::BadRow(e) => write!(f, "bad row: {e}"),
             FsError::Unavailable(e) => write!(f, "server unavailable: {e}"),
             FsError::Protocol(e) => write!(f, "FS-DP protocol violation: {e}"),
+            FsError::Doomed { reason } => write!(f, "transaction doomed: {reason}"),
         }
     }
 }
@@ -345,7 +363,9 @@ impl FileSystem {
                         }
                     };
                     return match reply {
-                        DpReply::Error(e) => Err(FsError::Dp(e)),
+                        // From<DpError> routes doom-class errors (deadlock
+                        // victim, lock-wait timeout) to FsError::Doomed.
+                        DpReply::Error(e) => Err(FsError::from(e)),
                         ok => Ok(ok),
                     };
                 }

@@ -875,3 +875,32 @@ fn entry_sequenced_file_via_fs() {
             .unwrap_err();
     assert!(matches!(err, FsError::Dp(nsql_dp::DpError::WrongFileKind)));
 }
+
+#[test]
+fn doom_class_dp_errors_become_typed_fs_doomed() {
+    // Deadlock and lock-timeout replies map to the typed, retryable
+    // FsError::Doomed — never a panic path — and the reason keeps the
+    // keyword retry loops and operators look for.
+    let dead = FsError::from(nsql_dp::DpError::Deadlock {
+        victim: nsql_lock::TxnId(7),
+    });
+    let FsError::Doomed { reason } = &dead else {
+        panic!("expected Doomed, got {dead:?}");
+    };
+    assert!(reason.contains("deadlock"), "{reason}");
+    assert!(dead.to_string().contains("transaction doomed"));
+
+    let timed = FsError::from(nsql_dp::DpError::LockTimeout {
+        victim: nsql_lock::TxnId(9),
+    });
+    let FsError::Doomed { reason } = &timed else {
+        panic!("expected Doomed, got {timed:?}");
+    };
+    assert!(reason.contains("timeout"), "{reason}");
+
+    // Non-doom errors keep the plain Dp wrapping.
+    assert!(matches!(
+        FsError::from(nsql_dp::DpError::NotFound),
+        FsError::Dp(nsql_dp::DpError::NotFound)
+    ));
+}

@@ -45,6 +45,13 @@ pub enum Wait {
     /// Restart: crash-recovery work — scanning the durable audit trail and
     /// replaying the REDO/UNDO plan after a CPU or media failure.
     Restart,
+    /// Admission-control wait: time a transaction spent queued at the
+    /// admission gate before it was allowed to begin (overload
+    /// backpressure). On the shared clock this only accrues when the gate
+    /// itself is the critical path (the system was otherwise idle while a
+    /// queued arrival waited); per-transaction queueing delay overlapped
+    /// with other terminals' service is reported by the workload engine.
+    Admission,
     /// Untagged advances (test drivers, open-loop arrival gaps). Inside a
     /// statement this is zero; it exists so the ledger covers *all* time.
     Other,
@@ -59,12 +66,13 @@ pub const WAIT_CATEGORIES: [Wait; Wait::COUNT] = [
     Wait::Commit,
     Wait::Retry,
     Wait::Restart,
+    Wait::Admission,
     Wait::Other,
 ];
 
 impl Wait {
     /// Number of categories.
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 9;
 
     /// Position in the ledger.
     pub fn index(self) -> usize {
@@ -76,7 +84,8 @@ impl Wait {
             Wait::Commit => 4,
             Wait::Retry => 5,
             Wait::Restart => 6,
-            Wait::Other => 7,
+            Wait::Admission => 7,
+            Wait::Other => 8,
         }
     }
 
@@ -90,6 +99,7 @@ impl Wait {
             Wait::Commit => "wait.commit",
             Wait::Retry => "wait.retry",
             Wait::Restart => "wait.restart",
+            Wait::Admission => "wait.admission",
             Wait::Other => "wait.other",
         }
     }
@@ -104,6 +114,7 @@ impl Wait {
             Wait::Commit => "commit",
             Wait::Retry => "retry",
             Wait::Restart => "restart",
+            Wait::Admission => "admission",
             Wait::Other => "other",
         }
     }

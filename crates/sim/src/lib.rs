@@ -23,7 +23,7 @@ pub use measure::{
     MeasureReport, MeasureSnapshot, COUNTER_NAMES,
 };
 pub use metrics::{Metrics, MetricsSnapshot};
-pub use rng::SimRng;
+pub use rng::{SimRng, Zipf};
 pub use span::{current_span, SpanAllocator, SpanGuard, SpanHeader};
 pub use trace::{
     assemble_spans, chrome_trace, format_sequence, FaultAction, Histogram, Histograms, SpanNode,

@@ -159,6 +159,17 @@ measure_counters! {
     RecoveryUndo => "recovery.undo",
     /// Torn (partially written) trail records truncated during recovery.
     RecoveryTorn => "recovery.torn",
+    /// Waits-for cycles found by the Disk Process's deadlock detector.
+    DeadlockDetected => "deadlock.detected",
+    /// Transactions chosen (youngest in the cycle) and doomed as deadlock
+    /// victims.
+    DeadlockVictims => "deadlock.victim",
+    /// Client-side automatic retries after a victim abort.
+    DeadlockRetries => "deadlock.retry",
+    /// Convoy stragglers doomed by the virtual-time lock-wait timeout.
+    LockWaitTimeouts => "lockwait.timeout",
+    /// Transactions that had to queue at the admission-control gate.
+    AdmissionQueued => "admission.queued",
 }
 
 /// One entity's counter record: a fixed array of relaxed atomics.

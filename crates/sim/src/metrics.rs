@@ -188,6 +188,8 @@ metrics! {
     stmt_wait_retry_us,
     /// Statement virtual time attributed to crash recovery (wait.restart).
     stmt_wait_restart_us,
+    /// Statement virtual time attributed to admission queueing (wait.admission).
+    stmt_wait_admission_us,
     /// Statement virtual time left unattributed (wait.other; normally 0).
     stmt_wait_other_us,
 }
@@ -209,6 +211,7 @@ impl Metrics {
                 Wait::Commit => self.stmt_wait_commit_us.add(us),
                 Wait::Retry => self.stmt_wait_retry_us.add(us),
                 Wait::Restart => self.stmt_wait_restart_us.add(us),
+                Wait::Admission => self.stmt_wait_admission_us.add(us),
                 Wait::Other => self.stmt_wait_other_us.add(us),
             }
         }
@@ -228,6 +231,7 @@ impl MetricsSnapshot {
                 self.stmt_wait_commit_us,
                 self.stmt_wait_retry_us,
                 self.stmt_wait_restart_us,
+                self.stmt_wait_admission_us,
                 self.stmt_wait_other_us,
             ],
         }

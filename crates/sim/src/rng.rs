@@ -65,6 +65,70 @@ impl SimRng {
             .map(|_| (b'A' + self.below(26) as u8) as char)
             .collect()
     }
+
+    /// Exponentially distributed gap with the given mean, in whole
+    /// microseconds (Poisson-process inter-arrival times for the open-loop
+    /// workload engine). Always at least 1 µs so arrival events are
+    /// strictly ordered on the virtual clock.
+    pub fn exp_us(&mut self, mean_us: f64) -> u64 {
+        let mean = mean_us.max(1.0);
+        // unit() is in [0, 1); 1 - u is in (0, 1], so ln is finite.
+        let gap = -(1.0 - self.unit()).ln() * mean;
+        (gap.round() as u64).max(1)
+    }
+}
+
+/// Zipf-distributed index sampler over `0..n` with skew `theta`
+/// (`theta == 0` is uniform; the classic "80/20" hotspot shape appears
+/// around `theta ≈ 0.8–1.0`). Weights are `1 / (i+1)^theta`; sampling is
+/// inversion over a precomputed cumulative table, so draws are `O(log n)`
+/// and exactly reproducible from the driving [`SimRng`].
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Precompute the cumulative weights for `n` items with skew `theta`.
+    pub fn new(n: u64, theta: f64) -> Zipf {
+        let n = n.max(1) as usize;
+        let theta = theta.max(0.0);
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for i in 0..n {
+            total += 1.0 / ((i + 1) as f64).powf(theta);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Always false (the table holds at least one item).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draw one index in `0..n`.
+    pub fn draw(&self, rng: &mut SimRng) -> u64 {
+        let u = rng.unit();
+        // First index whose cumulative weight exceeds u.
+        match self.cdf.binary_search_by(|c| {
+            if *c <= u {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Greater
+            }
+        }) {
+            Ok(i) | Err(i) => (i.min(self.cdf.len() - 1)) as u64,
+        }
+    }
 }
 
 /// The SplitMix64 finalizer (Steele, Lea & Flood 2014).
@@ -113,6 +177,43 @@ mod tests {
         let s = rng.letters(32);
         assert_eq!(s.len(), 32);
         assert!(s.chars().all(|c| c.is_ascii_uppercase()));
+    }
+
+    #[test]
+    fn exp_gaps_have_roughly_the_requested_mean() {
+        let mut rng = SimRng::seed_from(17);
+        let n = 4000;
+        let sum: u64 = (0..n).map(|_| rng.exp_us(500.0)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((400.0..600.0).contains(&mean), "mean {mean}");
+        assert!(rng.exp_us(0.0) >= 1, "gaps never collapse to zero");
+    }
+
+    #[test]
+    fn zipf_is_deterministic_skewed_and_in_range() {
+        let zipf = Zipf::new(100, 1.0);
+        assert_eq!(zipf.len(), 100);
+        let mut a = SimRng::seed_from(5);
+        let mut b = SimRng::seed_from(5);
+        let mut counts = [0u64; 100];
+        for _ in 0..5000 {
+            let x = zipf.draw(&mut a);
+            assert_eq!(x, zipf.draw(&mut b), "deterministic per seed");
+            assert!(x < 100);
+            counts[x as usize] += 1;
+        }
+        // Skewed: item 0 is drawn far more often than item 99.
+        assert!(counts[0] > 10 * counts[99].max(1), "{counts:?}");
+        // theta = 0 is uniform-ish: the head loses its dominance.
+        let uniform = Zipf::new(100, 0.0);
+        let mut rng = SimRng::seed_from(6);
+        let mut head = 0u64;
+        for _ in 0..5000 {
+            if uniform.draw(&mut rng) == 0 {
+                head += 1;
+            }
+        }
+        assert!(head < 200, "uniform head count {head}");
     }
 
     #[test]

@@ -62,14 +62,18 @@ pub enum ExecError {
     Eval(String),
     /// CHECK constraint rejected a row.
     ConstraintViolation,
+    /// The statement's transaction was doomed mid-flight (deadlock victim
+    /// or lock-wait timeout). Retryable: the client aborts the transaction
+    /// and may transparently run it again.
+    Doomed(String),
 }
 
 impl From<FsError> for ExecError {
     fn from(e: FsError) -> Self {
-        if matches!(e, FsError::Dp(nsql_dp::DpError::ConstraintViolation)) {
-            ExecError::ConstraintViolation
-        } else {
-            ExecError::Fs(e)
+        match e {
+            FsError::Dp(nsql_dp::DpError::ConstraintViolation) => ExecError::ConstraintViolation,
+            FsError::Doomed { reason } => ExecError::Doomed(reason),
+            other => ExecError::Fs(other),
         }
     }
 }
@@ -86,6 +90,7 @@ impl std::fmt::Display for ExecError {
             ExecError::Fs(e) => write!(f, "{e}"),
             ExecError::Eval(e) => write!(f, "evaluation failed: {e}"),
             ExecError::ConstraintViolation => write!(f, "integrity constraint violated"),
+            ExecError::Doomed(reason) => write!(f, "transaction doomed: {reason}"),
         }
     }
 }

@@ -484,3 +484,22 @@ fn errors_surface_cleanly() {
         .unwrap_err()
         .contains("values"));
 }
+
+#[test]
+fn doomed_fs_errors_surface_as_typed_exec_doomed() {
+    // The retry loop in the workload engine matches on ExecError::Doomed;
+    // the From<FsError> impl must preserve the doom reason verbatim.
+    let e = crate::exec::ExecError::from(nsql_fs::FsError::Doomed {
+        reason: "deadlock victim T7".to_string(),
+    });
+    assert_eq!(
+        e,
+        crate::exec::ExecError::Doomed("deadlock victim T7".to_string())
+    );
+    assert!(e.to_string().contains("deadlock"), "{e}");
+    // Constraint violations keep their dedicated variant.
+    assert_eq!(
+        crate::exec::ExecError::from(nsql_fs::FsError::Dp(nsql_dp::DpError::ConstraintViolation)),
+        crate::exec::ExecError::ConstraintViolation
+    );
+}

@@ -24,6 +24,10 @@ use nsql_records::key::encode_record_key;
 use nsql_records::{ArithOp, Expr, SetList, Value};
 use nsql_sim::SimRng;
 
+/// FS-DP messages in one SQL debit-credit transaction (see
+/// [`Bank::debit_credit_step`]).
+pub const DEBIT_CREDIT_STEPS: usize = 4;
+
 /// A loaded bank database.
 pub struct Bank {
     /// Number of branches.
@@ -169,6 +173,61 @@ impl Bank {
         encode_record_key(&of.desc, &row)
     }
 
+    /// One FS-DP message of the SQL debit-credit transaction: steps `0..2`
+    /// are the pushed-down account/teller/branch balance updates, the last
+    /// step is the history insert. The multi-terminal load engine issues
+    /// these one at a time so concurrent transactions interleave — and
+    /// contend — at real message granularity, and the typed
+    /// [`nsql_fs::FsError`] lets its retry loop match on
+    /// [`nsql_fs::FsError::Doomed`].
+    #[allow(clippy::too_many_arguments)] // mirrors debit_credit_sql's fields plus the step index
+    pub fn debit_credit_step(
+        &self,
+        fs: &FileSystem,
+        txn: TxnId,
+        step: usize,
+        aid: i32,
+        tid: i32,
+        bid: i32,
+        delta: f64,
+    ) -> Result<(), nsql_fs::FsError> {
+        match step {
+            0 => fs.update_by_key(
+                txn,
+                &self.account_of,
+                &Self::key_of(&self.account_of, Value::Int(aid)),
+                &Self::add_expr(2, delta),
+                None,
+            ),
+            1 => fs.update_by_key(
+                txn,
+                &self.teller_of,
+                &Self::key_of(&self.teller_of, Value::Int(tid)),
+                &Self::add_expr(2, delta),
+                None,
+            ),
+            2 => fs.update_by_key(
+                txn,
+                &self.branch_of,
+                &Self::key_of(&self.branch_of, Value::Int(bid)),
+                &Self::add_expr(1, delta),
+                None,
+            ),
+            _ => fs.insert_row(
+                txn,
+                &self.history_of,
+                &[
+                    Value::LargeInt(self.hid()),
+                    Value::Int(aid),
+                    Value::Int(tid),
+                    Value::Int(bid),
+                    Value::Double(delta),
+                    Value::Str("H".repeat(24)),
+                ],
+            ),
+        }
+    }
+
     /// The NonStop SQL implementation: three pushed-down update
     /// expressions plus one insert — four FS-DP messages, field-compressed
     /// audit, no read-before-write.
@@ -181,44 +240,10 @@ impl Bank {
         bid: i32,
         delta: f64,
     ) -> Result<(), DbError> {
-        let e = |x: nsql_fs::FsError| DbError(x.to_string());
-        fs.update_by_key(
-            txn,
-            &self.account_of,
-            &Self::key_of(&self.account_of, Value::Int(aid)),
-            &Self::add_expr(2, delta),
-            None,
-        )
-        .map_err(e)?;
-        fs.update_by_key(
-            txn,
-            &self.teller_of,
-            &Self::key_of(&self.teller_of, Value::Int(tid)),
-            &Self::add_expr(2, delta),
-            None,
-        )
-        .map_err(e)?;
-        fs.update_by_key(
-            txn,
-            &self.branch_of,
-            &Self::key_of(&self.branch_of, Value::Int(bid)),
-            &Self::add_expr(1, delta),
-            None,
-        )
-        .map_err(e)?;
-        fs.insert_row(
-            txn,
-            &self.history_of,
-            &[
-                Value::LargeInt(self.hid()),
-                Value::Int(aid),
-                Value::Int(tid),
-                Value::Int(bid),
-                Value::Double(delta),
-                Value::Str("H".repeat(24)),
-            ],
-        )
-        .map_err(e)?;
+        for step in 0..DEBIT_CREDIT_STEPS {
+            self.debit_credit_step(fs, txn, step, aid, tid, bid, delta)
+                .map_err(|x| DbError(x.to_string()))?;
+        }
         Ok(())
     }
 

@@ -9,9 +9,16 @@
 //!   account, history), standing in for the \[Benchmark\] workbook's OLTP
 //!   load, with both a NonStop SQL implementation and an ENSCRIBE
 //!   record-at-a-time implementation of the same transaction.
+//! * [`load`] — an open-loop multi-terminal engine that interleaves many
+//!   concurrent debit-credit transactions at FS-DP message granularity,
+//!   with Poisson arrivals, Zipf-skewed hotspots, an admission-control
+//!   gate, and automatic retry of doomed (deadlock-victim / lock-timeout)
+//!   transactions.
 
 pub mod bank;
+pub mod load;
 pub mod wisconsin;
 
-pub use bank::Bank;
+pub use bank::{Bank, DEBIT_CREDIT_STEPS};
+pub use load::{run_load, LoadConfig, LoadOutcome};
 pub use wisconsin::Wisconsin;

@@ -1,0 +1,603 @@
+//! Open-loop multi-terminal DebitCredit engine on the virtual clock.
+//!
+//! `N` simulated terminals issue debit-credit transactions with Poisson
+//! (exponential-gap) arrivals and Zipf-skewed account hotspots. The engine
+//! is a cooperative event scheduler: each scheduler step runs exactly one
+//! FS-DP message of one terminal's transaction, so concurrent transactions
+//! interleave — and genuinely contend for locks and group commit — at
+//! message granularity, all on one OS thread and one deterministic clock.
+//!
+//! Contention is survivable end to end:
+//!
+//! * a transaction doomed as a **deadlock victim** (or by the lock-wait
+//!   timeout) surfaces as the typed [`FsError::Doomed`]; the terminal
+//!   aborts it (full UNDO through the audit trail) and automatically
+//!   retries with bounded exponential backoff;
+//! * a plain **lock conflict** ([`DpError::Locked`]) is re-polled after a
+//!   short lock-retry pause, preserving the Disk Process's FIFO grant
+//!   order;
+//! * an **admission-control gate** bounds in-flight transactions: arrivals
+//!   beyond the bound queue FIFO (counted as `admission.queued`) and only
+//!   enter when a slot frees, so offered load beyond saturation degrades
+//!   gracefully — throughput plateaus and queueing absorbs the excess —
+//!   instead of collapsing into lock thrash.
+//!
+//! On the *shared* clock, admission queueing only accrues `wait.admission`
+//! ledger time when the gate itself is the critical path (grants happen at
+//! completion instants, which rarely advance the clock); the per-transaction
+//! admission delay — the evidence that the gate absorbs overload — is
+//! therefore measured separately in [`LoadOutcome::admission_wait_us`].
+
+use crate::bank::{Bank, DEBIT_CREDIT_STEPS};
+use nsql_core::Cluster;
+use nsql_dp::DpError;
+use nsql_fs::FsError;
+use nsql_lock::TxnId;
+use nsql_sim::{Ctr, EntityKind, SimRng, Wait, Zipf};
+use nsql_tmf::txn::{TxnError, TMF_ENTITY};
+use std::collections::VecDeque;
+
+/// Tunables of one multi-terminal run.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Number of simulated terminals.
+    pub terminals: usize,
+    /// Arrivals stop after this much virtual time; in-flight transactions
+    /// are drained to completion.
+    pub duration_us: u64,
+    /// Mean exponential inter-arrival gap per terminal (open loop: the
+    /// offered rate is `terminals / mean_think_us`, independent of how
+    /// fast the system completes work).
+    pub mean_think_us: f64,
+    /// Zipf skew of the account picks (`0` = uniform; ~1 = heavy hotspot).
+    pub zipf_theta: f64,
+    /// Admission-control gate: at most this many transactions in flight;
+    /// excess arrivals queue FIFO.
+    pub max_inflight: usize,
+    /// Pause before re-polling a lock held by someone else.
+    pub lock_retry_us: u64,
+    /// Give up on a transaction after this many doomed-and-retried
+    /// attempts (it then counts as [`LoadOutcome::gave_up`]).
+    pub max_txn_retries: u32,
+    /// Base backoff before retrying a doomed transaction (doubles per
+    /// attempt, capped at 64x).
+    pub retry_backoff_us: u64,
+    /// When true (the default), each transaction performs its three
+    /// balance updates in a per-transaction random order. Real mixed
+    /// workloads touch resources in inconsistent orders — this is what
+    /// makes waits-for *cycles* (not just convoys) reachable.
+    pub shuffle_steps: bool,
+    /// RNG seed; runs are exactly reproducible per seed.
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            terminals: 8,
+            duration_us: 200_000,
+            mean_think_us: 5_000.0,
+            zipf_theta: 0.8,
+            max_inflight: 4,
+            lock_retry_us: 300,
+            max_txn_retries: 8,
+            retry_backoff_us: 400,
+            shuffle_steps: true,
+            seed: 1,
+        }
+    }
+}
+
+/// What one run observed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LoadOutcome {
+    /// Transactions that arrived during the run window.
+    pub arrivals: u64,
+    /// Transactions committed.
+    pub committed: u64,
+    /// Transaction attempts aborted (doomed victims; each may retry).
+    pub aborted: u64,
+    /// Automatic retries after a doom (deadlock victim or lock timeout).
+    pub deadlock_retries: u64,
+    /// Dooms whose reason was the lock-wait timeout.
+    pub lock_timeouts: u64,
+    /// Arrivals that had to queue at the admission gate.
+    pub admission_queued: u64,
+    /// Transactions abandoned after exhausting their retry budget.
+    pub gave_up: u64,
+    /// Attempts aborted by non-doom errors (fault-plane chaos).
+    pub other_errors: u64,
+    /// Per-commit latency (commit instant minus arrival instant), sorted.
+    pub latencies_us: Vec<u64>,
+    /// Total time committed transactions spent queued at the admission
+    /// gate (grant instant minus arrival instant).
+    pub admission_wait_us: u64,
+    /// Net delta applied by committed transactions (conservation checks:
+    /// final total balance must equal initial plus this).
+    pub net_delta: f64,
+    /// Virtual time the whole run took, including drain.
+    pub elapsed_us: u64,
+}
+
+impl LoadOutcome {
+    /// Latency percentile in microseconds (`p` in `[0, 100]`); 0 when
+    /// nothing committed.
+    pub fn percentile_us(&self, p: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let last = self.latencies_us.len() - 1;
+        let idx = ((p.clamp(0.0, 100.0) / 100.0) * last as f64).round() as usize;
+        self.latencies_us[idx.min(last)]
+    }
+
+    /// Committed transactions per second of virtual time.
+    pub fn tps(&self) -> f64 {
+        if self.elapsed_us == 0 {
+            0.0
+        } else {
+            self.committed as f64 * 1_000_000.0 / self.elapsed_us as f64
+        }
+    }
+
+    /// Offered transactions per second (arrivals over the arrival window).
+    pub fn offered_tps(&self, duration_us: u64) -> f64 {
+        if duration_us == 0 {
+            0.0
+        } else {
+            self.arrivals as f64 * 1_000_000.0 / duration_us as f64
+        }
+    }
+}
+
+/// One transaction's inputs and retry bookkeeping.
+#[derive(Debug, Clone)]
+struct Job {
+    arrival: u64,
+    admitted: u64,
+    attempt: u32,
+    aid: i32,
+    tid: i32,
+    bid: i32,
+    delta: f64,
+    /// Order of the three balance-update steps (the history insert is
+    /// always last).
+    order: [usize; 3],
+}
+
+enum TermState {
+    /// Waiting for the next arrival at `t_next`.
+    Think,
+    /// Arrived, queued at the admission gate; a freed slot wakes us.
+    Queued(Job),
+    /// Executing `job` as transaction `txn`; `step` messages already sent.
+    Run { job: Job, txn: TxnId, step: usize },
+    /// Sleeping out a retry backoff; the admission slot is retained.
+    Backoff(Job),
+    /// Past the arrival window with nothing in flight.
+    Done,
+}
+
+struct Terminal {
+    rng: SimRng,
+    t_next: u64,
+    /// What the gap until `t_next` is: charged to the clock's ledger when
+    /// this terminal's event is the one that advances the clock.
+    reason: Wait,
+    state: TermState,
+}
+
+/// The engine's shared mutable bookkeeping (admission gate + tallies),
+/// separated from the terminal array so helpers can borrow both.
+struct Engine {
+    gate: VecDeque<usize>,
+    inflight: usize,
+    out: LoadOutcome,
+}
+
+/// Run the multi-terminal engine against a loaded [`Bank`]. Deterministic
+/// per `cfg.seed`: same seed, same cluster shape, same outcome.
+pub fn run_load(db: &Cluster, bank: &Bank, cfg: &LoadConfig) -> LoadOutcome {
+    assert!(cfg.terminals > 0, "need at least one terminal");
+    assert!(cfg.max_inflight > 0, "admission gate needs capacity");
+    let session = db.session();
+    let fs = session.fs();
+    let cpu = session.cpu();
+    let sim = &db.sim;
+    let rec = sim.measure.entity(EntityKind::Txn, TMF_ENTITY);
+    let zipf = Zipf::new(bank.accounts as u64, cfg.zipf_theta);
+
+    let start = sim.now();
+    let cutoff = start + cfg.duration_us;
+    let mut eng = Engine {
+        gate: VecDeque::new(),
+        inflight: 0,
+        out: LoadOutcome::default(),
+    };
+
+    let mut terminals: Vec<Terminal> = (0..cfg.terminals)
+        .map(|i| {
+            let mut rng =
+                SimRng::seed_from(cfg.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let first = start + rng.exp_us(cfg.mean_think_us);
+            Terminal {
+                rng,
+                t_next: first,
+                reason: Wait::Other,
+                state: if first > cutoff {
+                    TermState::Done
+                } else {
+                    TermState::Think
+                },
+            }
+        })
+        .collect();
+
+    loop {
+        // Next event: the runnable terminal with the earliest local time
+        // (ties break deterministically by terminal id). Queued and Done
+        // terminals have no self-scheduled event of their own.
+        let next = terminals
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !matches!(t.state, TermState::Done | TermState::Queued(_)))
+            .min_by_key(|&(i, t)| (t.t_next, i))
+            .map(|(i, _)| i);
+        let Some(i) = next else { break };
+
+        // Advance the shared clock to this event, charging any skipped
+        // span to whatever this terminal was waiting on.
+        let (t_next, reason) = (terminals[i].t_next, terminals[i].reason);
+        sim.clock.advance_to_in(reason, t_next);
+        let now = sim.now();
+
+        match std::mem::replace(&mut terminals[i].state, TermState::Done) {
+            TermState::Think => {
+                // An arrival. Draw the transaction, then face the gate.
+                eng.out.arrivals += 1;
+                let t = &mut terminals[i];
+                let aid = zipf.draw(&mut t.rng) as i32;
+                let tid = t.rng.below(bank.tellers as u64) as i32;
+                let mut order = [0usize, 1, 2];
+                if cfg.shuffle_steps {
+                    t.rng.shuffle(&mut order);
+                }
+                let job = Job {
+                    arrival: now,
+                    admitted: now,
+                    attempt: 0,
+                    aid,
+                    tid,
+                    bid: tid / 10,
+                    delta: t.rng.between(-500, 500) as f64,
+                    order,
+                };
+                if eng.inflight < cfg.max_inflight {
+                    eng.inflight += 1;
+                    begin_run(db, &mut terminals[i], job, now);
+                } else {
+                    rec.bump(Ctr::AdmissionQueued);
+                    eng.out.admission_queued += 1;
+                    eng.gate.push_back(i);
+                    terminals[i].state = TermState::Queued(job);
+                    terminals[i].t_next = u64::MAX;
+                }
+            }
+            TermState::Backoff(job) => {
+                // Backoff expired: run the same transaction again under a
+                // fresh TMF transaction (the slot was retained).
+                begin_run(db, &mut terminals[i], job, now);
+            }
+            TermState::Run { job, txn, step } => {
+                // One FS-DP message of this transaction, under a span on
+                // this terminal's track for critical-path attribution.
+                let span = sim.span_root("DEBITCREDIT STEP", &format!("terminal-{i}"));
+                let actual = if step < job.order.len() {
+                    job.order[step]
+                } else {
+                    DEBIT_CREDIT_STEPS - 1
+                };
+                let sent =
+                    bank.debit_credit_step(fs, txn, actual, job.aid, job.tid, job.bid, job.delta);
+                drop(span);
+                match sent {
+                    Ok(()) if step + 1 < DEBIT_CREDIT_STEPS => {
+                        let t = &mut terminals[i];
+                        t.state = TermState::Run {
+                            job,
+                            txn,
+                            step: step + 1,
+                        };
+                        t.t_next = sim.now();
+                        t.reason = Wait::Other;
+                    }
+                    Ok(()) => match db.txnmgr.commit(txn, cpu) {
+                        Ok(()) => {
+                            let done = sim.now();
+                            eng.out.committed += 1;
+                            eng.out.net_delta += job.delta;
+                            eng.out.latencies_us.push(done.saturating_sub(job.arrival));
+                            eng.out.admission_wait_us += job.admitted.saturating_sub(job.arrival);
+                            release_slot(db, &mut terminals, &mut eng, done);
+                            think_next(&mut terminals[i], done, cutoff, cfg);
+                        }
+                        Err(TxnError::Doomed(_)) => {
+                            // Dooming flipped the commit into an abort.
+                            eng.out.aborted += 1;
+                            retry(
+                                db,
+                                &mut terminals,
+                                i,
+                                &mut eng,
+                                &rec,
+                                cfg,
+                                cutoff,
+                                job,
+                                true,
+                            );
+                        }
+                        Err(_) => {
+                            let _ = db.txnmgr.abort(txn, cpu);
+                            eng.out.other_errors += 1;
+                            retry(
+                                db,
+                                &mut terminals,
+                                i,
+                                &mut eng,
+                                &rec,
+                                cfg,
+                                cutoff,
+                                job,
+                                false,
+                            );
+                        }
+                    },
+                    Err(FsError::Doomed { reason }) => {
+                        // Deadlock victim or lock-timeout straggler: abort
+                        // (full UNDO via the audit trail) and retry.
+                        let _ = db.txnmgr.abort(txn, cpu);
+                        eng.out.aborted += 1;
+                        if reason.contains("timeout") {
+                            eng.out.lock_timeouts += 1;
+                        }
+                        retry(
+                            db,
+                            &mut terminals,
+                            i,
+                            &mut eng,
+                            &rec,
+                            cfg,
+                            cutoff,
+                            job,
+                            true,
+                        );
+                    }
+                    Err(FsError::Dp(DpError::Locked { .. })) => {
+                        // Queued behind the holder at the Disk Process:
+                        // re-poll shortly; FIFO order is kept over there.
+                        let t = &mut terminals[i];
+                        t.state = TermState::Run { job, txn, step };
+                        t.t_next = sim.now() + cfg.lock_retry_us;
+                        t.reason = Wait::Lock;
+                    }
+                    Err(_) => {
+                        // Chaos-plane casualty (unavailable server, bus
+                        // fault...): abort cleanly and retry like a doom,
+                        // but tallied separately.
+                        let _ = db.txnmgr.abort(txn, cpu);
+                        eng.out.other_errors += 1;
+                        retry(
+                            db,
+                            &mut terminals,
+                            i,
+                            &mut eng,
+                            &rec,
+                            cfg,
+                            cutoff,
+                            job,
+                            false,
+                        );
+                    }
+                }
+            }
+            TermState::Queued(_) | TermState::Done => {
+                debug_assert!(false, "queued/done terminals are never scheduled");
+            }
+        }
+    }
+    debug_assert!(eng.gate.is_empty(), "admission queue drained");
+    debug_assert_eq!(eng.inflight, 0, "all slots released");
+
+    let mut out = eng.out;
+    out.elapsed_us = sim.now().saturating_sub(start);
+    out.latencies_us.sort_unstable();
+    out
+}
+
+/// Begin a fresh TMF transaction for `job` and schedule its first message
+/// immediately.
+fn begin_run(db: &Cluster, t: &mut Terminal, job: Job, now: u64) {
+    let txn = db.txnmgr.begin();
+    t.state = TermState::Run { job, txn, step: 0 };
+    t.t_next = now;
+    t.reason = Wait::Other;
+}
+
+/// Free one admission slot and, when someone is queued, hand it straight
+/// to the head of the FIFO (its admission wait ends now).
+fn release_slot(db: &Cluster, terminals: &mut [Terminal], eng: &mut Engine, now: u64) {
+    eng.inflight -= 1;
+    if let Some(j) = eng.gate.pop_front() {
+        let prev = std::mem::replace(&mut terminals[j].state, TermState::Done);
+        let TermState::Queued(mut job) = prev else {
+            debug_assert!(false, "gate entries are always Queued");
+            return;
+        };
+        job.admitted = now;
+        eng.inflight += 1;
+        begin_run(db, &mut terminals[j], job, now);
+        // The grant happens at a completion instant, so this charge is
+        // normally zero — nonzero only when the gate itself is the
+        // critical path.
+        terminals[j].reason = Wait::Admission;
+    }
+}
+
+/// Schedule the terminal's next arrival from `now`, or finish it past the
+/// cutoff.
+fn think_next(t: &mut Terminal, now: u64, cutoff: u64, cfg: &LoadConfig) {
+    let at = now.saturating_add(t.rng.exp_us(cfg.mean_think_us));
+    if at > cutoff {
+        t.state = TermState::Done;
+        t.t_next = u64::MAX;
+    } else {
+        t.state = TermState::Think;
+        t.t_next = at;
+        t.reason = Wait::Other;
+    }
+}
+
+/// Put a doomed/errored transaction on the retry path: exponential backoff
+/// while keeping the admission slot, or give up past the retry budget
+/// (which frees the slot for the queue).
+#[allow(clippy::too_many_arguments)]
+fn retry(
+    db: &Cluster,
+    terminals: &mut [Terminal],
+    i: usize,
+    eng: &mut Engine,
+    rec: &std::sync::Arc<nsql_sim::MeasureRecord>,
+    cfg: &LoadConfig,
+    cutoff: u64,
+    mut job: Job,
+    doomed: bool,
+) {
+    let now = db.sim.now();
+    job.attempt += 1;
+    if job.attempt > cfg.max_txn_retries {
+        eng.out.gave_up += 1;
+        release_slot(db, terminals, eng, now);
+        think_next(&mut terminals[i], now, cutoff, cfg);
+        return;
+    }
+    if doomed {
+        rec.bump(Ctr::DeadlockRetries);
+        eng.out.deadlock_retries += 1;
+    }
+    let shift = (job.attempt - 1).min(6);
+    let backoff = cfg.retry_backoff_us.saturating_mul(1u64 << shift).max(1);
+    let t = &mut terminals[i];
+    t.t_next = now + backoff;
+    t.reason = Wait::Retry;
+    t.state = TermState::Backoff(job);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsql_core::ClusterBuilder;
+
+    fn hot_db() -> (Cluster, Bank) {
+        let db = ClusterBuilder::new().volume("$DATA1", 0, 1).build();
+        let bank = Bank::create(&db, 1, 40, "$DATA1").expect("bank load");
+        (db, bank)
+    }
+
+    fn contended_cfg(seed: u64) -> LoadConfig {
+        LoadConfig {
+            terminals: 10,
+            duration_us: 150_000,
+            mean_think_us: 1_200.0,
+            zipf_theta: 1.0,
+            max_inflight: 6,
+            seed,
+            ..LoadConfig::default()
+        }
+    }
+
+    #[test]
+    fn contended_run_commits_conserves_money_and_resolves_deadlocks() {
+        let (db, bank) = hot_db();
+        let initial = bank.total_balance(&db).expect("initial balance");
+        let out = run_load(&db, &bank, &contended_cfg(7));
+        assert!(out.committed > 10, "outcome {out:?}");
+        assert_eq!(out.gave_up, 0, "retry budget never exhausted");
+        assert_eq!(out.other_errors, 0, "no chaos in a clean run");
+        // Exact conservation: aborted attempts rolled back fully.
+        let total = bank.total_balance(&db).expect("final balance");
+        assert!(
+            (total - (initial + out.net_delta)).abs() < 1e-6,
+            "conservation: {total} vs {} + {}",
+            initial,
+            out.net_delta
+        );
+        // The hotspot makes real contention: some attempt aborted on a
+        // deadlock and was retried to success.
+        assert!(out.aborted > 0, "expected doomed attempts under skew");
+        assert_eq!(out.deadlock_retries, out.aborted);
+        assert_eq!(out.latencies_us.len() as u64, out.committed);
+        assert!(out.percentile_us(99.0) >= out.percentile_us(50.0));
+    }
+
+    #[test]
+    fn same_seed_same_outcome() {
+        let (db1, bank1) = hot_db();
+        let (db2, bank2) = hot_db();
+        let a = run_load(&db1, &bank1, &contended_cfg(11));
+        let b = run_load(&db2, &bank2, &contended_cfg(11));
+        assert_eq!(a, b, "virtual-clock runs are exactly reproducible");
+        let c = run_load(&db1, &bank1, &contended_cfg(12));
+        assert_ne!(a.latencies_us, c.latencies_us, "seeds matter");
+    }
+
+    #[test]
+    fn admission_gate_queues_overload_and_everyone_still_finishes() {
+        let (db, bank) = hot_db();
+        let cfg = LoadConfig {
+            terminals: 12,
+            duration_us: 120_000,
+            mean_think_us: 600.0, // far beyond saturation
+            max_inflight: 2,      // tiny gate
+            zipf_theta: 0.5,
+            seed: 3,
+            ..LoadConfig::default()
+        };
+        let out = run_load(&db, &bank, &cfg);
+        assert!(out.admission_queued > 0, "overload must queue");
+        assert!(out.admission_wait_us > 0, "queued txns waited measurably");
+        assert_eq!(
+            out.arrivals,
+            out.committed + out.gave_up,
+            "every arrival either committed or exhausted its retries"
+        );
+        // The gate capped concurrency, so the lock table stayed sane and
+        // the run drained completely; conservation still holds.
+        let total = bank.total_balance(&db).expect("final balance");
+        assert!((total - (40.0 * 1000.0 + out.net_delta)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lock_wait_timeout_dooms_stragglers_when_armed() {
+        let db = ClusterBuilder::new().volume("$DATA1", 0, 1).build();
+        // Arm a short lock-wait timeout on every volume.
+        db.set_lock_wait_timeout(2_000);
+        let bank = Bank::create(&db, 1, 10, "$DATA1").expect("bank load");
+        let cfg = LoadConfig {
+            terminals: 10,
+            duration_us: 120_000,
+            mean_think_us: 800.0,
+            zipf_theta: 1.2, // brutal hotspot -> convoys
+            max_inflight: 8,
+            seed: 5,
+            ..LoadConfig::default()
+        };
+        let out = run_load(&db, &bank, &cfg);
+        assert!(out.committed > 0);
+        assert!(
+            out.lock_timeouts > 0,
+            "convoy stragglers should time out: {out:?}"
+        );
+        let total = bank.total_balance(&db).expect("final balance");
+        assert!((total - (10.0 * 1000.0 + out.net_delta)).abs() < 1e-6);
+    }
+}

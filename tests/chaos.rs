@@ -406,3 +406,55 @@ fn flight_dumps_are_deterministic_per_seed() {
         assert_eq!(a, b, "seed {seed}: flight dumps must be deterministic");
     }
 }
+
+#[test]
+fn contended_load_conserves_money_under_chaos() {
+    use nsql_workloads::{run_load, LoadConfig};
+    // The multi-terminal contention engine under an injected fault plane:
+    // deadlock victims, lock-wait timeouts, FS retries and doom-retries
+    // all compose, and across every seed the books still balance exactly
+    // — each aborted attempt provably undid its partial updates.
+    for seed in SEEDS {
+        let db = ClusterBuilder::new().volume("$DATA1", 0, 1).build();
+        db.set_lock_wait_timeout(3_000);
+        let bank = Bank::create(&db, 1, 40, "$DATA1").expect("bank load");
+        let initial = bank.total_balance(&db).expect("initial balance");
+        db.enable_faults(FaultConfig {
+            drop: 0.02,
+            duplicate: 0.02,
+            delay: 0.03,
+            ..FaultConfig::with_seed(seed)
+        });
+        let cfg = LoadConfig {
+            terminals: 10,
+            duration_us: 150_000,
+            mean_think_us: 1_200.0,
+            zipf_theta: 1.0,
+            max_inflight: 6,
+            seed,
+            ..LoadConfig::default()
+        };
+        let out = run_load(&db, &bank, &cfg);
+        db.disable_faults();
+
+        assert!(out.committed > 0, "seed {seed}: nothing committed: {out:?}");
+        assert_eq!(
+            out.arrivals,
+            out.committed + out.gave_up,
+            "seed {seed}: an arrival vanished: {out:?}"
+        );
+        // Every doomed attempt was resolved: it either retried through to
+        // a commit or exhausted its bounded budget — never hung.
+        let total = bank.total_balance(&db).expect("final balance");
+        assert!(
+            (total - (initial + out.net_delta)).abs() < 1e-6,
+            "seed {seed}: money not conserved ({total} vs {initial} + {}): {out:?}",
+            out.net_delta
+        );
+        // The lock plane drained: no held locks or waiters outlive the run.
+        let dp = db.dp("$DATA1");
+        assert_eq!(dp.locks.lock_count(), 0, "seed {seed}: leaked locks");
+        assert_eq!(dp.locks.waiting_count(), 0, "seed {seed}: leaked waiters");
+        assert_eq!(dp.locks.wait_edge_count(), 0, "seed {seed}: leaked edges");
+    }
+}

@@ -193,3 +193,98 @@ fn deadlock_victim_chosen_at_the_disk_process() {
     let r = s3.query("SELECT V FROM T WHERE K = 2").unwrap();
     assert_eq!(r.rows[0].0[0], Value::Int(1));
 }
+
+#[test]
+fn convoy_waiters_are_granted_in_fifo_order() {
+    // T1 holds K=1; s2 then s3 queue behind it. The lock manager's FIFO
+    // waiter queue means s3 cannot overtake s2 when T1 releases: its
+    // retry bounces off the queued waiter ahead, not off a held lock.
+    let db = db_with_rows(5);
+    let mut s1 = db.session();
+    let mut s2 = db.session_on(0, 2);
+    let mut s3 = db.session_on(0, 3);
+    s1.execute("BEGIN WORK").unwrap();
+    s2.execute("BEGIN WORK").unwrap();
+    s3.execute("BEGIN WORK").unwrap();
+    s1.execute("UPDATE T SET V = 1 WHERE K = 1").unwrap();
+    assert!(s2.execute("UPDATE T SET V = 2 WHERE K = 1").is_err());
+    assert!(s3.execute("UPDATE T SET V = 3 WHERE K = 1").is_err());
+
+    s1.execute("COMMIT WORK").unwrap();
+    // The lock is free, but s3 arrived after s2: fairness bounces it.
+    assert!(
+        s3.execute("UPDATE T SET V = 3 WHERE K = 1").is_err(),
+        "s3 must not overtake the earlier waiter s2"
+    );
+    // The head of the queue gets the grant...
+    s2.execute("UPDATE T SET V = 2 WHERE K = 1").unwrap();
+    // ...and s3 keeps waiting behind the new holder until it commits.
+    assert!(s3.execute("UPDATE T SET V = 3 WHERE K = 1").is_err());
+    s2.execute("COMMIT WORK").unwrap();
+    s3.execute("UPDATE T SET V = 3 WHERE K = 1").unwrap();
+    s3.execute("COMMIT WORK").unwrap();
+
+    let mut s = db.session();
+    let r = s.query("SELECT V FROM T WHERE K = 1").unwrap();
+    assert_eq!(r.rows[0].0[0], Value::Int(3));
+}
+
+#[test]
+fn three_transaction_cycle_dooms_exactly_the_youngest() {
+    use nsql_sim::{Ctr, EntityKind, MeasureReport};
+    // A three-party cycle s1 -> s2 -> s3 -> s1 closed by s2 (not by the
+    // youngest): the Disk Process dooms the youngest member (s3), the
+    // closer keeps waiting, and both survivors run to commit.
+    let db = db_with_rows(5);
+    let mut s1 = db.session();
+    let mut s2 = db.session_on(0, 2);
+    let mut s3 = db.session_on(0, 3);
+    s1.execute("BEGIN WORK").unwrap();
+    s2.execute("BEGIN WORK").unwrap();
+    s3.execute("BEGIN WORK").unwrap();
+    s1.execute("UPDATE T SET V = 1 WHERE K = 1").unwrap();
+    s2.execute("UPDATE T SET V = 2 WHERE K = 2").unwrap();
+    s3.execute("UPDATE T SET V = 3 WHERE K = 3").unwrap();
+
+    let before = MeasureReport::capture(&db.sim);
+    // Two wait edges, no cycle yet.
+    let e = s3.execute("UPDATE T SET V = 3 WHERE K = 1").unwrap_err();
+    assert!(e.0.contains("locked"), "{e}");
+    let e = s1.execute("UPDATE T SET V = 1 WHERE K = 2").unwrap_err();
+    assert!(e.0.contains("locked"), "{e}");
+    // s2 closes the cycle. It is not the youngest, so it is spared: the
+    // statement reports the lock as still held while s3 is doomed.
+    let e = s2.execute("UPDATE T SET V = 2 WHERE K = 3").unwrap_err();
+    assert!(e.0.contains("locked"), "{e}");
+
+    let d = MeasureReport::capture(&db.sim).since(&before).snap;
+    assert_eq!(
+        d.get(EntityKind::Process, "$DATA1", Ctr::DeadlockDetected),
+        1,
+        "exactly one cycle"
+    );
+    assert_eq!(
+        d.get(EntityKind::Process, "$DATA1", Ctr::DeadlockVictims),
+        1,
+        "exactly one victim"
+    );
+
+    // The victim finds out on its next request and rolls back.
+    let e = s3.execute("UPDATE T SET V = 3 WHERE K = 3").unwrap_err();
+    assert!(e.0.contains("deadlock"), "{e}");
+    s3.execute("ROLLBACK WORK").unwrap();
+
+    // The survivors drain in queue order and commit.
+    s2.execute("UPDATE T SET V = 2 WHERE K = 3").unwrap();
+    s2.execute("COMMIT WORK").unwrap();
+    s1.execute("UPDATE T SET V = 1 WHERE K = 2").unwrap();
+    s1.execute("COMMIT WORK").unwrap();
+
+    let mut s = db.session();
+    let r = s
+        .query("SELECT V FROM T WHERE K IN (1, 2, 3) ORDER BY K")
+        .unwrap();
+    assert_eq!(r.rows[0].0[0], Value::Int(1));
+    assert_eq!(r.rows[1].0[0], Value::Int(1)); // s1 won K=2 after s2 released
+    assert_eq!(r.rows[2].0[0], Value::Int(2)); // s2 won K=3 after the victim died
+}

@@ -373,7 +373,7 @@ fn explain_analyze_renders_exact_wait_profile() {
             _ => None,
         })
         .collect();
-    // Eight categories, then the total.
+    // Nine categories, then the total.
     let names: Vec<&str> = wait_rows.iter().map(|(n, _)| *n).collect();
     assert_eq!(
         names,
@@ -385,17 +385,19 @@ fn explain_analyze_renders_exact_wait_profile() {
             "WAIT commit",
             "WAIT retry",
             "WAIT restart",
+            "WAIT admission",
             "WAIT other",
             "WAIT TOTAL"
         ]
     );
     let total = wait_rows.last().unwrap().1;
-    let sum: i64 = wait_rows[..8].iter().map(|(_, us)| us).sum();
+    let sum: i64 = wait_rows[..9].iter().map(|(_, us)| us).sum();
     assert_eq!(sum, total, "categories must sum exactly to the window");
     // The window is the analyzed statement itself: the operator TOTAL row.
     assert_eq!(total, cell_i64(&r.rows[2].0[5]));
     assert_eq!(wait_rows[6].1, 0, "no crash: nothing lands in WAIT restart");
-    assert_eq!(wait_rows[7].1, 0, "nothing may land in WAIT other");
+    assert_eq!(wait_rows[7].1, 0, "no gate here: WAIT admission is empty");
+    assert_eq!(wait_rows[8].1, 0, "nothing may land in WAIT other");
     assert!(wait_rows[2].1 > 0, "the cold scan has disk time");
 }
 
@@ -523,4 +525,51 @@ fn recovery_counters_are_recorded_and_rendered() {
     assert_eq!(r.rows[0].0[0], Value::Int(3));
     let r = s3.query("SELECT COUNT(*) FROM T").unwrap();
     assert_eq!(r.rows[0].0[0], Value::LargeInt(21));
+}
+
+/// A contended multi-terminal run bumps every contention-survival counter
+/// — deadlock detection/victim/retry, lock-wait timeouts, admission
+/// queueing — and the MEASURE report renders them under their registered
+/// dotted names.
+#[test]
+fn contention_counters_are_recorded_and_rendered() {
+    use nsql_sim::{Ctr, EntityKind, MeasureReport};
+    use nsql_workloads::{run_load, Bank, LoadConfig};
+    let db = ClusterBuilder::new().volume("$DATA1", 0, 1).build();
+    db.set_lock_wait_timeout(2_500);
+    let bank = Bank::create(&db, 1, 10, "$DATA1").unwrap();
+
+    let before = MeasureReport::capture(&db.sim);
+    let cfg = LoadConfig {
+        terminals: 12,
+        duration_us: 150_000,
+        mean_think_us: 600.0, // overload: keeps the admission gate busy
+        zipf_theta: 1.2,      // brutal hotspot: convoys and cycles
+        max_inflight: 3,
+        seed: 5,
+        ..LoadConfig::default()
+    };
+    let out = run_load(&db, &bank, &cfg);
+    let delta = MeasureReport::capture(&db.sim).since(&before);
+
+    let dp = |c| delta.snap.get(EntityKind::Process, "$DATA1", c);
+    let tmf = |c| delta.snap.get(EntityKind::Txn, "TMF", c);
+    assert!(dp(Ctr::DeadlockDetected) > 0, "no cycles detected: {out:?}");
+    assert!(dp(Ctr::DeadlockVictims) > 0, "no victims doomed: {out:?}");
+    assert!(dp(Ctr::LockWaitTimeouts) > 0, "no convoy timeouts: {out:?}");
+    assert!(tmf(Ctr::DeadlockRetries) > 0, "no client retries: {out:?}");
+    assert!(tmf(Ctr::AdmissionQueued) > 0, "gate never queued: {out:?}");
+    assert_eq!(tmf(Ctr::DeadlockRetries), out.deadlock_retries);
+    assert_eq!(tmf(Ctr::AdmissionQueued), out.admission_queued);
+
+    let text = delta.render();
+    for name in [
+        "deadlock.detected",
+        "deadlock.victim",
+        "deadlock.retry",
+        "lockwait.timeout",
+        "admission.queued",
+    ] {
+        assert!(text.contains(name), "{name} missing from MEASURE report");
+    }
 }

@@ -294,3 +294,101 @@ fn sql_matches_model_on_random_data() {
         assert_eq!(got, want);
     }
 }
+
+#[test]
+fn lock_table_and_waits_for_drain_to_zero_after_random_interleavings() {
+    use nsql_lock::{LockError, LockManager, LockMode, LockScope, TxnId};
+
+    // Random populations of transactions acquire, queue, deadlock, time
+    // out, and finish against a bare lock manager, following the same
+    // protocol the Disk Process drives: Conflict -> wait(); Deadlock ->
+    // the victim releases everything; WaitTimeout -> ditto. Whatever the
+    // interleaving, a fully drained population leaves no held locks, no
+    // queued waiters, and no waits-for edges.
+    for seed in 0..12u64 {
+        let lm = LockManager::new();
+        if seed % 2 == 1 {
+            // Odd seeds arm a short lock-wait timeout so the timeout
+            // path is part of the shuffle too.
+            lm.set_wait_timeout(40);
+        }
+        let mut rng = SimRng::seed_from(0xD00D ^ seed);
+        let mut now_us: u64 = 0;
+        let mut next_id: u64 = 1;
+        let mut active: Vec<TxnId> = (0..6)
+            .map(|_| {
+                let t = TxnId(next_id);
+                next_id += 1;
+                t
+            })
+            .collect();
+        let finish = |lm: &LockManager, t: TxnId| {
+            lm.release_all(t);
+            lm.stop_waiting(t);
+        };
+
+        for _ in 0..400 {
+            now_us += rng.below(25) + 1;
+            let i = rng.below(active.len() as u64) as usize;
+            let t = active[i];
+            if rng.below(10) == 0 {
+                // Commit/abort: drop every trace of the transaction and
+                // admit a fresh one so the population stays put.
+                finish(&lm, t);
+                active[i] = TxnId(next_id);
+                next_id += 1;
+                continue;
+            }
+            let file = rng.below(2) as u32;
+            let key = vec![rng.below(6) as u8];
+            let mode = if rng.below(3) == 0 {
+                LockMode::Shared
+            } else {
+                LockMode::Exclusive
+            };
+            match lm.acquire(t, file, LockScope::record(key.clone()), mode) {
+                Ok(()) => {}
+                Err(LockError::Conflict { holder }) => {
+                    match lm.wait(t, holder, file, LockScope::record(key), mode, now_us) {
+                        Ok(()) => {}
+                        Err(LockError::Deadlock { victim } | LockError::WaitTimeout { victim }) => {
+                            // The doomed side rolls back; if that is not
+                            // us, we simply keep waiting.
+                            finish(&lm, victim);
+                            if let Some(j) = active.iter().position(|&x| x == victim) {
+                                active[j] = TxnId(next_id);
+                                next_id += 1;
+                            }
+                        }
+                        Err(LockError::Conflict { .. }) => unreachable!("wait never conflicts"),
+                    }
+                }
+                Err(LockError::Deadlock { victim } | LockError::WaitTimeout { victim }) => {
+                    finish(&lm, victim);
+                    if let Some(j) = active.iter().position(|&x| x == victim) {
+                        active[j] = TxnId(next_id);
+                        next_id += 1;
+                    }
+                }
+            }
+            // Standing invariant: every wait edge belongs to a queued
+            // waiter (granted/doomed entries are purged eagerly).
+            assert!(
+                lm.wait_edge_count() <= lm.waiting_count(),
+                "seed {seed}: dangling waits-for edge"
+            );
+        }
+
+        // Drain the survivors: the table must come back empty.
+        for &t in &active {
+            finish(&lm, t);
+        }
+        assert_eq!(lm.lock_count(), 0, "seed {seed}: leaked held locks");
+        assert_eq!(lm.waiting_count(), 0, "seed {seed}: leaked queued waiters");
+        assert_eq!(
+            lm.wait_edge_count(),
+            0,
+            "seed {seed}: leaked waits-for edges"
+        );
+    }
+}
