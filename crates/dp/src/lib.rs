@@ -367,6 +367,10 @@ impl DiskProcess {
         scope: LockScope,
         mode: LockMode,
     ) -> Result<(), DpError> {
+        // Every branch below is mirrored by `crates/lint/src/lockmodel.rs`
+        // (`nsql-lint check-locks`); a behavioral change here needs the
+        // mirror updated in the same PR.
+        //
         // A doomed transaction must not take new locks: fail fast so a
         // deadlock victim chosen while someone *else* was requesting learns
         // its fate on its very next request.

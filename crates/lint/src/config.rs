@@ -41,6 +41,21 @@ pub struct Config {
     /// Ratchet ceilings: path prefix → max `unwrap/expect/panic!` count in
     /// non-test code under that prefix (`[ratchet]`).
     pub ratchet: BTreeMap<String, u64>,
+    /// Crate-path prefixes in which silent `Result` discards are banned
+    /// (`[result_discard] crates`) — the wire-protocol surfaces.
+    pub result_discard_crates: Vec<String>,
+    /// Ratcheted allowlist for existing discard offenders: path prefix →
+    /// max discard count (`[result_discard]` quoted-path entries). Any
+    /// covered file not under one of these prefixes has an implicit
+    /// ceiling of zero.
+    pub result_discard_ratchet: BTreeMap<String, u64>,
+    /// Coverage floor: `check-locks` must explore at least this many
+    /// distinct schedules across its default configurations
+    /// (`[model] lock_min_schedules`). Only ever raised.
+    pub lock_min_schedules: u64,
+    /// Coverage floor on canonical states explored
+    /// (`[model] lock_min_states`).
+    pub lock_min_states: u64,
 }
 
 impl Config {
@@ -185,6 +200,32 @@ fn apply(
             })?;
             cfg.ratchet.insert(path.to_string(), n);
         }
+        ("result_discard", "crates") => cfg.result_discard_crates = parse_str_array(value, ln)?,
+        ("result_discard", path) => {
+            let n: u64 = value.parse().map_err(|_| {
+                ConfigError(format!(
+                    "line {}: result_discard ceiling for `{path}` is not an integer",
+                    ln + 1
+                ))
+            })?;
+            cfg.result_discard_ratchet.insert(path.to_string(), n);
+        }
+        ("model", "lock_min_schedules") => {
+            cfg.lock_min_schedules = value.parse().map_err(|_| {
+                ConfigError(format!(
+                    "line {}: lock_min_schedules is not an integer",
+                    ln + 1
+                ))
+            })?;
+        }
+        ("model", "lock_min_states") => {
+            cfg.lock_min_states = value.parse().map_err(|_| {
+                ConfigError(format!(
+                    "line {}: lock_min_states is not an integer",
+                    ln + 1
+                ))
+            })?;
+        }
         _ => {
             return Err(ConfigError(format!(
                 "line {}: unknown key `{key}` in section `[{section}]`",
@@ -229,6 +270,30 @@ canonical = ["GET^NEXT"]
         assert_eq!(cfg.protocol_enums, vec!["DpRequest", "DpReply"]);
         assert_eq!(cfg.ratchet.get("crates/msg"), Some(&0));
         assert_eq!(cfg.ratchet.get("crates/btree"), Some(&27));
+    }
+
+    #[test]
+    fn parses_result_discard_and_model_sections() {
+        let cfg = Config::parse(
+            r#"
+[result_discard]
+crates = ["crates/msg", "crates/dp"]
+"crates/dp/src/lib.rs" = 5
+
+[model]
+lock_min_schedules = 10000
+lock_min_states = 1200
+"#,
+        )
+        .map_err(|e| e.to_string())
+        .unwrap();
+        assert_eq!(cfg.result_discard_crates, vec!["crates/msg", "crates/dp"]);
+        assert_eq!(
+            cfg.result_discard_ratchet.get("crates/dp/src/lib.rs"),
+            Some(&5)
+        );
+        assert_eq!(cfg.lock_min_schedules, 10000);
+        assert_eq!(cfg.lock_min_states, 1200);
     }
 
     #[test]

@@ -3,20 +3,24 @@
 //! FS-DP protocol model checker.
 //!
 //! The paper's argument rests on protocol discipline between the File
-//! System and the Disk Process. Three repo-wide invariants protect it:
-//! virtual-time-only determinism, typed errors on the FS-DP hot path, and
-//! exhaustive handling of protocol variants. `nsql-lint check` enforces
-//! them statically over every crate (see [`rules`]); `nsql-lint
-//! check-protocol` exhaustively model-checks the sync-ID / reply-cache /
-//! backoff / takeover protocol (see [`model`]). Ratchet ceilings live in
-//! the checked-in `lint.toml` ([`config`]) so panic counts can only go
-//! down.
+//! System and the Disk Process. Repo-wide invariants protect it:
+//! virtual-time-only determinism, typed errors on the FS-DP hot path,
+//! exhaustive handling of protocol variants, and no silently dropped
+//! `Result`s on the wire. `nsql-lint check` enforces them statically over
+//! every crate (see [`rules`]); `nsql-lint check-protocol` exhaustively
+//! model-checks the sync-ID / reply-cache / backoff / takeover protocol
+//! (see [`model`]); `nsql-lint check-locks` exhaustively model-checks the
+//! lock / deadlock / doom / retry / admission protocol (see
+//! [`lockmodel`]). Ratchet ceilings live in the checked-in `lint.toml`
+//! ([`config`]) so panic counts can only go down — and model-checker
+//! coverage floors so explored schedules can only go up.
 //!
 //! Everything here is plain `std` — the linter must run in the offline CI
 //! container that builds the rest of the workspace.
 
 pub mod config;
 pub mod lexer;
+pub mod lockmodel;
 pub mod model;
 pub mod rules;
 
@@ -38,6 +42,10 @@ pub struct WorkspaceReport {
     pub file_counts: BTreeMap<String, u64>,
     /// Summed counts per ratchet bucket.
     pub bucket_counts: BTreeMap<String, u64>,
+    /// Silent `Result` discard count per wire-protocol file.
+    pub discard_counts: BTreeMap<String, u64>,
+    /// Summed discard counts per `[result_discard]` bucket.
+    pub discard_buckets: BTreeMap<String, u64>,
     /// Files scanned.
     pub files: usize,
 }
@@ -68,6 +76,7 @@ pub fn collect_rs_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
 /// Lint the whole workspace rooted at `root` against `cfg`.
 pub fn check_workspace(root: &Path, cfg: &Config) -> std::io::Result<WorkspaceReport> {
     let mut report = WorkspaceReport::default();
+    let mut emitted = std::collections::BTreeSet::new();
     for path in collect_rs_files(root)? {
         let rel = path
             .strip_prefix(root)
@@ -75,9 +84,18 @@ pub fn check_workspace(root: &Path, cfg: &Config) -> std::io::Result<WorkspaceRe
             .to_string_lossy()
             .replace('\\', "/");
         let src = std::fs::read_to_string(&path)?;
-        let FileReport { diags, panic_count } = rules::lint_source(cfg, &rel, &src);
+        let FileReport {
+            diags,
+            panic_count,
+            discard_count,
+            strings,
+        } = rules::lint_source(cfg, &rel, &src);
         report.diags.extend(diags);
+        emitted.extend(strings);
         if !rules::is_test_path(&rel) {
+            if rules::is_discard_path(cfg, &rel) {
+                report.discard_counts.insert(rel.clone(), discard_count);
+            }
             report.file_counts.insert(rel, panic_count);
         }
         report.files += 1;
@@ -85,6 +103,11 @@ pub fn check_workspace(root: &Path, cfg: &Config) -> std::io::Result<WorkspaceRe
     let (ratchet_diags, buckets) = rules::enforce_ratchet(cfg, &report.file_counts);
     report.diags.extend(ratchet_diags);
     report.bucket_counts = buckets;
+    let (discard_diags, discard_buckets) =
+        rules::enforce_discard_ratchet(cfg, &report.discard_counts);
+    report.diags.extend(discard_diags);
+    report.discard_buckets = discard_buckets;
+    report.diags.extend(rules::stale_registry(cfg, &emitted));
     report
         .diags
         .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
@@ -115,6 +138,47 @@ pub fn zero_ratchet_sites(root: &Path, cfg: &Config, report: &WorkspaceReport) -
                         msg: format!("{what} counted against over-ceiling bucket `{bucket}`"),
                     });
                 }
+            }
+        }
+    }
+    out
+}
+
+/// For `[result_discard]` buckets over their ceiling (or uncovered files
+/// over the implicit zero), list each offending site with file:line.
+pub fn discard_ratchet_sites(
+    root: &Path,
+    cfg: &Config,
+    report: &WorkspaceReport,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (file, &n) in &report.discard_counts {
+        if n == 0 {
+            continue;
+        }
+        let over = match cfg
+            .result_discard_ratchet
+            .iter()
+            .find(|(k, _)| file == *k || file.starts_with(&format!("{k}/")))
+        {
+            // A covered bucket lists sites only when the bucket overflows.
+            Some((bucket, &ceiling)) => {
+                report.discard_buckets.get(bucket).copied().unwrap_or(0) > ceiling
+            }
+            // No baseline: every site is over the implicit zero.
+            None => true,
+        };
+        if !over {
+            continue;
+        }
+        if let Ok(src) = std::fs::read_to_string(root.join(file)) {
+            for (line, what) in rules::discard_sites(&src) {
+                out.push(Diagnostic {
+                    rule: "result-discard",
+                    file: file.clone(),
+                    line,
+                    msg: format!("`{what}` counted against an over-ceiling discard budget"),
+                });
             }
         }
     }

@@ -1,0 +1,1167 @@
+//! Bounded explicit-state model checking of the contention protocol.
+//!
+//! PR 8 added the system's most schedule-sensitive code: lock manager v2
+//! with FIFO waiter queues, youngest-cycle-member victim selection, typed
+//! doom propagation (`DpError` → `FsError::Doomed` → `ExecError::Doomed`),
+//! virtual-time lock-wait timeouts, and an admission-control gate. The load
+//! engine *samples* that state space with a handful of seeds; this module
+//! *exhausts* it, the way [`crate::model`] exhausts the FS-DP recovery
+//! protocol.
+//!
+//! The model mirrors the real layers branch-for-branch:
+//!
+//! * **lock manager** — `crates/lock/src/lib.rs`: `acquire` (covered check,
+//!   held-conflict scan, FIFO fairness scan with the upgrade exemption,
+//!   grant), `wait` (queue entry keeps its position across re-polls,
+//!   `close_cycle` walking the waits-for chain, youngest-member victim
+//!   whose wait state is cleared), `release_all`, `stop_waiting`;
+//! * **Disk Process** — `crates/dp/src/lib.rs::lock`: the doomed fail-fast
+//!   check, queuing behind the holder, dooming a younger victim at the TMF
+//!   while the older requester keeps waiting, `LockTimeout` bouncing;
+//! * **TMF** — `crates/tmf/src/txn.rs`: `commit` refuses a doomed
+//!   transaction (abort instead), abort releases everything;
+//! * **client** — `crates/workloads/src/load.rs`: re-polling a `Locked`
+//!   bounce, aborting on `Doomed` and retrying as a *fresh, younger*
+//!   transaction, the bounded retry budget, and the FIFO admission gate
+//!   whose slot is retained across retries and handed to the queue head on
+//!   release.
+//!
+//! Exploration is a deterministic BFS over *canonical* states: transaction
+//! identity is reduced to begin-order rank among live transactions (the
+//! transaction-symmetry reduction — absolute TMF ids only matter through
+//! their relative age), so the retried-transaction id space collapses and
+//! the graph is finite. Schedules are counted exactly by path counting over
+//! the explored graph; every reported violation carries the action sequence
+//! from the initial state, replayable with [`replay`].
+//!
+//! Invariants, checked on every transition and at every quiescent state:
+//!
+//! * **fifo-no-overtake** — a grant never bypasses an earlier-queued
+//!   incompatible waiter (upgrades excepted);
+//! * **youngest-victim** — a detected waits-for cycle's victim is its
+//!   youngest member (highest begin rank);
+//! * **one-victim-per-cycle** — no transaction is victimized twice for the
+//!   same unresolved cycle (dooming must actually dissolve it);
+//! * **serializability** — no two live transactions ever hold incompatible
+//!   locks on the same item; with strict 2PL (all effects under locks held
+//!   to commit/abort) this is exactly conflict-serializability of the
+//!   committed effects;
+//! * **doomed-commit** — a doomed transaction never commits;
+//! * **drain** — at quiescence the lock table, waiter queue, waits-for
+//!   graph, and admission gate are all empty;
+//! * **liveness** — no stuck state (a non-quiescent state always has an
+//!   enabled action: no stuck waiter, no lost wakeup, no lost admission
+//!   grant) and no livelock (the canonical state graph is acyclic).
+//!
+//! Three mutation switches weaken one mechanism each and must produce a
+//! printed, replayable counterexample — the contention analogue of the
+//! reply-cache `cache=0` double-apply pin:
+//!
+//! * [`Mutation::OvertakeQueue`] drops the FIFO fairness scan;
+//! * [`Mutation::OldestVictim`] picks the cycle's oldest member;
+//! * [`Mutation::DropDoom`] detects the deadlock but never dooms the
+//!   victim at the TMF.
+
+use std::collections::{HashMap, VecDeque};
+
+/// Lock mode (mirrors `nsql_lock::LockMode`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Shared (read).
+    Shared,
+    /// Exclusive (write).
+    Exclusive,
+}
+
+impl Mode {
+    /// Classic S/X compatibility (mirrors `LockMode::compatible`).
+    fn compatible(self, other: Mode) -> bool {
+        matches!((self, other), (Mode::Shared, Mode::Shared))
+    }
+}
+
+/// A deliberately weakened mechanism, for counterexample pinning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mutation {
+    /// The faithful protocol.
+    #[default]
+    None,
+    /// `acquire` skips the FIFO fairness scan: a late arrival may overtake
+    /// an earlier incompatible queued waiter.
+    OvertakeQueue,
+    /// `close_cycle` picks the *oldest* cycle member as the victim instead
+    /// of the youngest.
+    OldestVictim,
+    /// The Disk Process detects the deadlock and reports the victim, but
+    /// the `txnmgr.doom(victim)` edge is dropped — the victim is never
+    /// told, so the cycle does not actually dissolve.
+    DropDoom,
+}
+
+impl Mutation {
+    /// Parse a CLI mutation name.
+    pub fn parse(s: &str) -> Option<Mutation> {
+        match s {
+            "none" => Some(Mutation::None),
+            "overtake" => Some(Mutation::OvertakeQueue),
+            "oldest-victim" => Some(Mutation::OldestVictim),
+            "drop-doom" => Some(Mutation::DropDoom),
+            _ => None,
+        }
+    }
+}
+
+/// One step of a transaction's script: acquire `item` in `mode`.
+type Step = (u8, Mode);
+
+/// Model parameters. The script shape is derived from `txns`/`locks`:
+/// transaction `i` acquires `(i, Shared)`, `((i+1) % locks, Exclusive)`,
+/// then upgrades `(i, Exclusive)` — rotated orders make waits-for cycles of
+/// every length reachable, the shared first step exercises S/S coexistence
+/// and the upgrade exercises the queue-jumping upgrade path.
+#[derive(Debug, Clone)]
+pub struct LockModelConfig {
+    /// Concurrent client slots (K).
+    pub txns: usize,
+    /// Lockable items (M).
+    pub locks: usize,
+    /// Admission-gate capacity (slots in flight at once).
+    pub max_inflight: usize,
+    /// Retries per slot after its first attempt (load-engine
+    /// `max_txn_retries`).
+    pub max_retries: u8,
+    /// Lock-wait timeouts the adversary may fire per schedule.
+    pub max_timeouts: u8,
+    /// Per-slot acquisition scripts (one `Vec<Step>` per slot).
+    pub scripts: Vec<Vec<Step>>,
+    /// Weakened mechanism under test.
+    pub mutation: Mutation,
+}
+
+impl LockModelConfig {
+    /// The cycle-heavy configuration: 3 transactions × 3 locks, rotated
+    /// scripts with a shared first step and a queue-jumping upgrade, all
+    /// slots admitted at once. Deadlock cycles of length 2 and 3 are
+    /// reachable, as are upgrade deadlocks.
+    pub fn cycle() -> LockModelConfig {
+        let txns = 3usize;
+        let locks = 3u8;
+        let scripts = (0..txns)
+            .map(|i| {
+                let a = i as u8 % locks;
+                let b = (i as u8 + 1) % locks;
+                vec![
+                    (a, Mode::Shared),
+                    (b, Mode::Exclusive),
+                    (a, Mode::Exclusive),
+                ]
+            })
+            .collect();
+        LockModelConfig {
+            txns,
+            locks: locks as usize,
+            max_inflight: 3,
+            max_retries: 3,
+            max_timeouts: 1,
+            scripts,
+            mutation: Mutation::None,
+        }
+    }
+
+    /// The convoy configuration: 3 transactions all acquiring the same two
+    /// items in the same order through a 2-slot admission gate. No cycles
+    /// are reachable, so every contention event is a pure FIFO convoy —
+    /// the configuration that distinguishes fair queues from overtaking
+    /// ones, and admission queueing from open admission.
+    pub fn convoy() -> LockModelConfig {
+        let txns = 3usize;
+        let scripts = (0..txns)
+            .map(|_| vec![(0u8, Mode::Exclusive), (1u8, Mode::Exclusive)])
+            .collect();
+        LockModelConfig {
+            txns,
+            locks: 2,
+            max_inflight: 2,
+            max_retries: 2,
+            max_timeouts: 2,
+            scripts,
+            mutation: Mutation::None,
+        }
+    }
+}
+
+/// One scheduler choice. `Arrive` is a client arriving at the admission
+/// gate (admitted immediately when a slot is free, queued FIFO otherwise);
+/// `Poll` is the slot's next protocol action (acquire / re-poll / begin a
+/// retry / commit); `Timeout` fires the armed lock-wait timeout on an
+/// established waiter (the adversary's per-step fault choice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Act {
+    /// Slot arrives at the gate.
+    Arrive(u8),
+    /// Slot takes its next protocol step.
+    Poll(u8),
+    /// The lock-wait timeout fires for this waiting slot.
+    Timeout(u8),
+}
+
+impl std::fmt::Display for Act {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Act::Arrive(s) => write!(f, "Arrive(T{s})"),
+            Act::Poll(s) => write!(f, "Poll(T{s})"),
+            Act::Timeout(s) => write!(f, "Timeout(T{s})"),
+        }
+    }
+}
+
+/// Where one client slot is in its transaction lifecycle (mirrors the load
+/// engine's `TermState`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Phase {
+    /// Not yet arrived at the gate.
+    Unarrived,
+    /// Arrived; queued at the admission gate.
+    Queued,
+    /// In flight, executing its script.
+    Running,
+    /// Bounced off a holder; queued at the lock manager.
+    Waiting,
+    /// Aborted (doomed victim / timeout); will begin a fresh attempt.
+    Backoff,
+    /// Committed.
+    Committed,
+    /// Retry budget exhausted.
+    GaveUp,
+}
+
+/// One client slot's state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Slot {
+    phase: Phase,
+    /// Next script step to acquire; `pc == script.len()` means commit next.
+    pc: u8,
+    /// Attempts begun so far (first attempt = 1).
+    attempt: u8,
+    /// Begin-order rank among *live* transactions (the symmetry-reduced
+    /// TMF id): higher rank = younger. Meaningless unless live.
+    rank: u8,
+    /// TMF doomed this transaction (deadlock victim chosen while someone
+    /// else was requesting).
+    doomed: bool,
+    /// Chosen as a deadlock victim and not yet aborted — the
+    /// one-victim-per-cycle invariant's bookkeeping.
+    victimized: bool,
+}
+
+impl Slot {
+    /// Does this slot currently own a live transaction?
+    fn live(&self) -> bool {
+        matches!(self.phase, Phase::Running | Phase::Waiting)
+    }
+}
+
+/// A held lock: `(slot, item, mode)`, insertion-ordered like the real
+/// manager's `held` vector.
+type Held = (u8, u8, Mode);
+
+/// A queued waiter: `(slot, item, mode)`, FIFO like the real manager's
+/// `waiters` vector.
+type Waiter = (u8, u8, Mode);
+
+/// The canonical model state. Slots are identified by index (their scripts
+/// differ, so slots are distinguishable); transaction *ids* appear only as
+/// compressed age ranks.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct St {
+    slots: Vec<Slot>,
+    held: Vec<Held>,
+    waiters: Vec<Waiter>,
+    /// `waiter slot -> holder slot` edges, sorted (the map iteration order
+    /// of the real `waits_for` does not matter — lookup is keyed).
+    waits_for: Vec<(u8, u8)>,
+    /// Admission-gate FIFO of queued slots.
+    gate: Vec<u8>,
+    inflight: u8,
+    /// Adversary timeout budget consumed.
+    timeouts_used: u8,
+}
+
+impl St {
+    fn initial(cfg: &LockModelConfig) -> St {
+        St {
+            slots: (0..cfg.txns)
+                .map(|_| Slot {
+                    phase: Phase::Unarrived,
+                    pc: 0,
+                    attempt: 0,
+                    rank: 0,
+                    doomed: false,
+                    victimized: false,
+                })
+                .collect(),
+            held: Vec::new(),
+            waiters: Vec::new(),
+            waits_for: Vec::new(),
+            gate: Vec::new(),
+            inflight: 0,
+            timeouts_used: 0,
+        }
+    }
+
+    /// The transaction-symmetry reduction: compress live ranks to
+    /// `0..live_count` preserving relative age, zero dead ranks.
+    fn canonicalize(&mut self) {
+        let mut live: Vec<(u8, usize)> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.live() || s.phase == Phase::Backoff)
+            .map(|(i, s)| (s.rank, i))
+            .collect();
+        live.sort_unstable();
+        for (new_rank, &(_, idx)) in live.iter().enumerate() {
+            self.slots[idx].rank = new_rank as u8;
+        }
+        for (i, s) in self.slots.iter_mut().enumerate() {
+            if !(s.live() || s.phase == Phase::Backoff) {
+                s.rank = 0;
+            }
+            debug_assert!(
+                s.live() || s.phase == Phase::Backoff || (!s.doomed && !s.victimized),
+                "slot {i} carries doom state without a live transaction"
+            );
+        }
+        self.waits_for.sort_unstable();
+    }
+
+    fn edge_from(&self, waiter: u8) -> Option<u8> {
+        self.waits_for
+            .iter()
+            .find(|(w, _)| *w == waiter)
+            .map(|&(_, h)| h)
+    }
+
+    fn remove_edge_from(&mut self, waiter: u8) {
+        self.waits_for.retain(|(w, _)| *w != waiter);
+    }
+
+    /// Mirror of `LockManager::release_all` plus TMF forgetting the txn.
+    fn release_all(&mut self, slot: u8) {
+        self.held.retain(|&(s, _, _)| s != slot);
+        self.waiters.retain(|&(s, _, _)| s != slot);
+        self.waits_for.retain(|&(w, h)| w != slot && h != slot);
+        self.slots[slot as usize].doomed = false;
+        self.slots[slot as usize].victimized = false;
+    }
+}
+
+/// An invariant violation with its replayable schedule.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which invariant broke.
+    pub invariant: &'static str,
+    /// What exactly went wrong.
+    pub detail: String,
+    /// The action sequence from the initial state that reproduces it.
+    pub schedule: Vec<Act>,
+}
+
+/// Result of exploring one configuration.
+#[derive(Debug, Default)]
+pub struct Exploration {
+    /// Canonical states visited.
+    pub states: u64,
+    /// Transitions taken (stutter steps excluded).
+    pub transitions: u64,
+    /// Distinct schedules (root-to-quiescence interleavings) covered by
+    /// the explored graph, saturating at `u64::MAX`.
+    pub schedules: u64,
+    /// Quiescent states reached.
+    pub terminals: u64,
+    /// Quiescent states in which some slot exhausted its retry budget.
+    pub gave_up_terminals: u64,
+    /// First violation found per invariant, minimal-schedule first.
+    pub violations: Vec<Violation>,
+    /// Total violating transitions (mutants can trip thousands).
+    pub violation_count: u64,
+}
+
+/// Outcome of applying one action: the successor state, plus any invariant
+/// violations the transition itself raised.
+struct Applied {
+    next: St,
+    violations: Vec<(&'static str, String)>,
+}
+
+// ----------------------------------------------------------------------
+// The protocol step function (the branch-for-branch mirror)
+// ----------------------------------------------------------------------
+
+/// Mirror of `LockManager::acquire`'s covered check: does `slot` already
+/// hold `item` at sufficient strength?
+fn covered(st: &St, slot: u8, item: u8, mode: Mode) -> bool {
+    st.held
+        .iter()
+        .any(|&(s, i, m)| s == slot && i == item && (m == Mode::Exclusive || mode == Mode::Shared))
+}
+
+/// Mirror of the upgrade test: does `slot` hold any lock on `item`?
+fn upgrading(st: &St, slot: u8, item: u8) -> bool {
+    st.held.iter().any(|&(s, i, _)| s == slot && i == item)
+}
+
+/// What `acquire` decided.
+enum AcquireOutcome {
+    /// Granted (or already covered).
+    Granted,
+    /// Bounced off a holder or an earlier queued waiter.
+    Conflict { holder: u8 },
+}
+
+/// Mirror of `LockManager::acquire`, with the independent fifo-no-overtake
+/// invariant check evaluated at grant time (so a mutated mechanism that
+/// grants unfairly is caught by the checker, not trusted).
+fn acquire(
+    st: &mut St,
+    cfg: &LockModelConfig,
+    slot: u8,
+    item: u8,
+    mode: Mode,
+    violations: &mut Vec<(&'static str, String)>,
+) -> AcquireOutcome {
+    // Already covered by one of our own locks at sufficient strength?
+    if covered(st, slot, item, mode) {
+        st.waiters.retain(|&(s, _, _)| s != slot);
+        st.remove_edge_from(slot);
+        return AcquireOutcome::Granted;
+    }
+    // Conflict scan: any overlapping lock by another txn in an
+    // incompatible mode blocks us.
+    for &(s, i, m) in &st.held {
+        if s != slot && i == item && !m.compatible(mode) {
+            return AcquireOutcome::Conflict { holder: s };
+        }
+    }
+    // FIFO fairness scan: an incompatible waiter queued before us gets the
+    // grant first — unless we are upgrading. The OvertakeQueue mutation
+    // deletes exactly this branch.
+    let is_upgrade = upgrading(st, slot, item);
+    if cfg.mutation != Mutation::OvertakeQueue && !is_upgrade {
+        for &(s, i, m) in &st.waiters {
+            if s == slot {
+                break; // only arrivals ahead of our own position count
+            }
+            if i == item && !m.compatible(mode) {
+                return AcquireOutcome::Conflict { holder: s };
+            }
+        }
+    }
+    // Grant. Invariant: the grant must not have bypassed an earlier-queued
+    // incompatible waiter (upgrades excepted).
+    if !is_upgrade {
+        for &(s, i, m) in &st.waiters {
+            if s == slot {
+                break;
+            }
+            if i == item && !m.compatible(mode) {
+                violations.push((
+                    "fifo-no-overtake",
+                    format!(
+                        "T{slot} granted item {item} {mode:?} over earlier queued \
+                         waiter T{s} ({m:?})"
+                    ),
+                ));
+            }
+        }
+    }
+    st.held.push((slot, item, mode));
+    st.waiters.retain(|&(s, _, _)| s != slot);
+    st.remove_edge_from(slot);
+    AcquireOutcome::Granted
+}
+
+/// What `wait` (the declared block) decided.
+enum WaitOutcome {
+    /// Edge recorded; keep waiting.
+    Waiting,
+    /// The new edge closed a cycle; `victim` was chosen and its wait state
+    /// cleared.
+    Deadlock { victim: u8 },
+}
+
+/// Mirror of `LockManager::wait` + `close_cycle`, with the independent
+/// youngest-victim and one-victim-per-cycle invariant checks.
+fn wait(
+    st: &mut St,
+    cfg: &LockModelConfig,
+    waiter: u8,
+    holder: u8,
+    item: u8,
+    mode: Mode,
+    violations: &mut Vec<(&'static str, String)>,
+) -> WaitOutcome {
+    // Find or create the FIFO queue entry; a changed request keeps its
+    // position but updates in place (mirrors the real manager).
+    match st.waiters.iter_mut().find(|(s, _, _)| *s == waiter) {
+        Some(w) => {
+            w.1 = item;
+            w.2 = mode;
+        }
+        None => st.waiters.push((waiter, item, mode)),
+    }
+    // close_cycle: walk holder's wait chain; reaching `waiter` is a cycle.
+    let mut members = vec![waiter, holder];
+    let mut cur = holder;
+    let mut hops = 0usize;
+    while let Some(next) = st.edge_from(cur) {
+        if next == waiter {
+            // A cycle. The mechanism picks its victim (youngest, unless
+            // mutated); the checker independently recomputes the youngest
+            // and audits the choice.
+            let mechanism_victim = match cfg.mutation {
+                Mutation::OldestVictim => *members
+                    .iter()
+                    .min_by_key(|&&s| st.slots[s as usize].rank)
+                    .unwrap_or(&waiter),
+                _ => *members
+                    .iter()
+                    .max_by_key(|&&s| st.slots[s as usize].rank)
+                    .unwrap_or(&waiter),
+            };
+            let true_youngest = *members
+                .iter()
+                .max_by_key(|&&s| st.slots[s as usize].rank)
+                .unwrap_or(&waiter);
+            if mechanism_victim != true_youngest {
+                violations.push((
+                    "youngest-victim",
+                    format!(
+                        "cycle {} chose victim T{mechanism_victim} (rank {}), but the \
+                         youngest member is T{true_youngest} (rank {})",
+                        render_cycle(&members),
+                        st.slots[mechanism_victim as usize].rank,
+                        st.slots[true_youngest as usize].rank,
+                    ),
+                ));
+            }
+            if st.slots[mechanism_victim as usize].victimized {
+                violations.push((
+                    "one-victim-per-cycle",
+                    format!(
+                        "cycle {} re-victimized T{mechanism_victim}: its first \
+                         victimization never dissolved the cycle (doom dropped?)",
+                        render_cycle(&members),
+                    ),
+                ));
+            }
+            st.slots[mechanism_victim as usize].victimized = true;
+            // Clear the victim's wait state (this is what breaks the cycle)
+            // and, when the victim is someone else, record the waiter's
+            // edge — the cycle is already broken, so the edge is safe.
+            st.remove_edge_from(mechanism_victim);
+            st.waiters.retain(|&(s, _, _)| s != mechanism_victim);
+            if mechanism_victim != waiter {
+                st.remove_edge_from(waiter);
+                st.waits_for.push((waiter, holder));
+            }
+            return WaitOutcome::Deadlock {
+                victim: mechanism_victim,
+            };
+        }
+        members.push(next);
+        cur = next;
+        hops += 1;
+        if hops > st.waits_for.len() {
+            break; // defensive: malformed graph
+        }
+    }
+    st.remove_edge_from(waiter);
+    st.waits_for.push((waiter, holder));
+    WaitOutcome::Waiting
+}
+
+fn render_cycle(members: &[u8]) -> String {
+    let names: Vec<String> = members.iter().map(|s| format!("T{s}")).collect();
+    format!("[{}]", names.join("→"))
+}
+
+/// Begin a fresh transaction for `slot` (the TMF `begin`): it becomes the
+/// youngest live transaction.
+fn begin(st: &mut St, slot: u8) {
+    let max_rank = st
+        .slots
+        .iter()
+        .filter(|s| s.live() || s.phase == Phase::Backoff)
+        .map(|s| s.rank)
+        .max()
+        .unwrap_or(0);
+    let s = &mut st.slots[slot as usize];
+    s.phase = Phase::Running;
+    s.pc = 0;
+    s.attempt += 1;
+    s.rank = max_rank + 1;
+    s.doomed = false;
+    s.victimized = false;
+}
+
+/// Abort `slot`'s transaction and put it on the retry path — or give up
+/// past the budget, releasing the admission slot (mirrors the load
+/// engine's `retry` + `release_slot`).
+fn abort_and_retry(st: &mut St, cfg: &LockModelConfig, slot: u8) {
+    st.release_all(slot);
+    let attempts = st.slots[slot as usize].attempt;
+    if attempts > cfg.max_retries {
+        st.slots[slot as usize].phase = Phase::GaveUp;
+        release_gate_slot(st, cfg);
+    } else {
+        // The admission slot is retained across the backoff.
+        st.slots[slot as usize].phase = Phase::Backoff;
+    }
+}
+
+/// Free one admission slot and hand it straight to the head of the gate
+/// FIFO (mirrors `release_slot`: the granted slot begins immediately).
+fn release_gate_slot(st: &mut St, _cfg: &LockModelConfig) {
+    st.inflight -= 1;
+    if !st.gate.is_empty() {
+        let head = st.gate.remove(0);
+        st.inflight += 1;
+        begin(st, head);
+    }
+}
+
+/// Apply one action to a state. Returns `None` when the action is not
+/// enabled there.
+fn apply(st: &St, cfg: &LockModelConfig, act: Act) -> Option<Applied> {
+    let mut next = st.clone();
+    let mut violations = Vec::new();
+    match act {
+        Act::Arrive(slot) => {
+            if st.slots[slot as usize].phase != Phase::Unarrived {
+                return None;
+            }
+            if (next.inflight as usize) < cfg.max_inflight {
+                next.inflight += 1;
+                begin(&mut next, slot);
+            } else {
+                // The admission-queued branch: the arrival parks FIFO.
+                next.slots[slot as usize].phase = Phase::Queued;
+                next.gate.push(slot);
+            }
+        }
+        Act::Timeout(slot) => {
+            // The lock-wait timeout fires: only meaningful for a waiter
+            // with an established queue entry, and budgeted per schedule.
+            if st.slots[slot as usize].phase != Phase::Waiting
+                || st.timeouts_used >= cfg.max_timeouts
+                || !st.waiters.iter().any(|&(s, _, _)| s == slot)
+            {
+                return None;
+            }
+            next.timeouts_used += 1;
+            // Mirror `LockError::WaitTimeout` → `DpError::LockTimeout` →
+            // `FsError::Doomed` → client abort + retry: the waiter is
+            // dequeued and dooms itself.
+            next.waiters.retain(|&(s, _, _)| s != slot);
+            next.remove_edge_from(slot);
+            abort_and_retry(&mut next, cfg, slot);
+        }
+        Act::Poll(slot) => {
+            let phase = st.slots[slot as usize].phase;
+            match phase {
+                Phase::Backoff => {
+                    // Backoff expired: rerun under a fresh TMF transaction.
+                    begin(&mut next, slot);
+                }
+                Phase::Running | Phase::Waiting => {
+                    let script = &cfg.scripts[slot as usize];
+                    let pc = st.slots[slot as usize].pc as usize;
+                    // The doomed fail-fast check heads both the DP lock
+                    // path and the TMF commit.
+                    if st.slots[slot as usize].doomed {
+                        abort_and_retry(&mut next, cfg, slot);
+                        return finish(st, next, violations);
+                    }
+                    if pc >= script.len() {
+                        // Commit. TMF re-checks the doom flag (mirrored
+                        // above); committing releases everything and frees
+                        // the admission slot.
+                        if next.slots[slot as usize].doomed {
+                            violations
+                                .push(("doomed-commit", format!("T{slot} committed while doomed")));
+                        }
+                        next.release_all(slot);
+                        next.slots[slot as usize].phase = Phase::Committed;
+                        release_gate_slot(&mut next, cfg);
+                        return finish(st, next, violations);
+                    }
+                    let (item, mode) = script[pc];
+                    match acquire(&mut next, cfg, slot, item, mode, &mut violations) {
+                        AcquireOutcome::Granted => {
+                            next.slots[slot as usize].phase = Phase::Running;
+                            next.slots[slot as usize].pc += 1;
+                        }
+                        AcquireOutcome::Conflict { holder } => {
+                            match wait(&mut next, cfg, slot, holder, item, mode, &mut violations) {
+                                WaitOutcome::Waiting => {
+                                    next.slots[slot as usize].phase = Phase::Waiting;
+                                }
+                                WaitOutcome::Deadlock { victim } => {
+                                    if victim == slot {
+                                        // `DpError::Deadlock` propagates to
+                                        // this client, which aborts and
+                                        // retries.
+                                        abort_and_retry(&mut next, cfg, slot);
+                                    } else {
+                                        // Doom the younger victim at the
+                                        // TMF and keep this (older)
+                                        // requester politely waiting. The
+                                        // DropDoom mutation loses exactly
+                                        // this edge.
+                                        if cfg.mutation != Mutation::DropDoom {
+                                            next.slots[victim as usize].doomed = true;
+                                        }
+                                        next.slots[slot as usize].phase = Phase::Waiting;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                Phase::Unarrived | Phase::Queued | Phase::Committed | Phase::GaveUp => {
+                    return None;
+                }
+            }
+        }
+    }
+    finish(st, next, violations)
+}
+
+/// Canonicalize the successor, run the per-state invariants, and filter
+/// stutter steps (a transition that leaves the canonical state unchanged
+/// is not a transition).
+fn finish(st: &St, mut next: St, mut violations: Vec<(&'static str, String)>) -> Option<Applied> {
+    next.canonicalize();
+    if next == *st && violations.is_empty() {
+        return None;
+    }
+    state_invariants(&next, &mut violations);
+    Some(Applied { next, violations })
+}
+
+/// Invariants of every reachable state (not just quiescent ones).
+fn state_invariants(st: &St, violations: &mut Vec<(&'static str, String)>) {
+    // Serializability: with strict 2PL (every effect under a lock held to
+    // commit/abort), conflict-serializability of committed effects is
+    // exactly "no two live transactions hold incompatible locks on the
+    // same item".
+    for (i, &(s1, it1, m1)) in st.held.iter().enumerate() {
+        for &(s2, it2, m2) in &st.held[i + 1..] {
+            if s1 != s2 && it1 == it2 && !m1.compatible(m2) {
+                violations.push((
+                    "serializability",
+                    format!(
+                        "T{s1} ({m1:?}) and T{s2} ({m2:?}) both hold item {it1}: \
+                         incompatible simultaneous holds break 2PL \
+                         conflict-serializability"
+                    ),
+                ));
+            }
+        }
+    }
+    // Lock state must belong to live transactions only.
+    for &(s, item, _) in st.held.iter().chain(st.waiters.iter()) {
+        if !st.slots[s as usize].live() {
+            violations.push((
+                "drain",
+                format!(
+                    "T{s} ({:?}) still appears in the lock table / waiter queue \
+                     for item {item}",
+                    st.slots[s as usize].phase
+                ),
+            ));
+        }
+    }
+    for &(w, h) in &st.waits_for {
+        if !st.slots[w as usize].live() || !st.slots[h as usize].live() {
+            violations.push((
+                "drain",
+                format!("stale waits-for edge T{w}→T{h} references a dead transaction"),
+            ));
+        }
+    }
+}
+
+/// Invariants of a quiescent state (no enabled actions).
+fn quiescent_invariants(st: &St, violations: &mut Vec<(&'static str, String)>) {
+    for (i, s) in st.slots.iter().enumerate() {
+        if !matches!(s.phase, Phase::Committed | Phase::GaveUp) {
+            violations.push((
+                "liveness-stuck",
+                format!(
+                    "quiescent state leaves T{i} in {:?} (pc {}, attempt {}): \
+                     stuck waiter or lost wakeup",
+                    s.phase, s.pc, s.attempt
+                ),
+            ));
+        }
+    }
+    if !st.held.is_empty() || !st.waiters.is_empty() || !st.waits_for.is_empty() {
+        violations.push((
+            "drain",
+            format!(
+                "quiescent state leaks lock state: {} held, {} waiting, {} edges",
+                st.held.len(),
+                st.waiters.len(),
+                st.waits_for.len()
+            ),
+        ));
+    }
+    if !st.gate.is_empty() || st.inflight != 0 {
+        violations.push((
+            "drain",
+            format!(
+                "quiescent state leaks admission state: {} queued, {} in flight",
+                st.gate.len(),
+                st.inflight
+            ),
+        ));
+    }
+}
+
+// ----------------------------------------------------------------------
+// Exploration
+// ----------------------------------------------------------------------
+
+/// All actions, in the deterministic enumeration order.
+fn all_actions(cfg: &LockModelConfig) -> Vec<Act> {
+    let mut acts = Vec::new();
+    for s in 0..cfg.txns as u8 {
+        acts.push(Act::Arrive(s));
+        acts.push(Act::Poll(s));
+        acts.push(Act::Timeout(s));
+    }
+    acts
+}
+
+/// Exhaustively explore every interleaving of the configuration by BFS
+/// over canonical states. Deterministic: state discovery order, violation
+/// order, and all counts depend only on `cfg`.
+pub fn explore(cfg: &LockModelConfig) -> Exploration {
+    assert_eq!(cfg.scripts.len(), cfg.txns, "one script per slot");
+    assert!(cfg.max_inflight > 0, "admission gate needs capacity");
+    let acts = all_actions(cfg);
+    let mut out = Exploration::default();
+
+    // Interned states: canonical state -> dense index.
+    let mut index: HashMap<St, u32> = HashMap::new();
+    let mut states: Vec<St> = Vec::new();
+    // BFS parent pointers for schedule reconstruction.
+    let mut parent: Vec<Option<(u32, Act)>> = Vec::new();
+    // Explored edges, for path counting.
+    let mut edges: Vec<Vec<u32>> = Vec::new();
+    let mut quiescent: Vec<bool> = Vec::new();
+
+    let mut root = St::initial(cfg);
+    root.canonicalize();
+    index.insert(root.clone(), 0);
+    states.push(root);
+    parent.push(None);
+    edges.push(Vec::new());
+    quiescent.push(false);
+
+    let mut seen_invariants: Vec<&'static str> = Vec::new();
+    let mut queue: VecDeque<u32> = VecDeque::from([0u32]);
+    while let Some(at) = queue.pop_front() {
+        let st = states[at as usize].clone();
+        let mut enabled = 0usize;
+        for &act in &acts {
+            let Some(applied) = apply(&st, cfg, act) else {
+                continue;
+            };
+            enabled += 1;
+            out.transitions += 1;
+            for (invariant, detail) in &applied.violations {
+                out.violation_count += 1;
+                if !seen_invariants.contains(invariant) {
+                    seen_invariants.push(invariant);
+                    let mut schedule = reconstruct(&parent, at);
+                    schedule.push(act);
+                    out.violations.push(Violation {
+                        invariant,
+                        detail: detail.clone(),
+                        schedule,
+                    });
+                }
+            }
+            if !applied.violations.is_empty() {
+                // A violating transition is a counterexample, not a state
+                // to build on: stop expanding past it.
+                continue;
+            }
+            let next_idx = match index.get(&applied.next) {
+                Some(&i) => i,
+                None => {
+                    let i = states.len() as u32;
+                    index.insert(applied.next.clone(), i);
+                    states.push(applied.next);
+                    parent.push(Some((at, act)));
+                    edges.push(Vec::new());
+                    quiescent.push(false);
+                    queue.push_back(i);
+                    i
+                }
+            };
+            edges[at as usize].push(next_idx);
+        }
+        if enabled == 0 {
+            quiescent[at as usize] = true;
+            out.terminals += 1;
+            if st.slots.iter().any(|s| s.phase == Phase::GaveUp) {
+                out.gave_up_terminals += 1;
+            }
+            let mut vs = Vec::new();
+            quiescent_invariants(&st, &mut vs);
+            for (invariant, detail) in vs {
+                out.violation_count += 1;
+                if !seen_invariants.contains(&invariant) {
+                    seen_invariants.push(invariant);
+                    out.violations.push(Violation {
+                        invariant,
+                        detail,
+                        schedule: reconstruct(&parent, at),
+                    });
+                }
+            }
+        }
+    }
+    out.states = states.len() as u64;
+    out.schedules = count_schedules(&edges, &quiescent, &mut out.violations);
+    out
+}
+
+/// Rebuild the action path from the root to `at` via BFS parent pointers.
+fn reconstruct(parent: &[Option<(u32, Act)>], mut at: u32) -> Vec<Act> {
+    let mut acts = Vec::new();
+    while let Some((prev, act)) = parent[at as usize] {
+        acts.push(act);
+        at = prev;
+    }
+    acts.reverse();
+    acts
+}
+
+/// Count distinct root-to-quiescence paths through the explored graph by
+/// DP in topological order. The graph must be acyclic — begin ranks,
+/// attempt counters and script pcs are monotone along every path — and a
+/// cycle would mean a livelock (an infinite schedule making no progress),
+/// reported as its own violation.
+fn count_schedules(edges: &[Vec<u32>], quiescent: &[bool], violations: &mut Vec<Violation>) -> u64 {
+    let n = edges.len();
+    let mut indeg = vec![0u32; n];
+    for outs in edges {
+        for &to in outs {
+            indeg[to as usize] += 1;
+        }
+    }
+    let mut paths = vec![0u128; n];
+    paths[0] = 1;
+    let mut ready: VecDeque<u32> = (0..n as u32).filter(|&i| indeg[i as usize] == 0).collect();
+    let mut visited = 0usize;
+    let mut total: u128 = 0;
+    while let Some(at) = ready.pop_front() {
+        visited += 1;
+        if quiescent[at as usize] {
+            total = total.saturating_add(paths[at as usize]);
+        }
+        for &to in &edges[at as usize] {
+            paths[to as usize] = paths[to as usize].saturating_add(paths[at as usize]);
+            indeg[to as usize] -= 1;
+            if indeg[to as usize] == 0 {
+                ready.push_back(to);
+            }
+        }
+    }
+    if visited != n {
+        violations.push(Violation {
+            invariant: "liveness-livelock",
+            detail: format!(
+                "{} states sit on a cycle in the canonical state graph: some \
+                 schedule loops forever without progress",
+                n - visited
+            ),
+            schedule: Vec::new(),
+        });
+    }
+    u64::try_from(total).unwrap_or(u64::MAX)
+}
+
+/// Re-execute an exact action sequence from the initial state, returning
+/// every invariant violation it raises — the replay half of a pinned
+/// counterexample. Returns `Err` if the schedule takes a disabled action.
+pub fn replay(cfg: &LockModelConfig, schedule: &[Act]) -> Result<Vec<Violation>, String> {
+    let mut st = St::initial(cfg);
+    st.canonicalize();
+    let mut out = Vec::new();
+    for (i, &act) in schedule.iter().enumerate() {
+        let Some(applied) = apply(&st, cfg, act) else {
+            return Err(format!("step {i}: action {act} is not enabled"));
+        };
+        for (invariant, detail) in applied.violations {
+            out.push(Violation {
+                invariant,
+                detail,
+                schedule: schedule[..=i].to_vec(),
+            });
+        }
+        st = applied.next;
+    }
+    Ok(out)
+}
+
+/// Render a schedule compactly: `Arrive(T0) Poll(T0) Poll(T1) …`.
+pub fn format_schedule(schedule: &[Act]) -> String {
+    let parts: Vec<String> = schedule.iter().map(|a| a.to_string()).collect();
+    parts.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_config_is_clean_and_large() {
+        let ex = explore(&LockModelConfig::cycle());
+        assert!(ex.violations.is_empty(), "{:?}", ex.violations.first());
+        // Exact pins: exploration is deterministic, so these only change
+        // when the model (or the mirrored protocol) changes — and then
+        // lint.toml's [model] floors must be re-measured too.
+        assert_eq!(ex.states, 5_456);
+        assert_eq!(ex.transitions, 12_525);
+        assert_eq!(ex.schedules, 32_055_282);
+        assert_eq!(ex.terminals, 13);
+        // Strong liveness at default bounds: every transaction commits —
+        // no schedule exhausts a retry budget.
+        assert_eq!(ex.gave_up_terminals, 0);
+    }
+
+    #[test]
+    fn convoy_config_is_clean() {
+        let ex = explore(&LockModelConfig::convoy());
+        assert!(ex.violations.is_empty(), "{:?}", ex.violations.first());
+        assert_eq!(ex.states, 1_046);
+        assert_eq!(ex.schedules, 199_836);
+        assert_eq!(ex.gave_up_terminals, 0);
+    }
+
+    #[test]
+    fn exploration_is_deterministic() {
+        let a = explore(&LockModelConfig::cycle());
+        let b = explore(&LockModelConfig::cycle());
+        assert_eq!(a.states, b.states);
+        assert_eq!(a.transitions, b.transitions);
+        assert_eq!(a.schedules, b.schedules);
+        assert_eq!(a.terminals, b.terminals);
+    }
+
+    /// The three pinned mutation counterexamples. Each is the BFS-minimal
+    /// schedule, asserted as an exact string (the contention analogue of
+    /// the reply-cache `cache=0` double-apply pin) and replayed.
+    fn pinned_counterexample(cfg: &LockModelConfig, invariant: &str, want_schedule: &str) {
+        let ex = explore(cfg);
+        let v = ex
+            .violations
+            .iter()
+            .find(|v| v.invariant == invariant)
+            .unwrap_or_else(|| panic!("mutation {:?} must break `{invariant}`", cfg.mutation));
+        assert_eq!(format_schedule(&v.schedule), want_schedule);
+        let replayed = replay(cfg, &v.schedule).expect("pinned schedule replays");
+        assert!(
+            replayed.iter().any(|r| r.invariant == invariant),
+            "replay must reproduce `{invariant}`, got {replayed:?}"
+        );
+    }
+
+    #[test]
+    fn overtake_mutation_breaks_fifo() {
+        // T0 holds item 0 and waits on T1's hold of item 1; T1 queues
+        // behind T0 on item 0; T2 then barges straight past queued T1.
+        pinned_counterexample(
+            &LockModelConfig {
+                mutation: Mutation::OvertakeQueue,
+                ..LockModelConfig::convoy()
+            },
+            "fifo-no-overtake",
+            "Arrive(T0) Poll(T0) Poll(T0) Arrive(T1) Poll(T1) Poll(T0) Arrive(T2) Poll(T2)",
+        );
+    }
+
+    #[test]
+    fn oldest_victim_mutation_breaks_victim_choice() {
+        // The rotated scripts close the 3-cycle T2→T0→T1; the mutated
+        // policy shoots T0 (rank 0, the oldest) instead of T2 (rank 2).
+        pinned_counterexample(
+            &LockModelConfig {
+                mutation: Mutation::OldestVictim,
+                ..LockModelConfig::cycle()
+            },
+            "youngest-victim",
+            "Arrive(T0) Poll(T0) Arrive(T1) Poll(T1) Poll(T0) Arrive(T2) Poll(T2) \
+             Poll(T1) Poll(T2)",
+        );
+    }
+
+    #[test]
+    fn drop_doom_mutation_revictimizes_the_cycle() {
+        // The same 3-cycle closes, T2 is chosen — but never doomed, so it
+        // keeps waiting, the cycle re-forms, and detection picks T2 again.
+        pinned_counterexample(
+            &LockModelConfig {
+                mutation: Mutation::DropDoom,
+                ..LockModelConfig::cycle()
+            },
+            "one-victim-per-cycle",
+            "Arrive(T0) Poll(T0) Arrive(T1) Poll(T1) Poll(T0) Arrive(T2) Poll(T2) \
+             Poll(T2) Poll(T1) Poll(T2)",
+        );
+    }
+
+    #[test]
+    fn healthy_protocol_is_clean_on_the_mutant_schedules() {
+        // The drop-doom counterexample's action sequence is also enabled
+        // under the faithful protocol (same prefix up to the second
+        // victimization) — and there it raises nothing.
+        let cfg = LockModelConfig::cycle();
+        let schedule = [
+            Act::Arrive(0),
+            Act::Poll(0),
+            Act::Arrive(1),
+            Act::Poll(1),
+            Act::Poll(0),
+            Act::Arrive(2),
+            Act::Poll(2),
+            Act::Poll(2),
+            Act::Poll(1),
+            Act::Poll(2),
+        ];
+        let replayed = replay(&cfg, &schedule).expect("schedule enabled under healthy protocol");
+        assert!(
+            replayed.is_empty(),
+            "healthy replay must be clean: {replayed:?}"
+        );
+    }
+
+    #[test]
+    fn replay_rejects_disabled_actions() {
+        let cfg = LockModelConfig::cycle();
+        // Polling a slot that never arrived is not an enabled action.
+        assert!(replay(&cfg, &[Act::Poll(0)]).is_err());
+    }
+
+    #[test]
+    fn format_schedule_is_replay_shaped() {
+        let s = format_schedule(&[Act::Arrive(0), Act::Poll(0), Act::Timeout(1)]);
+        assert_eq!(s, "Arrive(T0) Poll(T0) Timeout(T1)");
+    }
+}

@@ -3,14 +3,18 @@
 //! ```text
 //! nsql-lint check [--root DIR] [--config FILE] [--update-ratchet]
 //! nsql-lint check-protocol [--keys N] [--depth N] [--cache N] [--retries N]
+//! nsql-lint check-locks [--config FILE] [--mutation NAME] [--retries N] [--timeouts N]
 //! ```
 //!
 //! `check` lints every `.rs` file in the workspace against `lint.toml` and
 //! exits non-zero on any violation. `check-protocol` exhaustively explores
 //! fault schedules against the FS-DP protocol model and exits non-zero if
-//! any invariant breaks.
+//! any invariant breaks. `check-locks` does the same for the lock-manager /
+//! deadlock / retry protocol; with `--mutation` it instead *demands* a
+//! counterexample from a deliberately weakened mechanism.
 
 use nsql_lint::config::Config;
+use nsql_lint::lockmodel::{self, LockModelConfig, Mutation};
 use nsql_lint::model::{self, ModelConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -20,8 +24,9 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("check") => cmd_check(&args[1..]),
         Some("check-protocol") => cmd_check_protocol(&args[1..]),
+        Some("check-locks") => cmd_check_locks(&args[1..]),
         Some("--help") | Some("-h") | None => {
-            eprintln!("usage: nsql-lint <check|check-protocol> [options]");
+            eprintln!("usage: nsql-lint <check|check-protocol|check-locks> [options]");
             eprintln!("  check           lint the workspace against lint.toml");
             eprintln!("    --root DIR          workspace root (default: .)");
             eprintln!("    --config FILE       config path (default: <root>/lint.toml)");
@@ -31,6 +36,14 @@ fn main() -> ExitCode {
             eprintln!("    --depth N           max injected faults per schedule (default 3)");
             eprintln!("    --cache N           reply-cache entries per opener (default 8)");
             eprintln!("    --retries N         send retries before giving up (default 6)");
+            eprintln!("  check-locks     model-check the lock/deadlock/retry protocol");
+            eprintln!(
+                "    --config FILE       lint.toml with [model] floors (default: ./lint.toml)"
+            );
+            eprintln!("    --retries N         client retries per slot (default per config)");
+            eprintln!("    --timeouts N        adversary timeout budget (default per config)");
+            eprintln!("    --mutation NAME     weaken one mechanism and demand a counterexample");
+            eprintln!("                        (overtake | oldest-victim | drop-doom)");
             return if args.is_empty() {
                 ExitCode::from(2)
             } else {
@@ -117,6 +130,7 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
 
     let mut diags = report.diags.clone();
     diags.extend(nsql_lint::zero_ratchet_sites(&root, &cfg, &report));
+    diags.extend(nsql_lint::discard_ratchet_sites(&root, &cfg, &report));
     diags.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     diags.dedup_by(|a, b| (&a.file, a.line, a.rule, &a.msg) == (&b.file, b.line, b.rule, &b.msg));
 
@@ -220,6 +234,143 @@ fn cmd_check_protocol(args: &[String]) -> Result<ExitCode, String> {
         Ok(ExitCode::FAILURE)
     } else {
         println!("nsql-lint check-protocol: OK — all invariants hold on every schedule");
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+fn cmd_check_locks(args: &[String]) -> Result<ExitCode, String> {
+    let opts = parse_opts(
+        args,
+        &["--config", "--retries", "--timeouts", "--mutation"],
+        &[],
+    )?;
+    let mutation = match opts.get("--mutation") {
+        None => Mutation::None,
+        Some(name) => Mutation::parse(name).ok_or_else(|| {
+            format!("unknown mutation `{name}` (overtake | oldest-victim | drop-doom)")
+        })?,
+    };
+    // Coverage floors come from lint.toml; a missing file means no floor
+    // (mutation runs and ad-hoc invocations outside the workspace root).
+    let config_path = PathBuf::from(
+        opts.get("--config")
+            .map(String::as_str)
+            .unwrap_or("lint.toml"),
+    );
+    let floors = std::fs::read_to_string(&config_path)
+        .ok()
+        .map(|text| Config::parse(&text).map_err(|e| e.to_string()))
+        .transpose()?;
+
+    let mut configs = vec![
+        ("cycle", LockModelConfig::cycle()),
+        ("convoy", LockModelConfig::convoy()),
+    ];
+    for (_, cfg) in &mut configs {
+        cfg.mutation = mutation;
+        if let Some(r) = opts.get("--retries") {
+            cfg.max_retries = r
+                .parse()
+                .map_err(|_| format!("--retries expects an integer, got `{r}`"))?;
+        }
+        if let Some(t) = opts.get("--timeouts") {
+            cfg.max_timeouts = t
+                .parse()
+                .map_err(|_| format!("--timeouts expects an integer, got `{t}`"))?;
+        }
+    }
+    println!(
+        "nsql-lint check-locks: mutation={mutation:?} retries={} timeouts={}",
+        configs[0].1.max_retries, configs[0].1.max_timeouts
+    );
+
+    let mut total_schedules: u64 = 0;
+    let mut total_states: u64 = 0;
+    let mut violations = Vec::new();
+    for (name, cfg) in &configs {
+        let ex = lockmodel::explore(cfg);
+        println!(
+            "  {name} model ({}T×{}L, gate {}): {} states, {} transitions, \
+             {} schedules ({} quiescent, {} gave-up), {} violating transition(s)",
+            cfg.txns,
+            cfg.locks,
+            cfg.max_inflight,
+            ex.states,
+            ex.transitions,
+            ex.schedules,
+            ex.terminals,
+            ex.gave_up_terminals,
+            ex.violation_count
+        );
+        total_schedules = total_schedules.saturating_add(ex.schedules);
+        total_states += ex.states;
+        violations.extend(ex.violations.into_iter().map(|v| (*name, v)));
+    }
+    println!("  total:        {total_schedules} schedules over {total_states} states");
+
+    for (name, v) in &violations {
+        eprintln!(
+            "VIOLATION [{}] in {name} model: {}\n  schedule: {}",
+            v.invariant,
+            v.detail,
+            lockmodel::format_schedule(&v.schedule)
+        );
+    }
+
+    if mutation != Mutation::None {
+        // Mutation runs invert the exit semantics: the weakened mechanism
+        // MUST produce a counterexample, and it must replay.
+        if violations.is_empty() {
+            eprintln!("nsql-lint check-locks: FAIL — mutation {mutation:?} produced no violation");
+            return Ok(ExitCode::FAILURE);
+        }
+        for (name, v) in &violations {
+            let Some((_, cfg)) = configs.iter().find(|(n, _)| n == name) else {
+                continue;
+            };
+            let replayed = lockmodel::replay(cfg, &v.schedule)
+                .map_err(|e| format!("counterexample does not replay: {e}"))?;
+            if !replayed.iter().any(|r| r.invariant == v.invariant) {
+                eprintln!(
+                    "nsql-lint check-locks: FAIL — replay of [{}] counterexample \
+                     did not reproduce it",
+                    v.invariant
+                );
+                return Ok(ExitCode::FAILURE);
+            }
+        }
+        println!(
+            "nsql-lint check-locks: OK — mutation {mutation:?} caught with {} replayable \
+             counterexample(s)",
+            violations.len()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let mut failed = !violations.is_empty();
+    if let Some(cfg) = &floors {
+        if cfg.lock_min_schedules > 0 && total_schedules < cfg.lock_min_schedules {
+            eprintln!(
+                "COVERAGE: {total_schedules} schedules < lock_min_schedules floor {} \
+                 (coverage can only grow)",
+                cfg.lock_min_schedules
+            );
+            failed = true;
+        }
+        if cfg.lock_min_states > 0 && total_states < cfg.lock_min_states {
+            eprintln!(
+                "COVERAGE: {total_states} states < lock_min_states floor {} \
+                 (coverage can only grow)",
+                cfg.lock_min_states
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        eprintln!("nsql-lint check-locks: FAIL");
+        Ok(ExitCode::FAILURE)
+    } else {
+        println!("nsql-lint check-locks: OK — all invariants hold on every schedule");
         Ok(ExitCode::SUCCESS)
     }
 }

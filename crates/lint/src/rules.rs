@@ -16,6 +16,15 @@
 //! * **`trace-label`** — every paper-verb string (`GET^FIRST^VSBB` style)
 //!   in non-test code must be in the canonical registry rendered by
 //!   `format_sequence`, so traces and tests never drift apart on spelling.
+//! * **`result-discard`** — no silent `Result` discards (`let _ = …` /
+//!   bare `.ok();`) in the wire-protocol crates: a dropped `Err` on the
+//!   FS-DP path is a protocol step that silently never happened. Existing
+//!   offenders live under ratcheted per-path ceilings (`[result_discard]`
+//!   in `lint.toml`) that, like the panic ratchet, only go down.
+//! * **`stale-registry`** — the registry discipline cuts both ways: a
+//!   `[trace_labels]` canonical label or counter name that *no* source
+//!   file emits any more is dead weight that would mask a future
+//!   misspelling, and is flagged until removed.
 
 use crate::config::Config;
 use crate::lexer::{tokenize, Tok, TokKind};
@@ -55,6 +64,12 @@ pub struct FileReport {
     pub diags: Vec<Diagnostic>,
     /// `unwrap()/expect()/panic!` occurrences in non-test code.
     pub panic_count: u64,
+    /// Silent `Result` discards (`let _ =` / bare `.ok();`) in non-test
+    /// code — only counted for files under a `[result_discard]` crate.
+    pub discard_count: u64,
+    /// Every string literal in the file (tests included) — the emission
+    /// side of the bidirectional registry check.
+    pub strings: Vec<String>,
 }
 
 /// Is this path test or bench code (excluded from the ratchet, wildcard and
@@ -81,7 +96,15 @@ pub fn lint_source(cfg: &Config, rel: &str, src: &str) -> FileReport {
         report.panic_count = panic_count(&toks, &in_test, rel, &mut report);
         wildcard_match_rule(cfg, rel, &toks, &in_test, &mut report);
         trace_label_rule(cfg, rel, &toks, &in_test, &mut report);
+        if is_discard_path(cfg, rel) {
+            report.discard_count = discard_positions(&toks, &in_test).len() as u64;
+        }
     }
+    report.strings = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Str)
+        .map(|t| t.text.clone())
+        .collect();
     report
 }
 
@@ -463,6 +486,179 @@ fn trace_label_rule(
 }
 
 // ----------------------------------------------------------------------
+// Rule: result-discard (counting half; ceilings enforced by the caller)
+// ----------------------------------------------------------------------
+
+/// Is this file under one of the `[result_discard] crates` prefixes (the
+/// wire-protocol surfaces where silent discards are ratcheted)?
+pub fn is_discard_path(cfg: &Config, rel: &str) -> bool {
+    cfg.result_discard_crates
+        .iter()
+        .any(|c| rel == c || rel.starts_with(&format!("{c}/")))
+}
+
+/// Positions of silent `Result` discards in non-test tokens: a lone
+/// `let _ = …` binding (which drops any `Err` on the floor — a named
+/// `_reason` binding does not match) or a bare `.ok();` statement (the
+/// `Result` → `Option` → void laundering idiom).
+fn discard_positions(toks: &[Tok], in_test: &[bool]) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if in_test[i] {
+            continue;
+        }
+        let t = &toks[i];
+        if t.is_ident("let")
+            && toks.get(i + 1).is_some_and(|n| n.is_ident("_"))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct('='))
+        {
+            out.push((t.line, "let _ =".to_string()));
+        }
+        if t.is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_ident("ok"))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct('('))
+            && toks.get(i + 3).is_some_and(|n| n.is_punct(')'))
+            && toks.get(i + 4).is_some_and(|n| n.is_punct(';'))
+            && ok_is_bare(toks, i)
+        {
+            out.push((toks[i + 1].line, ".ok();".to_string()));
+        }
+    }
+    out
+}
+
+/// Is the `.ok();` ending at the `.` in `toks[dot]` a *bare* expression
+/// statement (value dropped), rather than bound or returned
+/// (`let before = rel.read(n).ok();` consumes the `Option`)? Walks back to
+/// the statement boundary, skipping balanced groups, looking for a
+/// consuming `let` / `return` / `=` at statement depth.
+fn ok_is_bare(toks: &[Tok], dot: usize) -> bool {
+    let mut depth = 0i64;
+    let mut j = dot;
+    while j > 0 {
+        let p = &toks[j - 1];
+        if p.kind == TokKind::Punct {
+            match p.text.chars().next() {
+                Some(')') | Some(']') => depth += 1,
+                Some('(') | Some('[') => {
+                    if depth == 0 {
+                        return true; // opened a group: statement starts here
+                    }
+                    depth -= 1;
+                }
+                Some(';') | Some('{') | Some('}') if depth == 0 => return true,
+                Some('=') if depth == 0 => return false, // bound or assigned
+                _ => {}
+            }
+        } else if depth == 0 && (p.is_ident("let") || p.is_ident("return")) {
+            return false;
+        }
+        j -= 1;
+    }
+    true
+}
+
+/// Site list for over-ceiling diagnostics (mirrors [`panic_sites`]).
+pub fn discard_sites(src: &str) -> Vec<(usize, String)> {
+    let toks = tokenize(src);
+    let in_test = test_region_mask(&toks);
+    discard_positions(&toks, &in_test)
+}
+
+/// Enforce the `[result_discard]` ratchet: per-file discard counts sum
+/// into each configured path bucket; a covered file under no bucket has an
+/// implicit ceiling of zero (new wire-protocol code may not discard at
+/// all).
+pub fn enforce_discard_ratchet(
+    cfg: &Config,
+    counts: &BTreeMap<String, u64>,
+) -> (Vec<Diagnostic>, BTreeMap<String, u64>) {
+    let mut diags = Vec::new();
+    let mut actual: BTreeMap<String, u64> = BTreeMap::new();
+    for key in cfg.result_discard_ratchet.keys() {
+        actual.insert(key.clone(), 0);
+    }
+    for (file, &n) in counts {
+        let mut covered = false;
+        for (key, sum) in actual.iter_mut() {
+            if file == key || file.starts_with(&format!("{key}/")) {
+                *sum += n;
+                covered = true;
+            }
+        }
+        if !covered && n > 0 {
+            diags.push(Diagnostic {
+                rule: "result-discard",
+                file: file.clone(),
+                line: 0,
+                msg: format!(
+                    "{n} silent Result discard(s) (`let _ =` / bare `.ok();`) in a \
+                     wire-protocol crate with no [result_discard] baseline; handle the \
+                     error or match on it explicitly"
+                ),
+            });
+        }
+    }
+    for (key, &n) in &actual {
+        let ceiling = cfg.result_discard_ratchet.get(key).copied().unwrap_or(0);
+        if n > ceiling {
+            diags.push(Diagnostic {
+                rule: "result-discard",
+                file: key.clone(),
+                line: 0,
+                msg: format!(
+                    "silent Result discard count {n} exceeds the ratcheted ceiling \
+                     {ceiling}; handle the error instead (ceilings only go down)"
+                ),
+            });
+        }
+    }
+    (diags, actual)
+}
+
+// ----------------------------------------------------------------------
+// Rule: stale-registry (the reverse direction of trace-label)
+// ----------------------------------------------------------------------
+
+/// Flag every registry entry — canonical paper verb or MEASURE counter —
+/// that no scanned source file emits as a string literal. `emitted` is the
+/// union of all files' [`FileReport::strings`].
+pub fn stale_registry(
+    cfg: &Config,
+    emitted: &std::collections::BTreeSet<String>,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for label in &cfg.trace_labels {
+        if !emitted.contains(label) {
+            diags.push(Diagnostic {
+                rule: "stale-registry",
+                file: "lint.toml".to_string(),
+                line: 0,
+                msg: format!(
+                    "canonical trace label `{label}` is emitted by no source file; \
+                     remove the registry entry or restore the emission (a dead entry \
+                     would mask a future misspelling)"
+                ),
+            });
+        }
+    }
+    for counter in &cfg.counter_names {
+        if !emitted.contains(counter) {
+            diags.push(Diagnostic {
+                rule: "stale-registry",
+                file: "lint.toml".to_string(),
+                line: 0,
+                msg: format!(
+                    "MEASURE counter `{counter}` is emitted by no source file; \
+                     remove the registry entry or restore the emission"
+                ),
+            });
+        }
+    }
+    diags
+}
+
+// ----------------------------------------------------------------------
 // Ratchet enforcement over a whole workspace scan
 // ----------------------------------------------------------------------
 
@@ -527,6 +723,10 @@ mod tests {
             trace_labels: vec!["GET^NEXT".into(), "GET^FIRST^VSBB".into()],
             counter_names: vec!["msgs.recv".into(), "cache.hits".into()],
             ratchet: BTreeMap::new(),
+            result_discard_crates: vec!["proto".into()],
+            result_discard_ratchet: BTreeMap::new(),
+            lock_min_schedules: 0,
+            lock_min_states: 0,
         }
     }
 
@@ -606,6 +806,76 @@ mod tests {
         let r = lint_source(&cfg, "x.rs", src);
         assert_eq!(r.diags.len(), 1, "{:?}", r.diags);
         assert!(r.diags[0].msg.contains("FileKind"));
+    }
+
+    #[test]
+    fn result_discard_counts_bare_drops_only() {
+        let cfg = test_cfg();
+        // Lone `_` binding and bare `.ok();` in a covered crate count…
+        let src = r#"
+            fn f() {
+                let _ = send();
+                send().ok();
+            }
+            #[cfg(test)]
+            mod tests {
+                fn t() { let _ = send(); send().ok(); }
+            }
+        "#;
+        let r = lint_source(&cfg, "proto/src/lib.rs", src);
+        assert_eq!(r.discard_count, 2, "{:?}", discard_sites(src));
+        // …but a named `_reason` binding, a *bound* `.ok()`, a returned
+        // `.ok()`, and an `.ok()` consumed inside a call do not.
+        let src = r#"
+            fn g() -> Option<u32> {
+                let _hint = send();
+                let before = read(7).ok();
+                take(read(9).ok());
+                return send().ok();
+            }
+        "#;
+        let r = lint_source(&cfg, "proto/src/lib.rs", src);
+        assert_eq!(r.discard_count, 0, "{:?}", discard_sites(src));
+        // Outside the covered crates nothing is counted at all.
+        let r = lint_source(&cfg, "other/src/lib.rs", "fn f() { let _ = send(); }");
+        assert_eq!(r.discard_count, 0);
+    }
+
+    #[test]
+    fn discard_ratchet_enforces_ceilings_and_implicit_zero() {
+        let mut cfg = test_cfg();
+        cfg.result_discard_ratchet
+            .insert("proto/src/lib.rs".into(), 1);
+        let mut counts = BTreeMap::new();
+        counts.insert("proto/src/lib.rs".to_string(), 2u64); // over its ceiling of 1
+        counts.insert("proto/src/wire.rs".to_string(), 1u64); // no baseline → implicit 0
+        counts.insert("proto/src/clean.rs".to_string(), 0u64);
+        let (diags, buckets) = enforce_discard_ratchet(&cfg, &counts);
+        assert_eq!(buckets.get("proto/src/lib.rs"), Some(&2));
+        let rules: Vec<&str> = diags.iter().map(|d| d.rule).collect();
+        assert_eq!(rules, vec!["result-discard", "result-discard"], "{diags:?}");
+        assert!(diags.iter().any(|d| d.file == "proto/src/wire.rs"));
+        assert!(diags
+            .iter()
+            .any(|d| d.msg.contains("exceeds the ratcheted ceiling 1")));
+    }
+
+    #[test]
+    fn stale_registry_flags_never_emitted_entries() {
+        let cfg = test_cfg();
+        let mut emitted: std::collections::BTreeSet<String> =
+            ["GET^NEXT", "GET^FIRST^VSBB", "msgs.recv"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        // `cache.hits` is registered but never emitted → stale.
+        let diags = stale_registry(&cfg, &emitted);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "stale-registry");
+        assert!(diags[0].msg.contains("cache.hits"));
+        // Emitting it anywhere (tests included) clears the flag.
+        emitted.insert("cache.hits".to_string());
+        assert!(stale_registry(&cfg, &emitted).is_empty());
     }
 
     #[test]

@@ -32,6 +32,9 @@ names = ["DpRequest", "DpReply", "FsError", "BusError"]
 [trace_labels]
 canonical = ["GET^FIRST^VSBB", "UPDATE^SUBSET^FIRST", "GET^NEXT"]
 
+[result_discard]
+crates = ["fixtures"]
+
 [ratchet]
 "fixtures" = 0
 "#,
@@ -111,6 +114,24 @@ fn label_ok_is_clean() {
 }
 
 #[test]
+fn discard_bad_counts_both_shapes() {
+    let src = std::fs::read_to_string(fixture_dir().join("discard_bad.rs")).expect("fixture");
+    let report = rules::lint_source(&fixture_config(), "fixtures/discard_bad.rs", &src);
+    assert_eq!(report.discard_count, 2, "let _ = … plus bare .ok();");
+    let sites = rules::discard_sites(&src);
+    assert_eq!(sites.len(), 2);
+    assert!(sites.iter().any(|(_, w)| w == "let _ ="), "{sites:?}");
+    assert!(sites.iter().any(|(_, w)| w == ".ok();"), "{sites:?}");
+}
+
+#[test]
+fn discard_ok_counts_zero() {
+    let src = std::fs::read_to_string(fixture_dir().join("discard_ok.rs")).expect("fixture");
+    let report = rules::lint_source(&fixture_config(), "fixtures/discard_ok.rs", &src);
+    assert_eq!(report.discard_count, 0, "{:?}", rules::discard_sites(&src));
+}
+
+#[test]
 fn ratchet_flags_fixture_over_zero_ceiling() {
     let cfg = fixture_config();
     let mut counts = std::collections::BTreeMap::new();
@@ -153,5 +174,13 @@ fn workspace_self_check_is_clean() {
             Some(&0),
             "{bucket} must be panic-free"
         );
+    }
+    // The implicit-zero discard surfaces really discard nothing: fs and
+    // lock have no [result_discard] baseline, so any new silent discard
+    // there fails the scan above — and their counts are zero today.
+    for (file, &n) in &report.discard_counts {
+        if file.starts_with("crates/fs/") || file.starts_with("crates/lock/") {
+            assert_eq!(n, 0, "{file} must not silently discard Results");
+        }
     }
 }

@@ -1,0 +1,11 @@
+//! Fixture: silent `Result` discards in wire-protocol code. Both shapes
+//! must be counted — the lone-underscore binding and the bare `.ok();`.
+
+fn send() -> Result<u32, String> {
+    Err("dropped on the floor".to_string())
+}
+
+pub fn fire_and_forget() {
+    let _ = send();
+    send().ok();
+}

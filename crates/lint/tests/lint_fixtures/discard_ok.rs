@@ -1,0 +1,20 @@
+//! Fixture twin: every `Result` is consumed — named bindings, bound
+//! `.ok()`, returned `.ok()`, and matches all pass.
+
+fn send() -> Result<u32, String> {
+    Ok(7)
+}
+
+pub fn handled() -> Option<u32> {
+    let _reply = send();
+    let cached = send().ok();
+    if let Err(e) = send() {
+        eprintln!("send failed: {e}");
+    }
+    match send() {
+        Ok(v) => drop(v),
+        Err(_unused) => {}
+    }
+    cached?;
+    send().ok()
+}

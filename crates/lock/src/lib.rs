@@ -37,6 +37,13 @@
 //!
 //! Locking is strict two-phase: transactions release everything at
 //! commit/abort via [`LockManager::release_all`].
+//!
+//! **Model-checked mirror:** `crates/lint/src/lockmodel.rs` re-implements
+//! the acquire / FIFO-fairness / upgrade / `close_cycle` / timeout
+//! branches of this file and exhausts every interleaving of them
+//! (`nsql-lint check-locks`). When changing a branch here, change the
+//! mirror in the same PR — its pinned mutation counterexamples are the
+//! proof that each branch is load-bearing.
 
 use nsql_sim::sync::Mutex;
 use std::collections::HashMap;

@@ -233,6 +233,10 @@ impl TxnManager {
     /// Commit `txn`, driving prepare / trail-commit / finish from `from`
     /// (the requester's CPU). On success the virtual clock has advanced to
     /// the commit's durability point.
+    ///
+    /// The doomed-refuses-to-commit branch below is one of the invariants
+    /// exhausted by `nsql-lint check-locks` (`crates/lint/src/lockmodel.rs`
+    /// mirrors it as the `doomed-commit` check); keep the mirror in sync.
     pub fn commit(&self, txn: TxnId, from: CpuId) -> Result<(), TxnError> {
         let participants = self.take_active(txn)?;
 
