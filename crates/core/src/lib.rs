@@ -29,14 +29,17 @@ use nsql_dp::{BackupSink, DiskProcess, DpConfig, DpContext};
 use nsql_fs::{FileSystem, OpenFile};
 use nsql_lock::TxnId;
 use nsql_msg::{Bus, CpuId};
-use nsql_sim::sync::RwLock;
+use nsql_records::{Row, Value};
+use nsql_sim::sync::{Mutex, RwLock};
 use nsql_sim::{
-    CostModel, Ctr, MeasureReport, Metrics, MetricsSnapshot, Micros, Sim, TraceEvent, WaitProfile,
+    CostModel, Ctr, Histogram, MeasureReport, Metrics, MetricsSnapshot, Micros, Sim, TraceEvent,
+    WaitProfile, COUNTER_NAMES,
 };
 use nsql_sql::ast::Statement;
-use nsql_sql::{parse, plan, Catalog, Executor, OpStats, Plan, QueryResult};
+use nsql_sql::{parse, plan, Catalog, Executor, OpStats, Plan, QueryResult, SysSnapshot};
 use nsql_tmf::{CommitTimer, LsnSource, Trail, TxnManager, AUDIT_PROCESS};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
 pub use nsql_dp::DpConfig as DiskProcessConfig;
@@ -59,6 +62,49 @@ impl std::error::Error for DbError {}
 
 fn db_err(e: impl std::fmt::Display) -> DbError {
     DbError(e.to_string())
+}
+
+/// `sys.locks` / `sys.lock_waiters` rendering of a lock scope: `FILE`, or
+/// the hex-encoded inclusive key interval.
+fn render_scope(scope: &nsql_lock::LockScope) -> String {
+    match scope {
+        nsql_lock::LockScope::File => "FILE".to_string(),
+        nsql_lock::LockScope::KeyInterval { lo, hi } => {
+            let hex = |bytes: &[u8]| bytes.iter().map(|b| format!("{b:02x}")).collect::<String>();
+            format!("{}..{}", hex(lo), hex(hi))
+        }
+    }
+}
+
+/// `sys.histograms` rows for one histogram: its occupied log2 buckets
+/// (`KIND = 'BUCKET'`, percentile columns NULL), then one `SUMMARY` row
+/// with the interpolated p50/p95/p99/p999. The summary row is emitted even
+/// when the histogram is empty so every histogram is discoverable.
+fn hist_rows(out: &mut Vec<Row>, name: &str, h: &Histogram) {
+    for (lo, hi, count) in h.buckets() {
+        out.push(Row(vec![
+            Value::Str(name.to_string()),
+            Value::Str("BUCKET".to_string()),
+            Value::LargeInt(lo as i64),
+            Value::LargeInt(hi as i64),
+            Value::LargeInt(count as i64),
+            Value::Null,
+            Value::Null,
+            Value::Null,
+            Value::Null,
+        ]));
+    }
+    out.push(Row(vec![
+        Value::Str(name.to_string()),
+        Value::Str("SUMMARY".to_string()),
+        Value::LargeInt(0),
+        Value::LargeInt(h.max() as i64),
+        Value::LargeInt(h.count() as i64),
+        Value::LargeInt(h.percentile(0.50) as i64),
+        Value::LargeInt(h.percentile(0.95) as i64),
+        Value::LargeInt(h.percentile(0.99) as i64),
+        Value::LargeInt(h.percentile(0.999) as i64),
+    ]));
 }
 
 /// Result of one SQL statement.
@@ -278,6 +324,8 @@ impl ClusterBuilder {
             disks,
             audit_cpu: self.audit_cpu,
             sort_parallelism: std::sync::atomic::AtomicU32::new(1),
+            sessions: Mutex::new(BTreeMap::new()),
+            next_session: AtomicU64::new(1),
         }
     }
 }
@@ -306,6 +354,18 @@ pub struct Cluster {
     /// CPU the audit-trail Disk Process is homed on.
     audit_cpu: CpuId,
     sort_parallelism: std::sync::atomic::AtomicU32,
+    /// Registry behind `sys.sessions`: every session ever opened, by id.
+    sessions: Mutex<BTreeMap<u64, SessionInfo>>,
+    next_session: AtomicU64,
+}
+
+/// One session's `sys.sessions` row.
+#[derive(Debug, Clone)]
+struct SessionInfo {
+    cpu: String,
+    statements: u64,
+    txn: Option<TxnId>,
+    open: bool,
 }
 
 impl Cluster {
@@ -322,12 +382,31 @@ impl Cluster {
     /// Open a session homed on a specific CPU (message locality follows).
     pub fn session_on(&self, node: u8, cpu: u8) -> Session<'_> {
         let cpu = CpuId::new(node, cpu);
+        let id = self
+            .next_session
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.sessions.lock().insert(
+            id,
+            SessionInfo {
+                cpu: cpu.to_string(),
+                statements: 0,
+                txn: None,
+                open: true,
+            },
+        );
         Session {
             cluster: self,
             fs: FileSystem::new(self.sim.clone(), Arc::clone(&self.bus), cpu),
             cpu,
+            id,
             txn: None,
             last_stats: None,
+        }
+    }
+
+    fn session_update(&self, id: u64, f: impl FnOnce(&mut SessionInfo)) {
+        if let Some(info) = self.sessions.lock().get_mut(&id) {
+            f(info);
         }
     }
 
@@ -339,6 +418,148 @@ impl Cluster {
     /// Snapshot all counters.
     pub fn snapshot(&self) -> MetricsSnapshot {
         self.sim.metrics.snapshot()
+    }
+
+    /// Re-bound the live trace ring (`sys.trace` reports the bound and the
+    /// resulting drop count). Shrinking evicts oldest events into the
+    /// dropped tally, exactly as organic overflow would.
+    pub fn set_trace_capacity(&self, capacity: usize) {
+        self.sim.trace.set_capacity(capacity);
+    }
+
+    /// Materialise the `sys.*` virtual tables: one coherent, read-only view
+    /// of the cluster's own telemetry, captured between planning and
+    /// execution of the statement that reads it.
+    ///
+    /// Capture is mutex/atomic reads only — it advances no virtual clock and
+    /// bumps no counter — so self-observation is idempotent: two
+    /// back-to-back `SELECT * FROM sys.counters` statements differ exactly
+    /// by the first statement's own cost.
+    pub fn sys_snapshot(&self) -> SysSnapshot {
+        let mut snap = SysSnapshot::default();
+        let sim = &self.sim;
+
+        // sys.counters: every non-zero MEASURE counter of every entity.
+        let measure = sim.measure.snapshot(sim.clock.now());
+        for ((kind, name), vals) in &measure.entities {
+            for (ci, &v) in vals.iter().enumerate() {
+                if v > 0 {
+                    snap.counters.push(Row(vec![
+                        Value::Str(kind.tag().to_string()),
+                        Value::Str(name.clone()),
+                        Value::Str(COUNTER_NAMES[ci].to_string()),
+                        Value::LargeInt(v as i64),
+                    ]));
+                }
+            }
+        }
+
+        // sys.waits: the attributed-clock ledger, one row per category.
+        for (w, us) in sim.wait_profile().iter() {
+            snap.waits.push(Row(vec![
+                Value::Str(w.name().to_string()),
+                Value::LargeInt(us as i64),
+            ]));
+        }
+
+        // sys.locks / sys.lock_waiters: per volume, in grant / FIFO order.
+        for vol in self.volumes() {
+            let dp = self.dp(&vol);
+            for l in dp.locks.held() {
+                snap.locks.push(Row(vec![
+                    Value::Str(vol.clone()),
+                    Value::LargeInt(l.txn.0 as i64),
+                    Value::LargeInt(l.file as i64),
+                    Value::Str(format!("{:?}", l.mode)),
+                    Value::Str(render_scope(&l.scope)),
+                ]));
+            }
+            for (pos, w) in dp.locks.waiters().iter().enumerate() {
+                snap.lock_waiters.push(Row(vec![
+                    Value::Str(vol.clone()),
+                    Value::LargeInt(pos as i64),
+                    Value::LargeInt(w.txn.0 as i64),
+                    Value::LargeInt(w.file as i64),
+                    Value::Str(format!("{:?}", w.mode)),
+                    Value::Str(render_scope(&w.scope)),
+                    Value::LargeInt(w.since as i64),
+                ]));
+            }
+        }
+
+        // sys.histograms: log2 buckets plus an interpolated summary row.
+        hist_rows(&mut snap.histograms, "MSG_BYTES", &sim.hist.msg_bytes);
+        hist_rows(
+            &mut snap.histograms,
+            "STMT_LATENCY_US",
+            &sim.hist.stmt_latency_us,
+        );
+        hist_rows(&mut snap.histograms, "COMMIT_GROUP", &sim.hist.commit_group);
+        hist_rows(
+            &mut snap.histograms,
+            "REDRIVE_CHAIN",
+            &sim.hist.redrive_chain,
+        );
+        for (w, h) in nsql_sim::WAIT_CATEGORIES
+            .iter()
+            .zip(sim.hist.stmt_wait_us.iter())
+        {
+            hist_rows(
+                &mut snap.histograms,
+                &format!("STMT_WAIT_{}", w.short().to_ascii_uppercase()),
+                h,
+            );
+        }
+
+        // sys.trace: a companion row carrying ring capacity + drop count,
+        // then the surviving events in sequence order.
+        snap.trace.push(Row(vec![
+            Value::LargeInt(-1),
+            Value::LargeInt(0),
+            Value::Str("RING".to_string()),
+            Value::Str(format!(
+                "capacity={} dropped={} enabled={}",
+                sim.trace.capacity(),
+                sim.trace.dropped(),
+                sim.trace.is_enabled(),
+            )),
+        ]));
+        for e in sim.trace.events() {
+            let detail = format!("{:?}", e.kind);
+            let kind = detail.split([' ', '{']).next().unwrap_or("").to_string();
+            snap.trace.push(Row(vec![
+                Value::LargeInt(e.seq as i64),
+                Value::LargeInt(e.at as i64),
+                Value::Str(kind),
+                Value::Str(detail),
+            ]));
+        }
+
+        // sys.sessions: the registry, by id.
+        for (id, info) in self.sessions.lock().iter() {
+            snap.sessions.push(Row(vec![
+                Value::LargeInt(*id as i64),
+                Value::Str(info.cpu.clone()),
+                Value::LargeInt(info.statements as i64),
+                match info.txn {
+                    Some(t) => Value::LargeInt(t.0 as i64),
+                    None => Value::Null,
+                },
+                Value::LargeInt(info.open as i64),
+            ]));
+        }
+
+        // sys.txns: everything the transaction manager still remembers.
+        for (id, state, doomed, parts) in self.txnmgr.snapshot() {
+            snap.txns.push(Row(vec![
+                Value::LargeInt(id.0 as i64),
+                Value::Str(format!("{state:?}")),
+                Value::LargeInt(doomed as i64),
+                Value::Str(parts.join(",")),
+            ]));
+        }
+
+        snap
     }
 
     /// The Disk Process currently serving `volume`.
@@ -537,6 +758,8 @@ pub struct Session<'a> {
     cluster: &'a Cluster,
     fs: FileSystem,
     cpu: CpuId,
+    /// Registry id behind this session's `sys.sessions` row.
+    id: u64,
     txn: Option<TxnId>,
     last_stats: Option<QueryStats>,
 }
@@ -579,6 +802,7 @@ impl Session<'_> {
         }
         let t = self.cluster.txnmgr.begin();
         self.txn = Some(t);
+        self.cluster.session_update(self.id, |i| i.txn = Some(t));
         Ok(t)
     }
 
@@ -588,6 +812,7 @@ impl Session<'_> {
             .txn
             .take()
             .ok_or(DbError("no open transaction".into()))?;
+        self.cluster.session_update(self.id, |i| i.txn = None);
         self.cluster.txnmgr.commit(t, self.cpu).map_err(db_err)
     }
 
@@ -597,6 +822,7 @@ impl Session<'_> {
             .txn
             .take()
             .ok_or(DbError("no open transaction".into()))?;
+        self.cluster.session_update(self.id, |i| i.txn = None);
         self.cluster.txnmgr.abort(t, self.cpu).map_err(db_err)
     }
 
@@ -606,6 +832,7 @@ impl Session<'_> {
     /// The statement's cost (counter delta, virtual time, trace slice) is
     /// captured and available from [`Session::last_stats`] afterwards.
     pub fn execute(&mut self, sql: &str) -> Result<Outcome, DbError> {
+        self.cluster.session_update(self.id, |i| i.statements += 1);
         let sim = self.cluster.sim.clone();
         let before = sim.metrics.snapshot();
         let measure_before = MeasureReport::capture(&sim);
@@ -643,10 +870,17 @@ impl Session<'_> {
     fn execute_inner(&mut self, sql: &str) -> Result<Outcome, DbError> {
         let stmt = parse(sql).map_err(db_err)?;
         let planned = plan(&self.cluster.catalog, stmt).map_err(db_err)?;
+        // Coherence point for sys.* reads: one snapshot, captured between
+        // planning and execution, serves every virtual scan of the
+        // statement (capture is pure reads — no clock, no counters).
+        let snap = planned
+            .references_sys()
+            .then(|| self.cluster.sys_snapshot());
         let exec = Executor {
             fs: &self.fs,
             catalog: &self.cluster.catalog,
             sort_parallelism: self.cluster.sort_parallelism(),
+            sys: snap.as_ref(),
         };
         match planned {
             Plan::Explain(inner) => {
@@ -802,6 +1036,17 @@ impl Session<'_> {
                 }
             }
         }
+    }
+}
+
+impl Drop for Session<'_> {
+    fn drop(&mut self) {
+        // The registry keeps the row (history is part of the telemetry);
+        // `sys.sessions.OPEN` flips to 0.
+        self.cluster.session_update(self.id, |i| {
+            i.open = false;
+            i.txn = None;
+        });
     }
 }
 

@@ -180,6 +180,21 @@ struct Waiter {
     since: u64,
 }
 
+/// A queued lock request as reported to introspection readers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaitingLock {
+    /// The blocked requester.
+    pub txn: TxnId,
+    /// File the request is on.
+    pub file: FileId,
+    /// Requested coverage.
+    pub scope: LockScope,
+    /// Requested mode.
+    pub mode: LockMode,
+    /// Virtual time the request joined the queue.
+    pub since: u64,
+}
+
 #[derive(Default)]
 struct State {
     held: Vec<HeldLock>,
@@ -386,6 +401,43 @@ impl LockManager {
     /// [`Self::waiting_count`]).
     pub fn wait_edge_count(&self) -> usize {
         self.state.lock().waits_for.len()
+    }
+
+    /// Snapshot of every held lock, in grant order. A pure read for
+    /// introspection (`sys.locks`): no clock, counter, or queue effects.
+    pub fn held(&self) -> Vec<HeldLock> {
+        self.state.lock().held.clone()
+    }
+
+    /// Snapshot of the waiter queue in FIFO (arrival = grant) order. Pure
+    /// read for introspection (`sys.lock_waiters`), like [`Self::held`].
+    pub fn waiters(&self) -> Vec<WaitingLock> {
+        self.state
+            .lock()
+            .waiters
+            .iter()
+            .map(|w| WaitingLock {
+                txn: w.txn,
+                file: w.file,
+                scope: w.scope.clone(),
+                mode: w.mode,
+                since: w.since,
+            })
+            .collect()
+    }
+
+    /// Snapshot of the declared `waiter -> holder` edges, sorted by waiter
+    /// for deterministic rendering.
+    pub fn wait_edges(&self) -> Vec<(TxnId, TxnId)> {
+        let mut edges: Vec<(TxnId, TxnId)> = self
+            .state
+            .lock()
+            .waits_for
+            .iter()
+            .map(|(w, h)| (*w, *h))
+            .collect();
+        edges.sort_unstable();
+        edges
     }
 
     /// Would `txn` be able to acquire the lock right now? (No side effects.)

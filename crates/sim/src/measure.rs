@@ -170,6 +170,10 @@ measure_counters! {
     LockWaitTimeouts => "lockwait.timeout",
     /// Transactions that had to queue at the admission-control gate.
     AdmissionQueued => "admission.queued",
+    /// `sys.*` virtual-table scans served from an introspection snapshot.
+    SysScans => "sys.scans",
+    /// Intervals closed by the load engine's virtual-time sampler.
+    SamplerIntervals => "sampler.intervals",
 }
 
 /// One entity's counter record: a fixed array of relaxed atomics.

@@ -341,6 +341,23 @@ impl TraceRecorder {
     pub fn dropped(&self) -> u64 {
         self.ring.lock().dropped
     }
+
+    /// Current ring bound (0 until the recorder is first enabled).
+    pub fn capacity(&self) -> usize {
+        self.ring.lock().capacity
+    }
+
+    /// Re-bound the live ring without touching the enabled flag. Shrinking
+    /// below the current occupancy evicts the oldest events into the
+    /// dropped count, exactly as organic overflow would.
+    pub fn set_capacity(&self, capacity: usize) {
+        let mut r = self.ring.lock();
+        r.capacity = capacity.max(1);
+        while r.events.len() > r.capacity {
+            r.events.pop_front();
+            r.dropped += 1;
+        }
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -456,6 +473,45 @@ impl Histogram {
                         bucket_hi(b)
                     };
                 }
+            }
+        }
+        bucket_hi(last)
+    }
+
+    /// The `q`-quantile with linear interpolation inside the containing
+    /// log₂ bucket (`q` in `[0, 1]`).
+    ///
+    /// Where [`Histogram::quantile`] answers with the bucket's upper bound
+    /// (exact to within 2×), this spreads the bucket's samples uniformly
+    /// over `[lo, hi]` and reads off the rank's position — the estimator
+    /// latency curves want. Deterministic: pure integer bucket counts in,
+    /// one rounded interpolation out. The top occupied bucket is tightened
+    /// to the recorded max so `percentile(1.0) == max()`.
+    pub fn percentile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        let mut last = 0usize;
+        for (b, c) in self.buckets.iter().enumerate() {
+            let c = c.load(Ordering::Relaxed);
+            if c > 0 {
+                last = b;
+                if seen + c >= rank {
+                    let lo = if b == 0 { 0 } else { 1u64 << (b - 1) };
+                    let hi = if b == bucket_of(self.max()) {
+                        self.max()
+                    } else {
+                        bucket_hi(b)
+                    };
+                    // Position of the rank within this bucket, in (0, 1].
+                    let frac = (rank - seen) as f64 / c as f64;
+                    let span = (hi - lo) as f64;
+                    return lo + (frac * span).round() as u64;
+                }
+                seen += c;
             }
         }
         bucket_hi(last)
@@ -1109,6 +1165,74 @@ mod tests {
         assert_eq!(h.p99(), 100);
         assert_eq!(h.quantile(1.0), 100);
         assert!(h.buckets().iter().map(|(_, _, c)| c).sum::<u64>() == 100);
+    }
+
+    #[test]
+    fn percentile_interpolates_within_buckets() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // Uniform 1..=100 fills every log2 bucket proportionally, so linear
+        // interpolation lands on (nearly) the exact order statistics —
+        // unlike quantile(), which answers with bucket upper bounds.
+        assert_eq!(h.percentile(0.50), 50);
+        assert_eq!(h.percentile(0.95), 95);
+        assert_eq!(h.percentile(0.99), 99);
+        assert_eq!(h.percentile(0.999), 100);
+        assert_eq!(h.percentile(1.0), h.max());
+    }
+
+    #[test]
+    fn percentile_pinned_on_known_bucket_fill() {
+        let h = Histogram::new();
+        h.record(0); // bucket 0: [0, 0]
+        for _ in 0..4 {
+            h.record(10); // bucket 4: [8, 15]
+        }
+        for _ in 0..5 {
+            h.record(1000); // bucket 10: [512, 1023], tightened to max 1000
+        }
+        assert_eq!(h.percentile(0.1), 0);
+        // rank 5 is the last of bucket 4's four samples: frac 4/4 -> hi.
+        assert_eq!(h.percentile(0.5), 15);
+        // rank 9 sits 4/5 into [512, 1000]: 512 + 0.8 * 488 = 902.
+        assert_eq!(h.percentile(0.9), 902);
+        assert_eq!(h.percentile(1.0), 1000);
+        // A single sample is its own every-percentile.
+        let one = Histogram::new();
+        one.record(37);
+        assert_eq!(one.percentile(0.0), 37);
+        assert_eq!(one.percentile(0.5), 37);
+        assert_eq!(one.percentile(1.0), 37);
+        // Empty histograms report zero.
+        assert_eq!(Histogram::new().percentile(0.5), 0);
+    }
+
+    #[test]
+    fn set_capacity_trims_oldest_into_dropped() {
+        let t = TraceRecorder::new();
+        t.enable(8);
+        for i in 0..8u64 {
+            t.emit(i, || msg("X"));
+        }
+        assert_eq!(t.dropped(), 0);
+        assert_eq!(t.capacity(), 8);
+        // Shrinking evicts the oldest events, charging the dropped count.
+        t.set_capacity(3);
+        assert_eq!(t.capacity(), 3);
+        let evs = t.events();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs.first().unwrap().seq, 5);
+        assert_eq!(t.dropped(), 5);
+        // Subsequent emits keep honouring the new bound.
+        t.emit(8, || msg("X"));
+        assert_eq!(t.events().len(), 3);
+        assert_eq!(t.dropped(), 6);
+        // Capacity zero clamps to one rather than wedging the ring.
+        t.set_capacity(0);
+        assert_eq!(t.capacity(), 1);
+        assert_eq!(t.events().len(), 1);
     }
 
     #[test]

@@ -18,11 +18,12 @@ use crate::plan::{
     TableAccess, UpdatePlan,
 };
 use crate::sort::{fastsort, sort_cmp};
+use crate::sys::{SysSnapshot, SysTable};
 use nsql_dp::{ReadLock, SubsetMode};
 use nsql_fs::{FileSystem, FsError};
 use nsql_lock::TxnId;
 use nsql_records::{EvalError, Expr, KeyRange, Row, RowAccessor, Value};
-use nsql_sim::{CpuLayer, MetricsSnapshot, Micros};
+use nsql_sim::{CpuLayer, Ctr, EntityKind, MetricsSnapshot, Micros};
 use std::collections::HashMap;
 
 /// Measured cost of one plan operator (the EXPLAIN ANALYZE row).
@@ -150,6 +151,9 @@ pub struct Executor<'a> {
     /// directs the SQL compiler to cause the invocation ... of the parallel
     /// sorter"). 1 = serial.
     pub sort_parallelism: u32,
+    /// The statement's introspection snapshot, present when the plan reads
+    /// `sys.*` virtual tables (captured by the session at statement start).
+    pub sys: Option<&'a SysSnapshot>,
 }
 
 impl Executor<'_> {
@@ -420,6 +424,38 @@ impl Executor<'_> {
                     }
                     rows
                 }
+            }
+            AccessPath::SysScan { pushdown } => {
+                let Some(snap) = self.sys else {
+                    return Err(ExecError::Eval(format!(
+                        "no introspection snapshot for {}",
+                        of.name
+                    )));
+                };
+                let table = SysTable::from_name(&of.name)
+                    .ok_or_else(|| ExecError::Eval(format!("unknown sys table {}", of.name)))?;
+                let mut rows = Vec::new();
+                for full in snap.rows(table) {
+                    self.sim().cpu_work(CpuLayer::Executor, 1);
+                    if let Some(p) = pushdown {
+                        if !p.passes(full)? {
+                            continue;
+                        }
+                    }
+                    rows.push(Row(t
+                        .fetch_fields
+                        .iter()
+                        .map(|&f| full.0[f as usize].clone())
+                        .collect()));
+                }
+                // Charged after the snapshot was captured, so the bump is
+                // part of this statement's own cost (visible to the *next*
+                // snapshot), keeping self-observation idempotent.
+                self.sim()
+                    .measure
+                    .entity(EntityKind::Process, "$SYS")
+                    .bump(Ctr::SysScans);
+                rows
             }
         };
         // Residual filter (browse / base-fetch index paths).

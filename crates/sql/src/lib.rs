@@ -15,11 +15,13 @@ pub mod lexer;
 pub mod parser;
 pub mod plan;
 pub mod sort;
+pub mod sys;
 
 pub use catalog::{Catalog, CatalogError, TableInfo};
 pub use exec::{ExecError, Executor, OpStats, QueryResult};
 pub use parser::{parse, ParseError};
 pub use plan::{plan, Plan, PlanError, SelectPlan};
+pub use sys::{SysSnapshot, SysTable};
 
 #[cfg(test)]
 mod tests;

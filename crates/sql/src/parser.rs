@@ -113,6 +113,18 @@ impl Parser {
         }
     }
 
+    /// A table name in FROM/INTO position: a bare identifier, or a dotted
+    /// `schema.table` pair (used by the `sys.*` introspection schema).
+    fn table_name(&mut self) -> Result<String, ParseError> {
+        let first = self.ident()?;
+        if self.eat_if(&Token::Dot) {
+            let second = self.ident()?;
+            Ok(format!("{first}.{second}"))
+        } else {
+            Ok(first)
+        }
+    }
+
     fn statement(&mut self) -> Result<Statement, ParseError> {
         match self.peek() {
             Some(Token::Ident(kw)) => match kw.as_str() {
@@ -169,7 +181,7 @@ impl Parser {
         self.keyword("FROM")?;
         let mut from = Vec::new();
         loop {
-            let table = self.ident()?;
+            let table = self.table_name()?;
             let alias = match self.peek() {
                 Some(Token::Ident(s)) if !is_clause_keyword(s) => Some(self.ident()?),
                 _ => None,
@@ -488,7 +500,7 @@ impl Parser {
     fn insert(&mut self) -> Result<Insert, ParseError> {
         self.keyword("INSERT")?;
         self.keyword("INTO")?;
-        let table = self.ident()?;
+        let table = self.table_name()?;
         let mut columns = Vec::new();
         if self.eat_if(&Token::LParen) {
             loop {
@@ -525,7 +537,7 @@ impl Parser {
 
     fn update(&mut self) -> Result<Update, ParseError> {
         self.keyword("UPDATE")?;
-        let table = self.ident()?;
+        let table = self.table_name()?;
         self.keyword("SET")?;
         let mut sets = Vec::new();
         loop {
@@ -552,7 +564,7 @@ impl Parser {
     fn delete(&mut self) -> Result<Delete, ParseError> {
         self.keyword("DELETE")?;
         self.keyword("FROM")?;
-        let table = self.ident()?;
+        let table = self.table_name()?;
         let where_clause = if self.kw_if("WHERE") {
             Some(self.expr()?)
         } else {

@@ -85,6 +85,12 @@ pub enum AccessPath {
         /// fetch).
         index_only: bool,
     },
+    /// Scan of a `sys.*` virtual table, served by the executor from the
+    /// statement's introspection snapshot — no File System messages.
+    SysScan {
+        /// Single-variable predicate, evaluated over the full virtual row.
+        pushdown: Option<Expr>,
+    },
 }
 
 /// One table's access within a SELECT plan.
@@ -198,6 +204,32 @@ pub enum Plan {
     Passthrough(Statement),
 }
 
+impl Plan {
+    /// Does this plan read any `sys.*` virtual table? The session uses this
+    /// to decide whether a statement needs an introspection snapshot.
+    pub fn references_sys(&self) -> bool {
+        match self {
+            Plan::Select(p) => p
+                .tables
+                .iter()
+                .any(|t| matches!(t.access, AccessPath::SysScan { .. })),
+            Plan::Explain(inner) | Plan::ExplainAnalyze(inner) => inner.references_sys(),
+            Plan::Insert(_) | Plan::Update(_) | Plan::Delete(_) | Plan::Passthrough(_) => false,
+        }
+    }
+}
+
+/// Resolve a FROM-position name: `sys.*` virtual tables first, then the
+/// catalog.
+fn resolve_table(catalog: &Catalog, name: &str) -> Result<TableInfo, PlanError> {
+    if crate::sys::is_sys_name(name) {
+        return crate::sys::table_info(name).ok_or_else(|| {
+            PlanError::Catalog(CatalogError::NoSuchTable(name.to_ascii_uppercase()))
+        });
+    }
+    catalog.table(name).map_err(Into::into)
+}
+
 /// Plan a statement against the catalog.
 pub fn plan(catalog: &Catalog, stmt: Statement) -> Result<Plan, PlanError> {
     match stmt {
@@ -275,6 +307,14 @@ pub fn describe_access(t: &TableAccess) -> String {
             } else {
                 line.push_str("; fetch base rows by primary key (Figure 2)");
             }
+            line
+        }
+        AccessPath::SysScan { pushdown } => {
+            let mut line = format!("SYS SCAN {name} (virtual, snapshot at statement start)");
+            if let Some(p) = pushdown {
+                line.push_str(&format!("; filter: {p}"));
+            }
+            line.push_str(&format!("; project {} field(s)", t.fetch_fields.len()));
             line
         }
     }
@@ -566,7 +606,7 @@ fn plan_select(catalog: &Catalog, s: Select) -> Result<SelectPlan, PlanError> {
     let infos: Vec<TableInfo> = s
         .from
         .iter()
-        .map(|t| catalog.table(&t.table))
+        .map(|t| resolve_table(catalog, &t.table))
         .collect::<Result<_, _>>()?;
     let scope = Scope::over(
         s.from
@@ -697,7 +737,16 @@ fn plan_select(catalog: &Catalog, s: Select) -> Result<SelectPlan, PlanError> {
             .filter(|&&f| f >= lo && f < lo + nfields)
             .map(|&f| f - lo)
             .collect();
-        let access = choose_access(info, &table_conjuncts[ti], &mut fetch, s.for_browse);
+        let access = if crate::sys::is_sys_name(&info.name) {
+            // Virtual tables: the whole single-variable query evaluates
+            // over the snapshot's full rows; nothing to route or push down
+            // to a Disk Process.
+            AccessPath::SysScan {
+                pushdown: conjoin(table_conjuncts[ti].clone()),
+            }
+        } else {
+            choose_access(info, &table_conjuncts[ti], &mut fetch, s.for_browse)
+        };
         fetch.sort_unstable();
         fetch.dedup();
         // Tables contributing nothing still need one field to drive the
@@ -965,7 +1014,16 @@ fn display_name(e: &AstExpr) -> String {
 // DML planning
 // ----------------------------------------------------------------------
 
+/// `sys.*` names are rejected in every DML target position.
+fn reject_sys_dml(table: &str) -> Result<(), PlanError> {
+    if crate::sys::is_sys_name(table) {
+        return Err(PlanError::Unsupported("sys.* tables are read-only".into()));
+    }
+    Ok(())
+}
+
 fn plan_insert(catalog: &Catalog, i: ast::Insert) -> Result<InsertPlan, PlanError> {
+    reject_sys_dml(&i.table)?;
     let info = catalog.table(&i.table)?;
     let desc = &info.open.desc;
     // Column positions.
@@ -1011,6 +1069,7 @@ fn plan_insert(catalog: &Catalog, i: ast::Insert) -> Result<InsertPlan, PlanErro
 }
 
 fn plan_update(catalog: &Catalog, u: ast::Update) -> Result<UpdatePlan, PlanError> {
+    reject_sys_dml(&u.table)?;
     let info = catalog.table(&u.table)?;
     let scope = Scope::single(&info.name, &info.open.desc);
     let mut sets = Vec::new();
@@ -1039,6 +1098,7 @@ fn plan_update(catalog: &Catalog, u: ast::Update) -> Result<UpdatePlan, PlanErro
 }
 
 fn plan_delete(catalog: &Catalog, d: ast::Delete) -> Result<DeletePlan, PlanError> {
+    reject_sys_dml(&d.table)?;
     let info = catalog.table(&d.table)?;
     let scope = Scope::single(&info.name, &info.open.desc);
     let mut conj = Vec::new();

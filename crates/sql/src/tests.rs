@@ -67,6 +67,7 @@ impl World {
             fs: &self.fs,
             catalog: &self.catalog,
             sort_parallelism: 1,
+            sys: None,
         };
         match planned {
             Plan::Select(p) => {
@@ -429,6 +430,7 @@ fn multi_statement_txn_semantics_via_manager() {
         fs: &w.fs,
         catalog: &w.catalog,
         sort_parallelism: 1,
+        sys: None,
     };
     exec.insert(&p, txn).unwrap();
     w.txnmgr.abort(txn, w.client).unwrap();

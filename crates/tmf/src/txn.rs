@@ -207,6 +207,28 @@ impl TxnManager {
         self.txns.lock().get(&txn).map(|i| i.state)
     }
 
+    /// Snapshot of every transaction the manager still remembers —
+    /// including committed and aborted ones — as
+    /// `(txn, state, doomed, participants)`, sorted by id. A pure read for
+    /// introspection (`sys.txns`).
+    pub fn snapshot(&self) -> Vec<(TxnId, TxnState, bool, Vec<String>)> {
+        let mut all: Vec<(TxnId, TxnState, bool, Vec<String>)> = self
+            .txns
+            .lock()
+            .iter()
+            .map(|(id, i)| {
+                (
+                    *id,
+                    i.state,
+                    i.doomed,
+                    i.participants.iter().cloned().collect(),
+                )
+            })
+            .collect();
+        all.sort_by_key(|(id, ..)| *id);
+        all
+    }
+
     /// Participants of a transaction (tests/inspection).
     pub fn participants(&self, txn: TxnId) -> Vec<String> {
         self.txns

@@ -20,5 +20,5 @@ pub mod load;
 pub mod wisconsin;
 
 pub use bank::{Bank, DEBIT_CREDIT_STEPS};
-pub use load::{run_load, LoadConfig, LoadOutcome};
+pub use load::{run_load, IntervalSample, LoadConfig, LoadOutcome};
 pub use wisconsin::Wisconsin;

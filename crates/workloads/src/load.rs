@@ -33,7 +33,9 @@ use nsql_core::Cluster;
 use nsql_dp::DpError;
 use nsql_fs::FsError;
 use nsql_lock::TxnId;
-use nsql_sim::{Ctr, EntityKind, SimRng, Wait, Zipf};
+use nsql_sim::{
+    Ctr, EntityKind, MeasureSnapshot, Sim, SimRng, Wait, WaitProfile, Zipf, WAIT_CATEGORIES,
+};
 use nsql_tmf::txn::{TxnError, TMF_ENTITY};
 use std::collections::VecDeque;
 
@@ -67,6 +69,13 @@ pub struct LoadConfig {
     /// workloads touch resources in inconsistent orders — this is what
     /// makes waits-for *cycles* (not just convoys) reachable.
     pub shuffle_steps: bool,
+    /// Virtual-time interval of the telemetry sampler: every this many
+    /// microseconds the engine closes an [`IntervalSample`] — throughput,
+    /// latencies, the wait-ledger delta, and the busiest MEASURE entity of
+    /// the interval. `0` (the default) disables sampling; enabling it
+    /// perturbs no clock and no pre-existing counter, so a sampled run
+    /// commits the identical transaction history.
+    pub sample_every_us: u64,
     /// RNG seed; runs are exactly reproducible per seed.
     pub seed: u64,
 }
@@ -83,8 +92,84 @@ impl Default for LoadConfig {
             max_txn_retries: 8,
             retry_backoff_us: 400,
             shuffle_steps: true,
+            sample_every_us: 0,
             seed: 1,
         }
+    }
+}
+
+/// One closed interval of the telemetry sampler: what the engine saw in
+/// `[start_us, end_us)` of virtual time.
+///
+/// Because the virtual clock only moves through *attributed* advances, the
+/// interval's wait-ledger delta decomposes its span exactly:
+/// `wait_us` sums to `end_us - start_us` — every microsecond of the
+/// interval is blamed on some category. The bottleneck report is therefore
+/// not a sample or an estimate; it is the ledger itself, windowed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalSample {
+    /// Interval start (virtual µs).
+    pub start_us: u64,
+    /// Interval end (virtual µs); `end_us - start_us` is the exact span.
+    pub end_us: u64,
+    /// Transactions that arrived during the interval.
+    pub arrivals: u64,
+    /// Transactions that committed during the interval.
+    pub committed: u64,
+    /// Transaction attempts aborted during the interval.
+    pub aborted: u64,
+    /// Latencies of the commits that landed in this interval, sorted.
+    pub latencies_us: Vec<u64>,
+    /// Wait-ledger delta over the interval, indexed by [`Wait::index`];
+    /// sums to exactly `end_us - start_us`.
+    pub wait_us: [u64; Wait::COUNT],
+    /// The MEASURE entity with the largest summed counter delta over the
+    /// interval (`kind/name`, e.g. `process/$DATA1`); empty when nothing
+    /// moved.
+    pub top_entity: String,
+    /// That entity's summed counter delta.
+    pub top_entity_delta: u64,
+}
+
+impl IntervalSample {
+    /// Committed transactions per second of virtual time in this interval.
+    pub fn tps(&self) -> f64 {
+        let span = self.end_us.saturating_sub(self.start_us);
+        if span == 0 {
+            0.0
+        } else {
+            self.committed as f64 * 1_000_000.0 / span as f64
+        }
+    }
+
+    /// Total attributed wait over the interval (equals the span exactly).
+    pub fn wait_total_us(&self) -> u64 {
+        self.wait_us.iter().sum()
+    }
+
+    /// The interval's bottleneck: the wait category with the largest
+    /// ledger delta (ties break in ledger order).
+    pub fn top_wait(&self) -> Wait {
+        let mut best = WAIT_CATEGORIES[0];
+        let mut best_us = self.wait_us[0];
+        for w in WAIT_CATEGORIES {
+            if self.wait_us[w.index()] > best_us {
+                best = w;
+                best_us = self.wait_us[w.index()];
+            }
+        }
+        best
+    }
+
+    /// Latency percentile within the interval (`p` in `[0, 100]`; 0 when
+    /// nothing committed).
+    pub fn percentile_us(&self, p: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let last = self.latencies_us.len() - 1;
+        let idx = ((p.clamp(0.0, 100.0) / 100.0) * last as f64).round() as usize;
+        self.latencies_us[idx.min(last)]
     }
 }
 
@@ -117,6 +202,10 @@ pub struct LoadOutcome {
     pub net_delta: f64,
     /// Virtual time the whole run took, including drain.
     pub elapsed_us: u64,
+    /// Telemetry sampler output: one entry per closed interval, in time
+    /// order (empty when [`LoadConfig::sample_every_us`] is 0). The last
+    /// interval is the partial one that covers the drain tail.
+    pub intervals: Vec<IntervalSample>,
 }
 
 impl LoadOutcome {
@@ -195,6 +284,95 @@ struct Engine {
     out: LoadOutcome,
 }
 
+/// The interval sampler: high-water marks of the run tallies plus the
+/// previous boundary's wait-ledger and MEASURE snapshots, so each closed
+/// interval is an exact delta. Inactive (and cost-free) when `every == 0`.
+struct Sampler {
+    every: u64,
+    next_at: u64,
+    start: u64,
+    prev_wait: WaitProfile,
+    prev_measure: MeasureSnapshot,
+    prev_arrivals: u64,
+    prev_committed: u64,
+    prev_aborted: u64,
+    prev_lat: usize,
+}
+
+impl Sampler {
+    fn new(sim: &Sim, start: u64, every: u64) -> Sampler {
+        Sampler {
+            every,
+            next_at: start.saturating_add(every.max(1)),
+            start,
+            prev_wait: sim.wait_profile(),
+            prev_measure: sim.measure.snapshot(start),
+            prev_arrivals: 0,
+            prev_committed: 0,
+            prev_aborted: 0,
+            prev_lat: 0,
+        }
+    }
+
+    /// Close the interval `[self.start, at)` into `out.intervals`. The
+    /// caller has already advanced the clock exactly to `at`, so the
+    /// ledger delta sums to `at - self.start` with no remainder.
+    fn close(&mut self, sim: &Sim, out: &mut LoadOutcome, at: u64) {
+        sim.measure
+            .entity(EntityKind::Process, "SAMPLER")
+            .bump(Ctr::SamplerIntervals);
+        let wait_now = sim.wait_profile();
+        let delta = wait_now - self.prev_wait;
+        let mut wait_us = [0u64; Wait::COUNT];
+        for (w, us) in delta.iter() {
+            wait_us[w.index()] = us;
+        }
+        let measure_now = sim.measure.snapshot(at);
+        let (top_entity, top_entity_delta) = busiest_entity(&self.prev_measure, &measure_now);
+        let mut latencies_us = out.latencies_us[self.prev_lat..].to_vec();
+        latencies_us.sort_unstable();
+        out.intervals.push(IntervalSample {
+            start_us: self.start,
+            end_us: at,
+            arrivals: out.arrivals - self.prev_arrivals,
+            committed: out.committed - self.prev_committed,
+            aborted: out.aborted - self.prev_aborted,
+            latencies_us,
+            wait_us,
+            top_entity,
+            top_entity_delta,
+        });
+        self.start = at;
+        self.next_at = at.saturating_add(self.every.max(1));
+        self.prev_wait = wait_now;
+        self.prev_measure = measure_now;
+        self.prev_arrivals = out.arrivals;
+        self.prev_committed = out.committed;
+        self.prev_aborted = out.aborted;
+        self.prev_lat = out.latencies_us.len();
+    }
+}
+
+/// The MEASURE entity whose counters moved the most between two snapshots,
+/// as `(kind/name, summed delta)`. Ties break on `BTreeMap` iteration
+/// order (entity kind, then name), so the answer is deterministic.
+fn busiest_entity(before: &MeasureSnapshot, after: &MeasureSnapshot) -> (String, u64) {
+    let mut best = (String::new(), 0u64);
+    for ((kind, name), vals) in &after.entities {
+        let zero = [0u64; Ctr::COUNT];
+        let prev = before.entities.get(&(*kind, name.clone())).unwrap_or(&zero);
+        let sum: u64 = vals
+            .iter()
+            .zip(prev.iter())
+            .map(|(a, b)| a.saturating_sub(*b))
+            .sum();
+        if sum > best.1 {
+            best = (format!("{}/{}", kind.tag(), name), sum);
+        }
+    }
+    best
+}
+
 /// Run the multi-terminal engine against a loaded [`Bank`]. Deterministic
 /// per `cfg.seed`: same seed, same cluster shape, same outcome.
 pub fn run_load(db: &Cluster, bank: &Bank, cfg: &LoadConfig) -> LoadOutcome {
@@ -214,6 +392,8 @@ pub fn run_load(db: &Cluster, bank: &Bank, cfg: &LoadConfig) -> LoadOutcome {
         inflight: 0,
         out: LoadOutcome::default(),
     };
+    let mut sampler =
+        (cfg.sample_every_us > 0).then(|| Sampler::new(sim, start, cfg.sample_every_us));
 
     let mut terminals: Vec<Terminal> = (0..cfg.terminals)
         .map(|i| {
@@ -246,8 +426,20 @@ pub fn run_load(db: &Cluster, bank: &Bank, cfg: &LoadConfig) -> LoadOutcome {
         let Some(i) = next else { break };
 
         // Advance the shared clock to this event, charging any skipped
-        // span to whatever this terminal was waiting on.
+        // span to whatever this terminal was waiting on. Sampler boundaries
+        // split the advance: the clock stops exactly on each boundary, so
+        // every interval's ledger delta sums to its span with no remainder.
         let (t_next, reason) = (terminals[i].t_next, terminals[i].reason);
+        if let Some(s) = sampler.as_mut() {
+            while s.next_at <= t_next {
+                // The clock may already sit past the boundary (handlers
+                // advance it at message granularity); close at wherever it
+                // actually is so the interval delta stays exact.
+                let at = s.next_at.max(sim.now());
+                sim.clock.advance_to_in(reason, at);
+                s.close(sim, &mut eng.out, at);
+            }
+        }
         sim.clock.advance_to_in(reason, t_next);
         let now = sim.now();
 
@@ -407,6 +599,15 @@ pub fn run_load(db: &Cluster, bank: &Bank, cfg: &LoadConfig) -> LoadOutcome {
     }
     debug_assert!(eng.gate.is_empty(), "admission queue drained");
     debug_assert_eq!(eng.inflight, 0, "all slots released");
+
+    // Close the partial interval covering the drain tail, so the series
+    // decomposes the whole run: interval spans sum to elapsed_us.
+    if let Some(s) = sampler.as_mut() {
+        let now = sim.now();
+        if now > s.start {
+            s.close(sim, &mut eng.out, now);
+        }
+    }
 
     let mut out = eng.out;
     out.elapsed_us = sim.now().saturating_sub(start);
@@ -574,6 +775,63 @@ mod tests {
         // the run drained completely; conservation still holds.
         let total = bank.total_balance(&db).expect("final balance");
         assert!((total - (40.0 * 1000.0 + out.net_delta)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sampler_intervals_decompose_the_run_exactly_and_perturb_nothing() {
+        let (db1, bank1) = hot_db();
+        let (db2, bank2) = hot_db();
+        let plain = run_load(&db1, &bank1, &contended_cfg(21));
+        let mut cfg = contended_cfg(21);
+        cfg.sample_every_us = 20_000;
+        let sampled = run_load(&db2, &bank2, &cfg);
+        // Sampling is a pure observer: the committed history is identical.
+        assert_eq!(plain.committed, sampled.committed);
+        assert_eq!(plain.latencies_us, sampled.latencies_us);
+        assert_eq!(plain.elapsed_us, sampled.elapsed_us);
+        assert!(
+            sampled.intervals.len() >= 3,
+            "{:?}",
+            sampled.intervals.len()
+        );
+
+        // Intervals tile the run with no gaps, and each one's wait-ledger
+        // delta decomposes its span *exactly* — the bottleneck report is
+        // the attributed clock itself, windowed.
+        let run_start = sampled.intervals[0].start_us;
+        let mut expect_start = run_start;
+        let (mut arrivals, mut committed, mut aborted) = (0, 0, 0);
+        let mut lats = Vec::new();
+        for iv in &sampled.intervals {
+            assert_eq!(iv.start_us, expect_start, "no gap between intervals");
+            assert!(iv.end_us > iv.start_us);
+            assert_eq!(
+                iv.wait_total_us(),
+                iv.end_us - iv.start_us,
+                "ledger covers the interval exactly"
+            );
+            assert_eq!(
+                iv.wait_us[iv.top_wait().index()],
+                *iv.wait_us.iter().max().unwrap()
+            );
+            arrivals += iv.arrivals;
+            committed += iv.committed;
+            aborted += iv.aborted;
+            lats.extend(iv.latencies_us.iter().copied());
+            expect_start = iv.end_us;
+        }
+        assert_eq!(expect_start - run_start, sampled.elapsed_us);
+        assert_eq!(arrivals, sampled.arrivals);
+        assert_eq!(committed, sampled.committed);
+        assert_eq!(aborted, sampled.aborted);
+        lats.sort_unstable();
+        assert_eq!(
+            lats, sampled.latencies_us,
+            "per-interval latencies partition the run's"
+        );
+        // Under this hotspot some interval is bottlenecked on something
+        // other than pure CPU, and some entity did measurable work.
+        assert!(sampled.intervals.iter().all(|iv| !iv.top_entity.is_empty()));
     }
 
     #[test]

@@ -14,6 +14,7 @@ fn db_with_rows(n: i32) -> Cluster {
             .unwrap();
     }
     s.execute("COMMIT WORK").unwrap();
+    drop(s);
     db
 }
 

@@ -25,6 +25,7 @@ fn emp_db(rows: i32) -> Cluster {
         .unwrap();
     }
     s.execute("COMMIT WORK").unwrap();
+    drop(s);
     db
 }
 

@@ -21,6 +21,7 @@ fn db_with_table() -> Cluster {
             .unwrap();
     }
     s.execute("COMMIT WORK").unwrap();
+    drop(s);
     db
 }
 

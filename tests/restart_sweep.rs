@@ -59,6 +59,7 @@ fn run_to(commits: u32, seed: u64) -> (Cluster, Bank, SimRng) {
             .unwrap();
         db.txnmgr.commit(txn, s.cpu()).unwrap();
     }
+    drop(s);
     (db, bank, rng)
 }
 
